@@ -1,0 +1,217 @@
+(* apnad: command-line front end for the APNA simulator.
+
+   Subcommands:
+     demo      run an end-to-end communication scenario and narrate it
+     ephid     construct and dissect an EphID (Fig. 6) with throwaway keys
+     trace     summarize the synthetic workload trace (§V-A3)
+     shutoff   run the DDoS + shutoff escalation scenario (§IV-E, §VIII-G2)
+
+   Try: dune exec bin/apnad.exe -- demo --hosts 4 --flows 6 *)
+
+open Apna
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let seed =
+  Arg.(
+    value & opt string "apnad"
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic simulation seed.")
+
+(* ------------------------------------------------------------------ *)
+(* demo *)
+
+let demo_cmd =
+  let hosts =
+    Arg.(value & opt int 2 & info [ "hosts" ] ~docv:"N" ~doc:"Hosts per edge AS.")
+  in
+  let flows =
+    Arg.(value & opt int 3 & info [ "flows" ] ~docv:"N" ~doc:"Flows to open.")
+  in
+  let run verbose seed hosts flows =
+    setup_logs verbose;
+    let net = Network.create ~seed () in
+    let _ = Network.add_as net 64500 () in
+    let _ = Network.add_as net 64501 () in
+    let _ = Network.add_as net 64502 ~dns_zone:"demo.net" () in
+    Network.connect_as net 64500 64501 ();
+    Network.connect_as net 64501 64502 ();
+    let make_host asn i =
+      let name = Printf.sprintf "h%d-%d" asn i in
+      let h = Network.add_host net ~as_number:asn ~name ~credential:name () in
+      match Host.bootstrap h with
+      | Ok () -> h
+      | Error e -> failwith (Error.to_string e)
+    in
+    let left = List.init hosts (make_host 64500) in
+    let right = List.init hosts (make_host 64502) in
+    List.iter
+      (fun h ->
+        Host.on_data h (fun ~session ~data ->
+            Printf.printf "  %s decrypted %S\n" (Host.name h) data;
+            if String.length data < 20 then
+              ignore (Host.send h session (data ^ "-ack"))))
+      right;
+    let endpoints = Hashtbl.create 8 in
+    List.iter
+      (fun h ->
+        Host.request_ephid h (fun ep -> Hashtbl.replace endpoints (Host.name h) ep))
+      right;
+    Network.run net;
+    Printf.printf "issued %d server EphIDs\n" (Hashtbl.length endpoints);
+    let rng = Apna_sim.Rng.create 1L in
+    for flow = 1 to flows do
+      let src = List.nth left (Apna_sim.Rng.int rng (List.length left)) in
+      let dst = List.nth right (Apna_sim.Rng.int rng (List.length right)) in
+      let ep : Host.endpoint = Hashtbl.find endpoints (Host.name dst) in
+      Printf.printf "flow %d: %s -> %s\n" flow (Host.name src) (Host.name dst);
+      Host.connect src ~remote:ep.cert ~data0:(Printf.sprintf "hello-%d" flow)
+        (fun _ -> ())
+    done;
+    Network.run net;
+    let transit = Network.node_exn net 64501 in
+    let c = Border_router.counters (As_node.border_router transit) in
+    Printf.printf "transit AS forwarded %d packets (%d dropped)\n"
+      c.ingress_forwarded c.dropped
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"End-to-end encrypted communication over 3 ASes.")
+    Term.(const run $ verbose $ seed $ hosts $ flows)
+
+(* ------------------------------------------------------------------ *)
+(* ephid *)
+
+let ephid_cmd =
+  let hid_arg =
+    Arg.(value & opt int 0x0a000001 & info [ "hid" ] ~docv:"HID" ~doc:"Host identifier.")
+  in
+  let lifetime =
+    Arg.(value & opt int 900 & info [ "lifetime" ] ~docv:"SECONDS" ~doc:"Validity period.")
+  in
+  let run verbose seed hid lifetime =
+    setup_logs verbose;
+    let rng = Apna_crypto.Drbg.create ~seed in
+    let keys = Keys.make_as rng ~aid:(Apna_net.Addr.aid_of_int 64500) in
+    let now = 1_750_000_000 in
+    let e =
+      Ephid.issue_random keys rng ~hid:(Apna_net.Addr.hid_of_int hid)
+        ~expiry:(now + lifetime)
+    in
+    let raw = Ephid.to_bytes e in
+    Printf.printf "EphID     : %s\n" (Apna_util.Hex.encode raw);
+    Printf.printf "  IV      : %s\n" (Apna_util.Hex.encode (String.sub raw 0 4));
+    Printf.printf "  cipher  : %s  (AES-CTR over HID || ExpTime)\n"
+      (Apna_util.Hex.encode (String.sub raw 4 8));
+    Printf.printf "  tag     : %s  (CBC-MAC over cipher || IV)\n"
+      (Apna_util.Hex.encode (String.sub raw 12 4));
+    (match Ephid.parse keys e with
+    | Ok info ->
+        Format.printf "issuing AS decrypts -> HID %a, expires %d@."
+          Apna_net.Addr.pp_hid info.hid info.expiry
+    | Error err -> Printf.printf "parse failed: %s\n" (Error.to_string err));
+    let other = Keys.make_as rng ~aid:(Apna_net.Addr.aid_of_int 64501) in
+    Printf.printf "another AS parsing it: %s\n"
+      (match Ephid.parse other e with
+      | Ok _ -> "succeeded (BUG!)"
+      | Error _ -> "rejected (opaque outside the issuing AS)")
+  in
+  Cmd.v
+    (Cmd.info "ephid" ~doc:"Construct and dissect an EphID (paper Fig. 6).")
+    Term.(const run $ verbose $ seed $ hid_arg $ lifetime)
+
+(* ------------------------------------------------------------------ *)
+(* trace *)
+
+let trace_cmd =
+  let window =
+    Arg.(value & opt float 60.0 & info [ "window" ] ~docv:"SECONDS"
+           ~doc:"Window around the peak to analyze.")
+  in
+  let run verbose _seed window =
+    setup_logs verbose;
+    let cfg = Apna_workload.Trace.paper_config in
+    Printf.printf "paper trace stand-in: %d hosts, peak %.0f flows/s, 24h\n"
+      cfg.hosts cfg.peak_rate;
+    let rng = Apna_sim.Rng.create 42L in
+    let a = cfg.peak_at_s -. (window /. 2.0) in
+    let n = Apna_workload.Trace.count ~window:(a, a +. window) rng cfg in
+    Printf.printf "flows in the %.0f s around the peak: %d (%.0f/s)\n" window n
+      (float_of_int n /. window);
+    let rng = Apna_sim.Rng.create 43L in
+    let measured = Apna_workload.Trace.peak_rate_measured rng cfg ~bucket_s:1.0 in
+    Printf.printf "measured 1-second peak: %.0f flows/s\n" measured;
+    let rng = Apna_sim.Rng.create 44L in
+    List.iter
+      (fun threshold ->
+        let f =
+          Apna_workload.Flow_model.fraction_below Apna_workload.Flow_model.default
+            rng ~threshold ~samples:20_000
+        in
+        Printf.printf "P(flow duration < %6.0f s) = %.3f\n" threshold f)
+      [ 2.0; 60.0; 900.0; 3600.0 ]
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Summarize the synthetic workload trace (\xc2\xa7V-A3).")
+    Term.(const run $ verbose $ seed $ window)
+
+(* ------------------------------------------------------------------ *)
+(* shutoff *)
+
+let shutoff_cmd =
+  let waves =
+    Arg.(value & opt int 7 & info [ "waves" ] ~docv:"N" ~doc:"Attack waves to launch.")
+  in
+  let run verbose seed waves =
+    setup_logs verbose;
+    let net = Network.create ~seed () in
+    let _ = Network.add_as net 64500 () in
+    let _ = Network.add_as net 64502 () in
+    Network.connect_as net 64500 64502 ();
+    let bot = Network.add_host net ~as_number:64500 ~name:"bot" ~credential:"bot" () in
+    let victim =
+      Network.add_host net ~as_number:64502 ~name:"victim" ~credential:"victim" ()
+    in
+    List.iter
+      (fun h ->
+        match Host.bootstrap h with
+        | Ok () -> ()
+        | Error e -> failwith (Error.to_string e))
+      [ bot; victim ];
+    let victim_ep = ref None in
+    Host.request_ephid victim (fun ep -> victim_ep := Some ep);
+    Network.run net;
+    let victim_ep = Option.get !victim_ep in
+    Host.on_data victim (fun ~session ~data:_ ->
+        match Host.last_packet victim session with
+        | Some evidence ->
+            ignore (Host.request_shutoff victim ~session ~evidence)
+        | None -> ());
+    let bot_as = Network.node_exn net 64500 in
+    for wave = 1 to waves do
+      Host.connect bot ~remote:victim_ep.cert ~data0:"FLOOD" (fun _ -> ());
+      Network.run net;
+      Printf.printf "wave %d: delivered=%d revoked-ephids=%d\n" wave
+        (List.length (Host.received victim))
+        (Revocation.size (As_node.revoked bot_as))
+    done;
+    let bot_hid =
+      Option.get (Registry.hid_of_credential (As_node.registry bot_as) ~credential:"bot")
+    in
+    Printf.printf "bot identity still valid: %b\n"
+      (Host_info.mem_valid (As_node.host_info bot_as) bot_hid)
+  in
+  Cmd.v
+    (Cmd.info "shutoff" ~doc:"DDoS-and-shutoff escalation scenario (\xc2\xa7IV-E).")
+    Term.(const run $ verbose $ seed $ waves)
+
+let () =
+  let info =
+    Cmd.info "apnad" ~version:"1.0.0"
+      ~doc:"APNA (Accountable and Private Network Architecture) simulator"
+  in
+  exit (Cmd.eval (Cmd.group info [ demo_cmd; ephid_cmd; trace_cmd; shutoff_cmd ]))

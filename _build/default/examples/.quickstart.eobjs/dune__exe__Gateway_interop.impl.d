@@ -1,0 +1,1 @@
+examples/gateway_interop.ml: Addr Apna Apna_crypto Apna_net As_node Dns_service Error Format Gateway Host Ipv4_header List Logs Network Option Printf String

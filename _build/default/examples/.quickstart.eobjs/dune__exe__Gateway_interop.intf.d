@@ -1,0 +1,1 @@
+examples/gateway_interop.mli:

@@ -1,0 +1,1 @@
+examples/nat_ap.ml: Access_point Apna Apna_crypto Apna_util Ephid Error Host List Logs Network Option Printf Session String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Apna Apna_util As_node Border_router Ephid Error Host List Logs Network Option Printf String

@@ -1,0 +1,1 @@
+examples/shutoff_demo.ml: Apna Apna_util As_node Ephid Error Host Host_info List Logs Network Option Printf Registry Revocation Session String

@@ -1,0 +1,1 @@
+examples/shutoff_demo.mli:

@@ -1,0 +1,1 @@
+examples/surveillance_audit.ml: Apna Apna_crypto Apna_net As_node Ephid Error Format Host Keys List Logs Network Option Printf Registry Result String

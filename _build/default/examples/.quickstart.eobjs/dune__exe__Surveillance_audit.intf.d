@@ -1,0 +1,1 @@
+examples/surveillance_audit.mli:

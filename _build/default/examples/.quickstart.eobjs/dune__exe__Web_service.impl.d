@@ -1,0 +1,1 @@
+examples/web_service.ml: Apna Apna_net As_node Dns_service Ephid Error Host List Logs Network Option Printf Session String

@@ -1,0 +1,1 @@
+lib/baseline/apip_sketch.ml: Apna_crypto Hashtbl String

@@ -1,0 +1,1 @@
+lib/baseline/ipv4_router.ml: Addr Apna_net Int64 Ipv4_header Lpm String

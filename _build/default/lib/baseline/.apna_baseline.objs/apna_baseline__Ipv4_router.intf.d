@@ -1,0 +1,1 @@
+lib/baseline/ipv4_router.mli:

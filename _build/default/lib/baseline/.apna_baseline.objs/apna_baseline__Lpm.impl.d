@@ -1,0 +1,1 @@
+lib/baseline/lpm.ml: Option

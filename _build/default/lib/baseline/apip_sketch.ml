@@ -1,0 +1,17 @@
+let fingerprint_size = 20
+
+type t = {
+  briefs : (string, int) Hashtbl.t;
+  whitelisted : (int, unit) Hashtbl.t;
+}
+
+let create () = { briefs = Hashtbl.create 1024; whitelisted = Hashtbl.create 16 }
+
+let fingerprint packet = String.sub (Apna_crypto.Sha256.digest packet) 0 fingerprint_size
+
+let brief t ~sender ~packet = Hashtbl.replace t.briefs (fingerprint packet) sender
+let verify t ~packet = Hashtbl.mem t.briefs (fingerprint packet)
+let whitelist t ~flow = Hashtbl.replace t.whitelisted flow ()
+let is_whitelisted t ~flow = Hashtbl.mem t.whitelisted flow
+let briefs_stored t = Hashtbl.length t.briefs
+let brief_bytes t = fingerprint_size * Hashtbl.length t.briefs

@@ -1,0 +1,30 @@
+(** A sketch of APIP (Naylor et al., SIGCOMM'14) — the closest related
+    system and the paper's main comparison point (§IX).
+
+    In APIP the source address is an {e accountability delegate}; senders
+    {e brief} every packet (send its fingerprint) to their delegate, and
+    on-path verifiers ask the delegate to {e vouch} for packets. This
+    sketch models the delegate's brief store and the per-packet costs so
+    the benchmarks can contrast APIP's briefing overhead against APNA's
+    in-packet MAC, and its whitelisting gap (a malicious sender can skip
+    briefing once a flow is verified) against APNA's per-packet
+    attribution. *)
+
+type t
+
+val create : unit -> t
+
+val brief : t -> sender:int -> packet:string -> unit
+(** The sender reports a packet fingerprint to its delegate. *)
+
+val verify : t -> packet:string -> bool
+(** An on-path verifier asks the delegate to vouch: was it briefed? *)
+
+val whitelist : t -> flow:int -> unit
+(** Mark a flow verified: APIP stops asking (and a malicious sender can
+    stop briefing) — the accountability gap APNA closes. *)
+
+val is_whitelisted : t -> flow:int -> bool
+val briefs_stored : t -> int
+val brief_bytes : t -> int
+(** Memory the delegate devotes to briefs — APNA's equivalent is zero. *)

@@ -1,0 +1,45 @@
+open Apna_net
+
+type t = { table : int Lpm.t }
+
+type verdict = Forwarded of { next_hop : int; packet : string } | Dropped of string
+
+let create () = { table = Lpm.create () }
+let add_route t ~prefix ~len ~next_hop = Lpm.add t.table ~prefix ~len next_hop
+let route_count t = Lpm.size t.table
+
+let forward t packet =
+  match Ipv4_header.of_bytes packet with
+  | Error e -> Dropped e
+  | Ok header ->
+      if header.ttl <= 1 then Dropped "ttl exceeded"
+      else begin
+        match Lpm.lookup t.table (Addr.hid_to_int header.dst) with
+        | None -> Dropped "no route"
+        | Some next_hop ->
+            let payload =
+              String.sub packet Ipv4_header.size
+                (String.length packet - Ipv4_header.size)
+            in
+            let rewritten =
+              Ipv4_header.to_bytes { header with ttl = header.ttl - 1 } ^ payload
+            in
+            Forwarded { next_hop; packet = rewritten }
+      end
+
+let synthetic_table t ~seed ~routes =
+  let rng = ref seed in
+  let next () =
+    (* xorshift64* *)
+    let x = !rng in
+    let x = Int64.logxor x (Int64.shift_left x 13) in
+    let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+    let x = Int64.logxor x (Int64.shift_left x 17) in
+    rng := x;
+    Int64.to_int x land max_int
+  in
+  for _ = 1 to routes do
+    let len = 8 + (next () mod 17) in
+    let prefix = next () land 0xffffffff land lnot ((1 lsl (32 - len)) - 1) in
+    add_route t ~prefix ~len ~next_hop:(next () mod 64)
+  done

@@ -1,0 +1,19 @@
+(** Plain IPv4 forwarding — the baseline pipeline for the Fig. 8
+    comparison: parse header, validate checksum, decrement TTL, LPM lookup,
+    rewrite checksum. No accountability, no privacy. *)
+
+type t
+
+type verdict =
+  | Forwarded of { next_hop : int; packet : string }
+  | Dropped of string
+
+val create : unit -> t
+val add_route : t -> prefix:int -> len:int -> next_hop:int -> unit
+val route_count : t -> int
+
+val forward : t -> string -> verdict
+(** [forward t packet] runs the full pipeline on a raw IPv4 packet. *)
+
+val synthetic_table : t -> seed:int64 -> routes:int -> unit
+(** Fills the table with pseudo-random /8–/24 routes for benchmarking. *)

@@ -1,0 +1,67 @@
+type 'a node = {
+  mutable value : 'a option;
+  mutable zero : 'a node option;
+  mutable one : 'a node option;
+}
+
+type 'a t = { root : 'a node; mutable count : int }
+
+let new_node () = { value = None; zero = None; one = None }
+let create () = { root = new_node (); count = 0 }
+
+let check_prefix prefix len =
+  if len < 0 || len > 32 then invalid_arg "Lpm: prefix length";
+  if prefix < 0 || prefix > 0xffffffff then invalid_arg "Lpm: prefix"
+
+let bit addr i = (addr lsr (31 - i)) land 1
+
+let add t ~prefix ~len v =
+  check_prefix prefix len;
+  let node = ref t.root in
+  for i = 0 to len - 1 do
+    let next =
+      if bit prefix i = 0 then begin
+        (match !node.zero with
+        | None -> !node.zero <- Some (new_node ())
+        | Some _ -> ());
+        Option.get !node.zero
+      end
+      else begin
+        (match !node.one with
+        | None -> !node.one <- Some (new_node ())
+        | Some _ -> ());
+        Option.get !node.one
+      end
+    in
+    node := next
+  done;
+  if !node.value = None then t.count <- t.count + 1;
+  !node.value <- Some v
+
+let lookup t addr =
+  let best = ref t.root.value in
+  let rec walk node i =
+    match (if bit addr i = 0 then node.zero else node.one) with
+    | None -> ()
+    | Some next ->
+        (match next.value with Some _ as v -> best := v | None -> ());
+        if i < 31 then walk next (i + 1)
+  in
+  walk t.root 0;
+  !best
+
+let remove t ~prefix ~len =
+  check_prefix prefix len;
+  let rec walk node i =
+    if i = len then begin
+      if node.value <> None then t.count <- t.count - 1;
+      node.value <- None
+    end
+    else
+      match (if bit prefix i = 0 then node.zero else node.one) with
+      | None -> ()
+      | Some next -> walk next (i + 1)
+  in
+  walk t.root 0
+
+let size t = t.count

@@ -1,0 +1,18 @@
+(** Longest-prefix-match routing table (binary trie over IPv4 prefixes) —
+    the lookup structure of the baseline IPv4 router the APNA border router
+    is benchmarked against. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> prefix:int -> len:int -> 'a -> unit
+(** [add t ~prefix ~len v] installs a route for [prefix/len]; [prefix] is
+    the network address as a 32-bit integer. [len] in [\[0, 32\]].
+    Replaces an existing entry for the same prefix. *)
+
+val lookup : 'a t -> int -> 'a option
+(** Longest matching prefix for a 32-bit address. *)
+
+val remove : 'a t -> prefix:int -> len:int -> unit
+val size : 'a t -> int

@@ -1,0 +1,1 @@
+lib/core/access_point.mli: Apna_crypto As_node Ephid Error Host

@@ -1,0 +1,1 @@
+lib/core/accountability.ml: Apna_crypto Apna_net Char Ed25519 Ephid Error Hmac Host_info Keys Option Pkt_auth Revocation Shutoff String Trust

@@ -1,0 +1,1 @@
+lib/core/accountability.mli: Apna_net Ephid Error Host_info Keys Msgs Revocation Trust

@@ -1,0 +1,1 @@
+lib/core/as_node.mli: Accountability Apna_crypto Apna_net Audit Border_router Cert_cache Dns_service Ephid Host Host_info Icmp Keys Lifetime Management Registry Revocation Trust

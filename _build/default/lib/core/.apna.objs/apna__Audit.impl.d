@@ -1,0 +1,1 @@
+lib/core/audit.ml: Apna_net Ephid Hashtbl List Option

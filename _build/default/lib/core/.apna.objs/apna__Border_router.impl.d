@@ -1,0 +1,1 @@
+lib/core/border_router.ml: Addr Apna_net Audit Ephid Error Hashtbl Host_info Keys List Option Packet Pkt_auth Revocation Topology

@@ -1,0 +1,1 @@
+lib/core/border_router.mli: Apna_net Audit Error Host_info Keys Revocation

@@ -1,0 +1,1 @@
+lib/core/cert.ml: Apna_crypto Apna_net Apna_util Ed25519 Ephid Error Format Keys Reader Result String

@@ -1,0 +1,1 @@
+lib/core/cert.mli: Apna_net Ephid Error Format Keys

@@ -1,0 +1,1 @@
+lib/core/cert_cache.ml: Cert Ephid

@@ -1,0 +1,1 @@
+lib/core/cert_cache.mli: Cert Ephid

@@ -1,0 +1,1 @@
+lib/core/dns_service.ml: Aead Apna_crypto Apna_net Apna_util Cert Drbg Ed25519 Ephid Error Hashtbl Hkdf Keys Msgs Option Reader Result String Trust X25519

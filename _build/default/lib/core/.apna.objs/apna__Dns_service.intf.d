@@ -1,0 +1,1 @@
+lib/core/dns_service.mli: Apna_crypto Apna_net Cert Error Keys Msgs Trust

@@ -1,0 +1,1 @@
+lib/core/ecies.ml: Aead Apna_crypto Apna_util Drbg Error Hkdf Reader Result X25519

@@ -1,0 +1,1 @@
+lib/core/ecies.mli: Apna_crypto Error

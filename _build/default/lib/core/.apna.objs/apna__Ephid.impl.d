@@ -1,0 +1,1 @@
+lib/core/ephid.ml: Aes Apna_crypto Apna_net Apna_util Char Drbg Error Format Hashtbl Keys Printf String

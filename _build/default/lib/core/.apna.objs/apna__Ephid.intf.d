@@ -1,0 +1,1 @@
+lib/core/ephid.mli: Apna_crypto Apna_net Error Format Hashtbl Keys

@@ -1,0 +1,1 @@
+lib/core/gateway.ml: Addr Apna_net Dns_service Error Gre Hashtbl Host Int64 Ipv4_header List Logs Printf Queue Session String

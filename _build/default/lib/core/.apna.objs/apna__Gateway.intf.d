@@ -1,0 +1,1 @@
+lib/core/gateway.mli: Apna_crypto Apna_net Cert Dns_service Host

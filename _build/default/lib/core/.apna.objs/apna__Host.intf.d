@@ -1,0 +1,1 @@
+lib/core/host.mli: Apna_crypto Apna_net Cert Dns_service Ephid Error Granularity Icmp Keys Lifetime Registry Session Trust

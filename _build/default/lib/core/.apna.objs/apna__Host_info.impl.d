@@ -1,0 +1,1 @@
+lib/core/host_info.ml: Apna_net Error Keys Result

@@ -1,0 +1,1 @@
+lib/core/host_info.mli: Apna_net Error Keys

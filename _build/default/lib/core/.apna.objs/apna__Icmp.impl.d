@@ -1,0 +1,1 @@
+lib/core/icmp.ml: Apna_util Ecies Error Format Printf Reader Result

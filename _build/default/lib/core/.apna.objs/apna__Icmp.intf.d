@@ -1,0 +1,1 @@
+lib/core/icmp.mli: Ecies Error Format

@@ -1,0 +1,1 @@
+lib/core/keys.ml: Aead Aes Apna_crypto Apna_net Drbg Ed25519 Hkdf String X25519

@@ -1,0 +1,1 @@
+lib/core/keys.mli: Aead Aes Apna_crypto Apna_net Drbg Ed25519

@@ -1,0 +1,1 @@
+lib/core/management.ml: Aead Apna_crypto Apna_net Audit Cert Drbg Ed25519 Ephid Error Host_info Keys Lifetime Msgs Option Revocation String

@@ -1,0 +1,1 @@
+lib/core/management.mli: Apna_crypto Apna_net Audit Cert Ephid Error Host_info Keys Lifetime Msgs Revocation

@@ -1,0 +1,1 @@
+lib/core/msgs.ml: Apna_util Error Lifetime Printf Reader Result String Writer

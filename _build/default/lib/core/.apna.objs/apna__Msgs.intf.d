@@ -1,0 +1,1 @@
+lib/core/msgs.mli: Error Lifetime

@@ -1,0 +1,1 @@
+lib/core/network.ml: Addr Apna_crypto Apna_net Apna_sim Apna_util As_node Float Gre Hashtbl Host Icmp Ipv4_header Link Logs Packet Printf String Topology Trust

@@ -1,0 +1,1 @@
+lib/core/network.mli: Apna_crypto Apna_net Apna_sim As_node Granularity Host Trust

@@ -1,0 +1,1 @@
+lib/core/path_proof.ml: Apna_crypto Apna_net Apna_util Error Hkdf Hmac Keys List Reader Result String X25519

@@ -1,0 +1,1 @@
+lib/core/path_proof.mli: Apna_net Error Keys

@@ -1,0 +1,1 @@
+lib/core/pkt_auth.ml: Apna_crypto Apna_header Apna_net Apna_util Packet String

@@ -1,0 +1,1 @@
+lib/core/pkt_auth.mli: Apna_net

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Apna_crypto Apna_net Apna_util Cert Drbg Ed25519 Ephid Error Hashtbl Host_info Keys Option X25519

@@ -1,0 +1,1 @@
+lib/core/registry.mli: Apna_crypto Apna_net Cert Ephid Error Host_info Keys

@@ -1,0 +1,1 @@
+lib/core/replay_filter.ml: Array Bytes Char Int64 String

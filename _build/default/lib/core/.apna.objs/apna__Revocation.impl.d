@@ -1,0 +1,1 @@
+lib/core/revocation.ml: Ephid List

@@ -1,0 +1,1 @@
+lib/core/session.ml: Aead Apna_crypto Apna_util Bytes Cert Ephid Error Hkdf Int64 Keys Printf Reader Replay_window Result String X25519

@@ -1,0 +1,1 @@
+lib/core/shutoff.ml: Apna_crypto Apna_net Cert Ed25519 Error Keys Msgs

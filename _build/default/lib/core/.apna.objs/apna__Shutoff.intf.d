@@ -1,0 +1,1 @@
+lib/core/shutoff.mli: Apna_net Cert Error Keys Msgs

@@ -1,0 +1,1 @@
+lib/core/trust.ml: Apna_net Cert Error Format Hashtbl

@@ -1,0 +1,1 @@
+lib/core/trust.mli: Apna_net Cert Error

@@ -1,0 +1,49 @@
+(** NAT-mode connection-sharing access point (paper §VII-B).
+
+    The AP is a single host from its AS's point of view, but runs a small
+    APNA domain of its own for the devices behind it, playing all four
+    roles:
+
+    - {b RS}: authenticates internal hosts, establishes per-host keys and
+      internal control EphIDs (issued under the AP's own domain keys and a
+      private "virtual" AID);
+    - {b MS}: relays EphID requests to the real AS's MS using the host's
+      ephemeral public keys, so the certificates internal hosts receive are
+      genuine AS-signed certificates — while the AS sees only the AP;
+    - {b router}: verifies internal hosts' per-packet MACs, then rewrites
+      the source AID and replaces the MAC with its own kHA before
+      forwarding to the AS (Fig. 4 with the two §VII-B differences);
+    - {b AA}: tracks which internal host is behind each relayed EphID
+      ([ephid_info]) so complaints can be pinned to a device.
+
+    Unchanged {!Host} code runs behind an AP: internal hosts bootstrap,
+    request EphIDs, connect and serve exactly as when directly attached. *)
+
+type t
+
+val create :
+  name:string -> rng:Apna_crypto.Drbg.t -> virtual_as:int -> t
+(** [virtual_as] is the private AS number of the AP's internal domain
+    (e.g. 64512+); its key is registered in the trust store at bootstrap
+    so internal hosts can verify their bootstrap bundle. *)
+
+val name : t -> string
+
+val attach : t -> As_node.t -> credential:string -> unit
+(** Attaches the AP to its AS as a device. *)
+
+val bootstrap : t -> (unit, Error.t) result
+(** Bootstraps the AP's host side (Fig. 2) and brings up the internal
+    domain services. *)
+
+val attach_internal : t -> Host.t -> credential:string -> unit
+(** Enrolls and attaches a host behind the AP. *)
+
+val identify : t -> Ephid.t -> string option
+(** [identify t ephid] names the internal host using [ephid] — the AP's
+    accountability function when the AS holds it responsible. *)
+
+val ephid_count : t -> int
+(** Number of relayed (live) EphID bindings. *)
+
+val relayed_requests : t -> int

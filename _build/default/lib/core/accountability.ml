@@ -1,0 +1,98 @@
+open Apna_crypto
+
+type t = {
+  keys : Keys.as_keys;
+  host_info : Host_info.t;
+  revoked : Revocation.t;
+  trust : Trust.t;
+  max_revocations_per_host : int;
+  revocation_counts : int Apna_net.Addr.Hid_tbl.t;
+}
+
+let create ~keys ~host_info ~revoked ~trust ?(max_revocations_per_host = 6) () =
+  {
+    keys;
+    host_info;
+    revoked;
+    trust;
+    max_revocations_per_host;
+    revocation_counts = Apna_net.Addr.Hid_tbl.create 16;
+  }
+
+let revocations_of t hid =
+  Option.value ~default:0 (Apna_net.Addr.Hid_tbl.find_opt t.revocation_counts hid)
+
+module Command = struct
+  type t = { ephid : Ephid.t; expiry : int; mac : string }
+
+  let bytes_for_mac ~ephid ~expiry =
+    "revoke:" ^ Ephid.to_bytes ephid
+    ^ String.init 4 (fun i -> Char.chr ((expiry lsr (8 * (3 - i))) land 0xff))
+
+  let make ~(keys : Keys.as_keys) ~ephid ~expiry =
+    let mac = Hmac.Sha256.mac ~key:keys.infra_mac (bytes_for_mac ~ephid ~expiry) in
+    { ephid; expiry; mac }
+
+  let verify ~(keys : Keys.as_keys) t =
+    Hmac.Sha256.verify ~key:keys.infra_mac ~tag:t.mac
+      (bytes_for_mac ~ephid:t.ephid ~expiry:t.expiry)
+end
+
+let execute_revocation t ~hid ~ephid ~expiry =
+  (* Fig. 5: the AA instructs the border routers with a kAS-authenticated
+     command; routers verify before inserting into revoked_ids. *)
+  let cmd = Command.make ~keys:t.keys ~ephid ~expiry in
+  if not (Command.verify ~keys:t.keys cmd) then
+    Error (Error.Bad_signature "revoke command")
+  else begin
+    Revocation.revoke t.revoked cmd.ephid ~expiry:cmd.expiry;
+    let count = revocations_of t hid + 1 in
+    Apna_net.Addr.Hid_tbl.replace t.revocation_counts hid count;
+    (* §VIII-G2: repeated shutoffs are a sign of a malicious host; revoke
+       the identity itself past the threshold. *)
+    if count >= t.max_revocations_per_host then Host_info.revoke_hid t.host_info hid;
+    Ok (hid, ephid)
+  end
+
+let handle_shutoff t ~now msg =
+  match Shutoff.parse_request msg with
+  | Error e -> Error e
+  | Ok { packet; signature; cert } ->
+      let header = packet.header in
+      (* 1. The requester's certificate is genuine and current. *)
+      let check_cert = Trust.verify_cert t.trust ~now cert in
+      let continue_after_cert () =
+        (* 2. The requester owns the packet's destination EphID: the cert
+           names that EphID and the signature verifies under its key. *)
+        if not (String.equal (Ephid.to_bytes cert.ephid) header.dst_ephid) then
+          Error (Error.Rejected "requester is not the packet's destination")
+        else if
+          not
+            (Ed25519.verify ~pub:cert.sig_pub
+               ~msg:(Apna_net.Packet.to_bytes packet)
+               ~signature)
+        then Error (Error.Bad_signature "shutoff request")
+        else begin
+          (* 3. The accused source is one of ours and really sent this
+             packet: decrypt the EphID and re-verify the per-packet MAC. *)
+          match Ephid.of_bytes header.src_ephid with
+          | Error e -> Error (Error.Malformed e)
+          | Ok src_ephid -> begin
+              match Ephid.parse t.keys src_ephid with
+              | Error e -> Error e
+              | Ok info ->
+                  if Ephid.expired info ~now then Error (Error.Expired "source EphID")
+                  else begin
+                    match Host_info.find t.host_info info.hid with
+                    | Error e -> Error e
+                    | Ok entry ->
+                        if not (Pkt_auth.verify ~auth_key:entry.kha.auth packet)
+                        then Error Error.Bad_mac
+                        else
+                          execute_revocation t ~hid:info.hid ~ephid:src_ephid
+                            ~expiry:info.expiry
+                  end
+            end
+        end
+      in
+      (match check_cert with Error e -> Error e | Ok () -> continue_after_cert ())

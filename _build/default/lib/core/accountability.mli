@@ -1,0 +1,37 @@
+(** The Accountability Agent (AA) — shutoff handling (paper §IV-E, Fig. 5,
+    §VI-C, §VIII-G2).
+
+    The AA validates a shutoff request in four steps: the requester's
+    certificate chains to its AS; the signature over the evidence packet
+    proves ownership of the destination EphID; the requester was actually
+    the packet's destination; and the packet's MAC proves the accused
+    source really sent it. Only then does it revoke the source EphID on
+    the AS's border routers.
+
+    Per §VIII-G2, a host whose EphIDs get revoked too many times has its
+    HID revoked entirely. *)
+
+type t
+
+val create :
+  keys:Keys.as_keys -> host_info:Host_info.t -> revoked:Revocation.t ->
+  trust:Trust.t -> ?max_revocations_per_host:int -> unit -> t
+(** [max_revocations_per_host] defaults to 6, echoing the Copyright Alert
+    System's warning ladder the paper cites. *)
+
+val handle_shutoff :
+  t -> now:int -> Msgs.t -> (Apna_net.Addr.hid * Ephid.t, Error.t) result
+(** Validates and executes a shutoff request against this AS's hosts;
+    returns the revoked binding so the AS can notify the host (§VIII-A). *)
+
+val revocations_of : t -> Apna_net.Addr.hid -> int
+
+(** The AA → border-router revoke command of Fig. 5, authenticated with the
+    infrastructure key kAS. Exposed for the NAT-mode access point, which
+    runs the same machinery inside its own small domain. *)
+module Command : sig
+  type t = { ephid : Ephid.t; expiry : int; mac : string }
+
+  val make : keys:Keys.as_keys -> ephid:Ephid.t -> expiry:int -> t
+  val verify : keys:Keys.as_keys -> t -> bool
+end

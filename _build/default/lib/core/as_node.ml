@@ -1,0 +1,342 @@
+open Apna_crypto
+open Apna_net
+
+let ms_hid = Addr.hid_of_int 1
+let dns_hid = Addr.hid_of_int 2
+let aa_hid = Addr.hid_of_int 3
+let br_hid = Addr.hid_of_int 4
+let first_customer_hid = 0x0a000001
+let service_lifetime_s = 30 * 86_400
+
+type t = {
+  aid : Addr.aid;
+  keys : Keys.as_keys;
+  host_info : Host_info.t;
+  revoked : Revocation.t;
+  trust : Trust.t;
+  topology : Topology.t;
+  registry : Registry.t;
+  management : Management.t;
+  border_router : Border_router.t;
+  accountability : Accountability.t;
+  dns : Dns_service.t option;
+  audit : Audit.t option;
+  (* §VIII-B future work: certificates gleaned from passing Init/Accept
+     frames, so ICMP feedback can be sealed to the offending source. *)
+  cert_cache : Cert_cache.t option;
+  aa_ephid : Ephid.t;
+  ms_cert : Cert.t;
+  br_ephid : Ephid.t;
+  now : unit -> int;
+  now_f : unit -> float;
+  rng : Drbg.t;
+  deliver_by_hid : (Packet.t -> unit) Addr.Hid_tbl.t;
+  hid_of_device : (string, Addr.hid) Hashtbl.t;
+  mutable attached_hosts : Host.t list;
+  mutable emit : next:Addr.aid -> Packet.t -> unit;
+}
+
+let service_kha rng = Keys.derive_host_as ~shared_secret:(Drbg.generate rng 32)
+
+let create ~rng ~aid ~trust ~topology ~now ~now_f ?dns_zone
+    ?(lifetime_policy = Lifetime.default_policy) ?(retention = false)
+    ?(icmp_encryption = false) () =
+  let keys = Keys.make_as rng ~aid in
+  Trust.register_as trust aid ~pub:(Ed25519.public_key keys.signing);
+  let host_info = Host_info.create () in
+  let revoked = Revocation.create () in
+  let expiry = now () + service_lifetime_s in
+  (* Service identities: EphIDs bound to the reserved HIDs, registered in
+     host_info so the ingress pipeline of Fig. 4 validates them like any
+     destination. *)
+  List.iter
+    (fun hid -> Host_info.register host_info hid (service_kha rng))
+    [ ms_hid; dns_hid; aa_hid; br_hid ];
+  let aa_ephid = Ephid.issue_random keys rng ~hid:aa_hid ~expiry in
+  let br_ephid = Ephid.issue_random keys rng ~hid:br_hid ~expiry in
+  let audit = if retention then Some (Audit.create ()) else None in
+  let cert_cache =
+    if icmp_encryption then Some (Cert_cache.create ~capacity:4096) else None
+  in
+  let management =
+    Management.create ~keys ~host_info ~revoked ~rng ~policy:lifetime_policy
+      ~aa_ephid ?audit ()
+  in
+  let service_cert hid =
+    let service_keys = Keys.make_ephid_keys rng in
+    let ephid = Ephid.issue_random keys rng ~hid ~expiry in
+    let cert =
+      Cert.issue keys ~ephid ~expiry ~kx_pub:service_keys.kx_public
+        ~sig_pub:(Ed25519.public_key service_keys.sig_keypair) ~aa_ephid
+    in
+    (cert, service_keys)
+  in
+  let ms_cert, _ms_keys = service_cert ms_hid in
+  let dns =
+    Option.map
+      (fun zone ->
+        let cert, dns_keys = service_cert dns_hid in
+        let zone_key = Ed25519.generate rng in
+        Trust.register_zone trust zone ~pub:(Ed25519.public_key zone_key);
+        Dns_service.create ~rng:(Drbg.split rng "dns") ~trust ~zone ~zone_key
+          ~cert ~keys:dns_keys ())
+      dns_zone
+  in
+  let registry =
+    Registry.create ~keys ~host_info ~rng ~first_hid:first_customer_hid ()
+  in
+  Registry.set_service_certs registry ~ms_cert
+    ~dns_cert:(Option.map Dns_service.cert dns)
+    ~aa_ephid;
+  let border_router =
+    Border_router.create ~keys ~host_info ~revoked ~topology ?audit ()
+  in
+  let accountability = Accountability.create ~keys ~host_info ~revoked ~trust () in
+  {
+    aid;
+    keys;
+    host_info;
+    revoked;
+    trust;
+    topology;
+    registry;
+    management;
+    border_router;
+    accountability;
+    dns;
+    audit;
+    cert_cache;
+    aa_ephid;
+    ms_cert;
+    br_ephid;
+    now;
+    now_f;
+    rng;
+    deliver_by_hid = Addr.Hid_tbl.create 32;
+    hid_of_device = Hashtbl.create 32;
+    attached_hosts = [];
+    emit =
+      (fun ~next:_ _ ->
+        Logs.err (fun m -> m "AS %a: emit not wired" Addr.pp_aid aid));
+  }
+
+let aid t = t.aid
+let keys t = t.keys
+let host_info t = t.host_info
+let revoked t = t.revoked
+let registry t = t.registry
+let management t = t.management
+let border_router t = t.border_router
+let accountability t = t.accountability
+let dns t = t.dns
+let audit t = t.audit
+let cert_cache t = t.cert_cache
+let aa_ephid t = t.aa_ephid
+let set_emit t emit = t.emit <- emit
+let hosts t = t.attached_hosts
+
+(* ------------------------------------------------------------------ *)
+(* Data plane: egress, routing, ingress, service dispatch.
+
+   Infrastructure replies (MS, DNS, ICMP feedback) enter through [route]
+   directly: the egress pipeline authenticates customer packets, not the
+   AS's own. *)
+
+let service_packet t ~src_ephid ~dst_aid ~dst_ephid ~proto ~payload =
+  let header =
+    Apna_header.make ~src_aid:t.aid ~src_ephid:(Ephid.to_bytes src_ephid)
+      ~dst_aid ~dst_ephid ()
+  in
+  Packet.make ~header ~proto ~payload
+
+let rec submit t pkt =
+  match Border_router.egress_check t.border_router ~now:(t.now ()) pkt with
+  | Ok _hid -> route t pkt
+  | Error e ->
+      Logs.debug (fun m -> m "AS %a egress drop: %a" Addr.pp_aid t.aid Error.pp e)
+
+and route t (pkt : Packet.t) =
+  if Addr.aid_equal pkt.header.dst_aid t.aid then receive t pkt
+  else begin
+    match Topology.next_hop t.topology ~src:t.aid ~dst:pkt.header.dst_aid with
+    | Some next -> t.emit ~next pkt
+    | None -> unreachable_feedback t pkt Icmp.No_route
+  end
+
+and receive t pkt =
+  match Border_router.ingress_check t.border_router ~now:(t.now ()) pkt with
+  | Ok (Border_router.Forward next) -> t.emit ~next pkt
+  | Ok (Border_router.Deliver hid) -> deliver_local t hid pkt
+  | Error (Error.Expired _) -> unreachable_feedback t pkt Icmp.Ephid_expired
+  | Error (Error.Revoked _) -> unreachable_feedback t pkt Icmp.Ephid_revoked
+  | Error Error.Unknown_host -> unreachable_feedback t pkt Icmp.Host_unknown
+  | Error Error.No_route -> unreachable_feedback t pkt Icmp.No_route
+  | Error e ->
+      Logs.debug (fun m -> m "AS %a ingress drop: %a" Addr.pp_aid t.aid Error.pp e)
+
+and observe_certs t (pkt : Packet.t) =
+  match t.cert_cache with
+  | None -> ()
+  | Some cache ->
+      if pkt.proto = Packet.Data then begin
+        match Session.Frame.of_bytes pkt.payload with
+        | Ok (Session.Frame.Init { cert; _ })
+        | Ok (Session.Frame.Accept { cert; _ }) ->
+            Cert_cache.observe cache cert
+        | Ok (Session.Frame.Data _ | Session.Frame.Fin _) | Error _ -> ()
+      end
+
+and deliver_local t hid (pkt : Packet.t) =
+  observe_certs t pkt;
+  if Addr.hid_equal hid ms_hid then dispatch_ms t pkt
+  else if Addr.hid_equal hid dns_hid then dispatch_dns t pkt
+  else if Addr.hid_equal hid aa_hid then dispatch_aa t pkt
+  else if Addr.hid_equal hid br_hid then ()
+  else begin
+    match Addr.Hid_tbl.find_opt t.deliver_by_hid hid with
+    | Some deliver -> deliver pkt
+    | None ->
+        Logs.debug (fun m ->
+            m "AS %a: no attached host for %a" Addr.pp_aid t.aid Addr.pp_hid hid)
+  end
+
+and dispatch_ms t (pkt : Packet.t) =
+  match Msgs.of_bytes pkt.payload with
+  | Error e -> Logs.debug (fun m -> m "MS: %a" Error.pp e)
+  | Ok (Msgs.Ephid_release _ as msg) -> begin
+      match
+        Management.handle_release t.management ~now:(t.now ())
+          ~src_ephid:pkt.header.src_ephid msg
+      with
+      | Ok () -> ()
+      | Error e -> Logs.debug (fun m -> m "MS release: %a" Error.pp e)
+    end
+  | Ok msg -> begin
+      match
+        Management.handle_request t.management ~now:(t.now ())
+          ~src_ephid:pkt.header.src_ephid msg
+      with
+      | Error e -> Logs.debug (fun m -> m "MS: %a" Error.pp e)
+      | Ok reply ->
+          route t
+            (service_packet t ~src_ephid:t.ms_cert.ephid
+               ~dst_aid:pkt.header.src_aid ~dst_ephid:pkt.header.src_ephid
+               ~proto:Packet.Control ~payload:(Msgs.to_bytes reply))
+    end
+
+and dispatch_dns t (pkt : Packet.t) =
+  match t.dns with
+  | None -> Logs.debug (fun m -> m "AS %a: no DNS service" Addr.pp_aid t.aid)
+  | Some dns -> begin
+      match Msgs.of_bytes pkt.payload with
+      | Error e -> Logs.debug (fun m -> m "DNS: %a" Error.pp e)
+      | Ok msg -> begin
+          match Dns_service.handle dns ~now:(t.now ()) msg with
+          | Error e -> Logs.debug (fun m -> m "DNS: %a" Error.pp e)
+          | Ok reply ->
+              route t
+                (service_packet t
+                   ~src_ephid:(Dns_service.cert dns).ephid
+                   ~dst_aid:pkt.header.src_aid ~dst_ephid:pkt.header.src_ephid
+                   ~proto:Packet.Control ~payload:(Msgs.to_bytes reply))
+        end
+    end
+
+and dispatch_aa t (pkt : Packet.t) =
+  match Msgs.of_bytes pkt.payload with
+  | Error e -> Logs.debug (fun m -> m "AA: %a" Error.pp e)
+  | Ok msg -> begin
+      match Accountability.handle_shutoff t.accountability ~now:(t.now ()) msg with
+      | Ok (hid, ephid) ->
+          Logs.info (fun m -> m "AS %a: shutoff executed" Addr.pp_aid t.aid);
+          (* §VIII-A: tell the host which EphID was shut off so it can
+             identify (and act on) the application behind it. Delivered
+             directly: the revoked EphID would no longer pass ingress. *)
+          let notice =
+            service_packet t ~src_ephid:t.aa_ephid ~dst_aid:t.aid
+              ~dst_ephid:(Ephid.to_bytes ephid) ~proto:Packet.Control
+              ~payload:(Msgs.to_bytes (Msgs.Revocation_notice { ephid = Ephid.to_bytes ephid }))
+          in
+          deliver_local t hid notice
+      | Error e -> Logs.info (fun m -> m "AS %a: shutoff refused: %a" Addr.pp_aid t.aid Error.pp e)
+    end
+
+and unreachable_feedback t (pkt : Packet.t) reason =
+  (* §VIII-B: the source EphID is a working return address, so the network
+     can tell the sender why delivery failed — without learning who the
+     sender is. Never generate an ICMP error about an ICMP error. *)
+  let quoted_len = min 64 (String.length pkt.payload) in
+  icmp_to_source t pkt
+    (Icmp.Unreachable { reason; quoted = String.sub pkt.payload 0 quoted_len })
+
+and icmp_to_source t (pkt : Packet.t) msg =
+  (* Never generate an ICMP error about an ICMP error. *)
+  let offending_is_icmp_error =
+    pkt.proto = Packet.Icmp
+    &&
+    match Icmp.of_bytes pkt.payload with
+    | Ok (Icmp.Unreachable _ | Icmp.Frag_needed _ | Icmp.Encrypted _) -> true
+    | Ok (Icmp.Echo_request _ | Icmp.Echo_reply _) | Error _ -> false
+  in
+  if not offending_is_icmp_error then begin
+    (* Seal the feedback when the source's certificate is at hand
+       (§VIII-B): the error then reveals nothing even to on-path
+       observers. Fall back to plaintext ICMP otherwise. *)
+    let payload =
+      match
+        Option.bind t.cert_cache (fun cache ->
+            match Ephid.of_bytes pkt.header.src_ephid with
+            | Ok e -> Cert_cache.find cache e
+            | Error _ -> None)
+      with
+      | Some (cert : Cert.t) -> begin
+          match Ecies.seal ~rng:t.rng ~peer_pub:cert.kx_pub (Icmp.to_bytes msg) with
+          | Ok sealed -> Icmp.to_bytes (Icmp.Encrypted { sealed })
+          | Error _ -> Icmp.to_bytes msg
+        end
+      | None -> Icmp.to_bytes msg
+    in
+    route t
+      (service_packet t ~src_ephid:t.br_ephid ~dst_aid:pkt.header.src_aid
+         ~dst_ephid:pkt.header.src_ephid ~proto:Packet.Icmp ~payload)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Host and device attachment *)
+
+let add_device t ~name ~credential ~deliver =
+  Registry.enroll t.registry ~credential;
+  let bootstrap_rpc ~host_dh_pub =
+    match
+      Registry.bootstrap t.registry ~now:(t.now ()) ~credential ~host_dh_pub
+    with
+    | Error e -> Error e
+    | Ok (reply, hid) ->
+        (* Index the device under its (new) HID for intra-domain delivery;
+           a re-bootstrap drops the previous binding. *)
+        (match Hashtbl.find_opt t.hid_of_device name with
+        | Some old -> Addr.Hid_tbl.remove t.deliver_by_hid old
+        | None -> ());
+        Hashtbl.replace t.hid_of_device name hid;
+        Addr.Hid_tbl.replace t.deliver_by_hid hid deliver;
+        Ok reply
+  in
+  ({
+     aid = t.aid;
+     now = t.now;
+     now_f = t.now_f;
+     submit = (fun pkt -> submit t pkt);
+     bootstrap_rpc;
+     trust = t.trust;
+   }
+    : Host.attachment)
+
+let add_host t host ~credential =
+  let attachment =
+    add_device t ~name:(Host.name host) ~credential
+      ~deliver:(fun pkt -> Host.deliver host pkt)
+  in
+  t.attached_hosts <- host :: t.attached_hosts;
+  Host.attach host attachment
+
+let feedback_to_source t pkt msg = icmp_to_source t pkt msg

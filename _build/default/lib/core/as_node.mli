@@ -1,0 +1,80 @@
+(** One APNA-deploying AS, assembled from its four logical entities
+    (paper §III-C): Registry Service, Management Service, Border Router and
+    Accountability Agent — plus an optional DNS service — all sharing the
+    AS keys, the [host_info] database and the revocation list.
+
+    Reserved HIDs: 1 = MS, 2 = DNS, 3 = AA, 4 = border router (ICMP
+    source); customer HIDs start above. *)
+
+type t
+
+val create :
+  rng:Apna_crypto.Drbg.t ->
+  aid:Apna_net.Addr.aid ->
+  trust:Trust.t ->
+  topology:Apna_net.Topology.t ->
+  now:(unit -> int) ->
+  now_f:(unit -> float) ->
+  ?dns_zone:string ->
+  ?lifetime_policy:Lifetime.policy ->
+  ?retention:bool ->
+  ?icmp_encryption:bool ->
+  unit ->
+  t
+(** Creates the AS, generates its keys, registers its signing key in
+    [trust] (the RPKI stand-in), brings up the services and issues their
+    EphIDs/certificates. [dns_zone] additionally runs a DNS service whose
+    zone key is registered in [trust]. *)
+
+val aid : t -> Apna_net.Addr.aid
+val keys : t -> Keys.as_keys
+val host_info : t -> Host_info.t
+val revoked : t -> Revocation.t
+val registry : t -> Registry.t
+val management : t -> Management.t
+val border_router : t -> Border_router.t
+val accountability : t -> Accountability.t
+val dns : t -> Dns_service.t option
+
+val cert_cache : t -> Cert_cache.t option
+(** The observed-certificate cache, when [icmp_encryption] was enabled
+    (§VIII-B future work); [None] otherwise. *)
+
+val audit : t -> Audit.t option
+(** The data-retention log, when [retention] was enabled at creation
+    (§VIII-H); [None] otherwise. *)
+
+val aa_ephid : t -> Ephid.t
+
+val set_emit : t -> (next:Apna_net.Addr.aid -> Apna_net.Packet.t -> unit) -> unit
+(** Wires the inter-domain output; installed by {!Network}. *)
+
+val add_host : t -> Host.t -> credential:string -> unit
+(** Enrolls the subscriber at the RS and attaches the host: after this the
+    host can [bootstrap]. *)
+
+val add_device : t ->
+  name:string -> credential:string -> deliver:(Apna_net.Packet.t -> unit) ->
+  Host.attachment
+(** Like {!add_host} for non-host devices — NAT-mode access points (§VII-B)
+    and IPv4 gateways (§VII-D) — that implement their own delivery. Returns
+    the attachment the device uses to bootstrap and submit packets. *)
+
+val submit : t -> Apna_net.Packet.t -> unit
+(** A packet handed over by a local host: runs the egress pipeline and
+    routes (locally or toward the next AS). Silently drops on failure —
+    exactly what Fig. 4 prescribes. *)
+
+val receive : t -> Apna_net.Packet.t -> unit
+(** A packet arriving from a neighbor AS (or looped locally): ingress
+    pipeline, then delivery to a host/service or forwarding. Sends ICMP
+    destination-unreachable feedback to the source when delivery fails
+    (§VIII-B). *)
+
+val hosts : t -> Host.t list
+
+val feedback_to_source :
+  t -> Apna_net.Packet.t -> Icmp.t -> unit
+(** Sends ICMP feedback about [pkt] back to its source EphID (§VIII-B) —
+    used by the network layer for packet-too-big notifications. ICMP
+    errors about ICMP errors are suppressed. *)

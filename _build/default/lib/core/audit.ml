@@ -1,0 +1,45 @@
+type issuance = { at : int; ephid : Ephid.t; hid : Apna_net.Addr.hid }
+type egress = { at : int; ephid : Ephid.t }
+
+type t = {
+  retain_s : int;
+  (* Newest first; GC trims from the tail. *)
+  mutable issuances : issuance list;
+  egress_by_digest : (string, egress) Hashtbl.t;
+}
+
+let create ?(retain_s = 7 * 86_400) () =
+  { retain_s; issuances = []; egress_by_digest = Hashtbl.create 256 }
+
+let record_issuance t ~now ~ephid ~hid =
+  t.issuances <- { at = now; ephid; hid } :: t.issuances
+
+let record_egress t ~now ~ephid ~digest =
+  Hashtbl.replace t.egress_by_digest digest { at = now; ephid }
+
+let bindings_of t hid =
+  List.filter_map
+    (fun i ->
+      if Apna_net.Addr.hid_equal i.hid hid then Some (i.at, i.ephid) else None)
+    t.issuances
+  |> List.rev
+
+let find_sender t ~digest =
+  Option.map
+    (fun (e : egress) -> (e.at, e.ephid))
+    (Hashtbl.find_opt t.egress_by_digest digest)
+
+let gc t ~now =
+  let horizon = now - t.retain_s in
+  let before = List.length t.issuances + Hashtbl.length t.egress_by_digest in
+  t.issuances <- List.filter (fun (i : issuance) -> i.at >= horizon) t.issuances;
+  let stale =
+    Hashtbl.fold
+      (fun digest (e : egress) acc -> if e.at < horizon then digest :: acc else acc)
+      t.egress_by_digest []
+  in
+  List.iter (Hashtbl.remove t.egress_by_digest) stale;
+  before - (List.length t.issuances + Hashtbl.length t.egress_by_digest)
+
+let issuance_count t = List.length t.issuances
+let egress_count t = Hashtbl.length t.egress_by_digest

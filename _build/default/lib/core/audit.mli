@@ -1,0 +1,37 @@
+(** Data-retention audit log (paper §VIII-H and conclusion: "ISPs can
+    comply with data retention laws by storing customer to EphID bindings
+    as well as the packets").
+
+    An AS that enables retention records two append-only streams:
+    - issuance: (time, EphID → HID) — the binding only it can produce;
+    - egress: (time, EphID, packet digest) — evidence a specific packet
+      left its network.
+
+    Both support the lawful, targeted queries of §VIII-H — and nothing
+    more: payloads are end-to-end encrypted, so retention never includes
+    plaintext, and PFS means even full retention plus later key compromise
+    does not decrypt past sessions. Entries expire after the configured
+    retention window. *)
+
+type t
+
+val create : ?retain_s:int -> unit -> t
+(** [retain_s] defaults to 7 days. *)
+
+val record_issuance : t -> now:int -> ephid:Ephid.t -> hid:Apna_net.Addr.hid -> unit
+val record_egress : t -> now:int -> ephid:Ephid.t -> digest:string -> unit
+
+val bindings_of : t -> Apna_net.Addr.hid -> (int * Ephid.t) list
+(** All EphIDs issued to a subscriber in the window, oldest first —
+    answering "what identifiers did customer X hold?". *)
+
+val find_sender : t -> digest:string -> (int * Ephid.t) option
+(** Attribution of a retained packet digest: when it left and under which
+    EphID — answering "did this packet leave your network, and who sent
+    it?" (combined with {!bindings_of}/EphID decryption, the subscriber). *)
+
+val gc : t -> now:int -> int
+(** Drops entries older than the retention window; returns the count. *)
+
+val issuance_count : t -> int
+val egress_count : t -> int

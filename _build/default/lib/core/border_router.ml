@@ -1,0 +1,105 @@
+open Apna_net
+
+type counters = {
+  mutable egress_ok : int;
+  mutable ingress_delivered : int;
+  mutable ingress_forwarded : int;
+  mutable dropped : int;
+}
+
+type t = {
+  keys : Keys.as_keys;
+  host_info : Host_info.t;
+  revoked : Revocation.t;
+  topology : Topology.t;
+  stats : counters;
+  drops_by_reason : (string, int) Hashtbl.t;
+  audit : Audit.t option;
+}
+
+let create ~keys ~host_info ~revoked ~topology ?audit () =
+  {
+    keys;
+    host_info;
+    revoked;
+    topology;
+    stats = { egress_ok = 0; ingress_delivered = 0; ingress_forwarded = 0; dropped = 0 };
+    drops_by_reason = Hashtbl.create 8;
+    audit;
+  }
+
+let counters t = t.stats
+let revoked t = t.revoked
+
+let drop t e =
+  t.stats.dropped <- t.stats.dropped + 1;
+  let label = Error.kind_label e in
+  Hashtbl.replace t.drops_by_reason label
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.drops_by_reason label));
+  Error e
+
+let drop_reasons t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.drops_by_reason []
+  |> List.sort compare
+
+(* The common EphID validity pipeline of Fig. 4: authenticity (tag), expiry,
+   revocation list, HID registration. *)
+let check_ephid t ~now raw =
+  match Ephid.of_bytes raw with
+  | Error e -> Error (Error.Malformed e)
+  | Ok ephid -> begin
+      match Ephid.parse t.keys ephid with
+      | Error e -> Error e
+      | Ok info ->
+          if Ephid.expired info ~now then Error (Error.Expired "EphID")
+          else if Revocation.is_revoked t.revoked ephid then
+            Error (Error.Revoked "EphID")
+          else begin
+            match Host_info.find t.host_info info.hid with
+            | Error e -> Error e
+            | Ok entry -> Ok (info, entry)
+          end
+    end
+
+let egress_check t ~now (pkt : Packet.t) =
+  if not (Addr.aid_equal pkt.header.src_aid t.keys.aid) then
+    drop t (Error.Malformed "egress: foreign source AID")
+  else begin
+    match check_ephid t ~now pkt.header.src_ephid with
+    | Error e -> drop t e
+    | Ok (info, entry) ->
+        if Pkt_auth.verify ~auth_key:entry.kha.auth pkt then begin
+          t.stats.egress_ok <- t.stats.egress_ok + 1;
+          (* Data retention (§VIII-H): the packet's MAC doubles as its
+             digest — unique per authenticated packet. *)
+          Option.iter
+            (fun a ->
+              match Ephid.of_bytes pkt.header.src_ephid with
+              | Ok ephid ->
+                  Audit.record_egress a ~now ~ephid ~digest:pkt.header.mac
+              | Error _ -> ())
+            t.audit;
+          Ok info.hid
+        end
+        else drop t Error.Bad_mac
+  end
+
+type ingress_decision = Deliver of Addr.hid | Forward of Addr.aid
+
+let ingress_check t ~now (pkt : Packet.t) =
+  if Addr.aid_equal pkt.header.dst_aid t.keys.aid then begin
+    match check_ephid t ~now pkt.header.dst_ephid with
+    | Error e -> drop t e
+    | Ok (info, _entry) ->
+        t.stats.ingress_delivered <- t.stats.ingress_delivered + 1;
+        Ok (Deliver info.hid)
+  end
+  else begin
+    match
+      Topology.next_hop t.topology ~src:t.keys.aid ~dst:pkt.header.dst_aid
+    with
+    | Some hop ->
+        t.stats.ingress_forwarded <- t.stats.ingress_forwarded + 1;
+        Ok (Forward hop)
+    | None -> drop t Error.No_route
+  end

@@ -1,0 +1,48 @@
+(** Border router data-plane pipelines (paper §IV-D3, Fig. 4, §V-B).
+
+    Egress (host → Internet): decrypt the source EphID, check expiry,
+    revocation and HID validity, verify the per-packet MAC — only
+    authenticated packets of authorized EphIDs leave the AS.
+
+    Ingress (Internet → host): if the packet has reached its destination
+    AS, decrypt the destination EphID and run the same validity checks,
+    then hand the packet to intra-domain delivery by HID; otherwise forward
+    toward the destination AID.
+
+    Only symmetric cryptography runs here — one AES-CTR decryption, one
+    CBC-MAC over a single block, two table lookups and one HMAC
+    verification per packet — which is the design point the Fig. 8
+    forwarding benchmark measures. *)
+
+type t
+
+type counters = {
+  mutable egress_ok : int;
+  mutable ingress_delivered : int;
+  mutable ingress_forwarded : int;
+  mutable dropped : int;
+}
+
+val create :
+  keys:Keys.as_keys -> host_info:Host_info.t -> revoked:Revocation.t ->
+  topology:Apna_net.Topology.t -> ?audit:Audit.t -> unit -> t
+(** [audit] enables data retention of egress packet digests (§VIII-H). *)
+
+val counters : t -> counters
+
+val drop_reasons : t -> (string * int) list
+(** Drops broken down by {!Error.kind_label}, sorted by label — the
+    operator's view of what the pipeline is rejecting. *)
+
+val egress_check :
+  t -> now:int -> Apna_net.Packet.t -> (Apna_net.Addr.hid, Error.t) result
+(** Full outbound pipeline; [Ok hid] identifies the (internal) sender. *)
+
+type ingress_decision =
+  | Deliver of Apna_net.Addr.hid  (** at destination AS: intra-domain hop *)
+  | Forward of Apna_net.Addr.aid  (** transit: next AS toward the AID *)
+
+val ingress_check :
+  t -> now:int -> Apna_net.Packet.t -> (ingress_decision, Error.t) result
+
+val revoked : t -> Revocation.t

@@ -1,0 +1,70 @@
+(* LRU over an intrusive doubly-linked list plus a hash table: O(1)
+   observe/find/evict. *)
+
+type node = {
+  key : Ephid.t;
+  mutable cert : Cert.t;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  capacity : int;
+  table : node Ephid.Tbl.t;
+  mutable head : node option; (* most recent *)
+  mutable tail : node option; (* least recent *)
+  mutable evicted : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cert_cache.create: capacity";
+  { capacity; table = Ephid.Tbl.create capacity; head = None; tail = None; evicted = 0 }
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t node =
+  unlink t node;
+  push_front t node
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Ephid.Tbl.remove t.table node.key;
+      t.evicted <- t.evicted + 1
+
+let observe t (cert : Cert.t) =
+  match Ephid.Tbl.find_opt t.table cert.ephid with
+  | Some node ->
+      node.cert <- cert;
+      touch t node
+  | None ->
+      if Ephid.Tbl.length t.table >= t.capacity then evict_lru t;
+      let node = { key = cert.ephid; cert; prev = None; next = None } in
+      Ephid.Tbl.replace t.table cert.ephid node;
+      push_front t node
+
+let find t ephid =
+  match Ephid.Tbl.find_opt t.table ephid with
+  | Some node ->
+      touch t node;
+      Some node.cert
+  | None -> None
+
+let size t = Ephid.Tbl.length t.table
+let evictions t = t.evicted
+let memory_bytes t = Cert.size * size t

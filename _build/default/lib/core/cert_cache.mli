@@ -1,0 +1,25 @@
+(** Bounded LRU cache of EphID certificates observed in passing traffic.
+
+    The paper's §VIII-B sketches encrypting ICMP payloads by "storing
+    short-lived certificates of all flows that the sender sees" and worries
+    about the storage overhead. This cache bounds that overhead: an entity
+    (border router, host) remembers the certificates it saw in Init/Accept
+    frames, evicting least-recently-used entries at capacity. The E13
+    benchmark quantifies the memory/hit-rate trade-off. *)
+
+type t
+
+val create : capacity:int -> t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val observe : t -> Cert.t -> unit
+(** Insert or refresh the certificate, keyed by its EphID. *)
+
+val find : t -> Ephid.t -> Cert.t option
+(** Lookup; refreshes recency on hit. *)
+
+val size : t -> int
+val evictions : t -> int
+
+val memory_bytes : t -> int
+(** Wire bytes of the cached certificates (168 B each). *)

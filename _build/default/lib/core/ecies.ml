@@ -1,0 +1,43 @@
+open Apna_crypto
+
+type sealed = { eph_pub : string; nonce : string; body : string }
+
+let derive ~shared ~eph_pub =
+  Aead.of_secret (Hkdf.derive ~info:("apna:ecies:v1" ^ eph_pub) ~len:32 shared)
+
+let seal ~rng ~peer_pub plaintext =
+  let eph_sk, eph_pub = X25519.generate rng in
+  match X25519.shared_secret ~secret:eph_sk ~peer:peer_pub with
+  | Error e -> Error (Error.Crypto e)
+  | Ok shared ->
+      let nonce = Drbg.generate rng Aead.nonce_size in
+      let body = Aead.seal ~key:(derive ~shared ~eph_pub) ~nonce plaintext in
+      Ok { eph_pub; nonce; body }
+
+let open_ ~secret t =
+  match X25519.shared_secret ~secret ~peer:t.eph_pub with
+  | Error e -> Error (Error.Crypto e)
+  | Ok shared -> begin
+      match
+        Aead.open_ ~key:(derive ~shared ~eph_pub:t.eph_pub) ~nonce:t.nonce t.body
+      with
+      | Ok plaintext -> Ok plaintext
+      | Error e -> Error (Error.Crypto e)
+    end
+
+let to_bytes t =
+  let w = Apna_util.Rw.Writer.create () in
+  Apna_util.Rw.Writer.bytes w t.eph_pub;
+  Apna_util.Rw.Writer.bytes w t.nonce;
+  Apna_util.Rw.Writer.bytes w t.body;
+  Apna_util.Rw.Writer.contents w
+
+let of_bytes s =
+  let open Apna_util.Rw in
+  let r = Reader.of_string s in
+  let parse =
+    let* eph_pub = Reader.bytes r 32 in
+    let* nonce = Reader.bytes r 16 in
+    Ok { eph_pub; nonce; body = Reader.rest r }
+  in
+  Result.map_error (fun e -> Error.Malformed ("ecies: " ^ e)) parse

@@ -1,0 +1,15 @@
+(** One-shot public-key sealing (ECIES over X25519 + the AEAD): encrypt to
+    the holder of an EphID's key-agreement key, given only its certificate.
+    Used for encrypted ICMP payloads (§VIII-B future work); the DNS channel
+    uses the bidirectional variant in {!Dns_service}. *)
+
+type sealed = { eph_pub : string; nonce : string; body : string }
+
+val seal : rng:Apna_crypto.Drbg.t -> peer_pub:string -> string -> (sealed, Error.t) result
+(** [seal ~rng ~peer_pub plaintext] encrypts under a fresh ephemeral
+    X25519 key; only the holder of the secret matching [peer_pub] opens it. *)
+
+val open_ : secret:string -> sealed -> (string, Error.t) result
+
+val to_bytes : sealed -> string
+val of_bytes : string -> (sealed, Error.t) result

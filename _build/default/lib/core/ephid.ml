@@ -1,0 +1,75 @@
+open Apna_crypto
+
+type t = string
+
+let size = 16
+let iv_size = 4
+let ct_size = 8
+let tag_size = 4
+
+type info = { hid : Apna_net.Addr.hid; expiry : int }
+
+let counter_block iv = iv ^ String.make 12 '\000'
+let mac_input ~ciphertext ~iv = ciphertext ^ iv ^ String.make 4 '\000'
+
+let issue (keys : Keys.as_keys) ~hid ~expiry ~iv =
+  if String.length iv <> iv_size then invalid_arg "Ephid.issue: IV size";
+  if expiry < 0 || expiry > 0xffffffff then invalid_arg "Ephid.issue: expiry";
+  let plaintext =
+    Apna_net.Addr.hid_to_bytes hid
+    ^ String.init 4 (fun i -> Char.chr ((expiry lsr (8 * (3 - i))) land 0xff))
+  in
+  let ciphertext =
+    Aes.Ctr.crypt ~key:keys.ephid_enc ~nonce:(counter_block iv) plaintext
+  in
+  let tag =
+    String.sub (Aes.Cbc_mac.mac ~key:keys.ephid_mac (mac_input ~ciphertext ~iv)) 0 tag_size
+  in
+  iv ^ ciphertext ^ tag
+
+let issue_random keys rng ~hid ~expiry =
+  issue keys ~hid ~expiry ~iv:(Drbg.generate rng iv_size)
+
+let parse (keys : Keys.as_keys) e =
+  let iv = String.sub e 0 iv_size in
+  let ciphertext = String.sub e iv_size ct_size in
+  let tag = String.sub e (iv_size + ct_size) tag_size in
+  let expected =
+    String.sub (Aes.Cbc_mac.mac ~key:keys.ephid_mac (mac_input ~ciphertext ~iv)) 0 tag_size
+  in
+  if not (Apna_util.Ct.equal tag expected) then
+    Error (Error.Malformed "ephid: tag verification failed")
+  else begin
+    let plaintext =
+      Aes.Ctr.crypt ~key:keys.ephid_enc ~nonce:(counter_block iv) ciphertext
+    in
+    match Apna_net.Addr.hid_of_bytes (String.sub plaintext 0 4) with
+    | Error e -> Error (Error.Malformed e)
+    | Ok hid ->
+        let expiry =
+          (Char.code plaintext.[4] lsl 24)
+          lor (Char.code plaintext.[5] lsl 16)
+          lor (Char.code plaintext.[6] lsl 8)
+          lor Char.code plaintext.[7]
+        in
+        Ok { hid; expiry }
+  end
+
+let expired info ~now = info.expiry < now
+
+let to_bytes e = e
+
+let of_bytes s =
+  if String.length s = size then Ok s
+  else Error (Printf.sprintf "ephid: need %d bytes, got %d" size (String.length s))
+
+let equal = String.equal
+let compare = String.compare
+let pp ppf e = Format.fprintf ppf "E[%s]" (Apna_util.Hex.encode (String.sub e 0 4))
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end)

@@ -1,0 +1,50 @@
+(** Ephemeral Identifiers — the heart of APNA (paper §III-B, §IV-C, §V-A1).
+
+    An EphID is a 16-byte CCA-secure token encrypting (HID, ExpTime) under
+    the issuing AS's secret keys, Encrypt-then-MAC (Fig. 6):
+
+    {v
+      ciphertext = AES-CTR(kA', counter = IV ‖ 0^12)(HID ‖ ExpTime)   8 bytes
+      tag        = CBC-MAC(kA'', ciphertext ‖ IV ‖ 0^4)[0..3]          4 bytes
+      EphID      = IV ‖ ciphertext ‖ tag                              16 bytes
+    v}
+
+    Only the issuing AS can recover the HID (statelessly — no mapping
+    table); to everyone else the token is opaque, which is exactly the
+    host-privacy property. The fresh IV per issuance makes many EphIDs per
+    HID unlinkable. *)
+
+type t
+(** An EphID as an opaque 16-byte token. *)
+
+val size : int
+(** 16. *)
+
+val iv_size : int
+(** 4. *)
+
+type info = { hid : Apna_net.Addr.hid; expiry : int }
+(** The confidential content: host identifier and Unix expiry time. *)
+
+val issue : Keys.as_keys -> hid:Apna_net.Addr.hid -> expiry:int -> iv:string -> t
+(** [issue keys ~hid ~expiry ~iv] constructs the token. [iv] must be 4
+    bytes and unique per issuance (the MS uses a counter or DRBG).
+    @raise Invalid_argument on bad sizes or a negative expiry. *)
+
+val issue_random : Keys.as_keys -> Apna_crypto.Drbg.t -> hid:Apna_net.Addr.hid -> expiry:int -> t
+
+val parse : Keys.as_keys -> t -> (info, Error.t) result
+(** [parse keys e] verifies the tag and decrypts — the issuing-AS-only
+    operation border routers run on every packet (Fig. 4). Returns
+    [Error (Malformed _)] when the tag does not verify, i.e. the token was
+    not produced by this AS. Expiry is {e not} checked here. *)
+
+val expired : info -> now:int -> bool
+
+val to_bytes : t -> string
+val of_bytes : string -> (t, string) result
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Tbl : Hashtbl.S with type key = t

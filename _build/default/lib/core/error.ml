@@ -1,0 +1,38 @@
+type t =
+  | Auth_failed
+  | Expired of string
+  | Revoked of string
+  | Unknown_host
+  | Bad_mac
+  | Bad_signature of string
+  | Malformed of string
+  | No_route
+  | Crypto of string
+  | Rejected of string
+
+let to_string = function
+  | Auth_failed -> "authentication failed"
+  | Expired what -> "expired: " ^ what
+  | Revoked what -> "revoked: " ^ what
+  | Unknown_host -> "unknown host"
+  | Bad_mac -> "packet MAC verification failed"
+  | Bad_signature what -> "bad signature: " ^ what
+  | Malformed what -> "malformed: " ^ what
+  | No_route -> "no route to destination AS"
+  | Crypto what -> "crypto failure: " ^ what
+  | Rejected why -> "rejected: " ^ why
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+let equal (a : t) (b : t) = a = b
+
+let kind_label = function
+  | Auth_failed -> "auth-failed"
+  | Expired _ -> "expired"
+  | Revoked _ -> "revoked"
+  | Unknown_host -> "unknown-host"
+  | Bad_mac -> "bad-mac"
+  | Bad_signature _ -> "bad-signature"
+  | Malformed _ -> "malformed"
+  | No_route -> "no-route"
+  | Crypto _ -> "crypto"
+  | Rejected _ -> "rejected"

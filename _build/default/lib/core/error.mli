@@ -1,0 +1,25 @@
+(** Protocol-level failures.
+
+    Every expected failure — packets from the network, stale credentials,
+    forged tokens — is an ordinary value; exceptions are reserved for
+    programming errors. *)
+
+type t =
+  | Auth_failed  (** host authentication at the RS failed *)
+  | Expired of string  (** an EphID or certificate has expired *)
+  | Revoked of string  (** EphID or HID present in a revocation list *)
+  | Unknown_host  (** HID not in [host_info] *)
+  | Bad_mac  (** per-packet MAC verification failed *)
+  | Bad_signature of string  (** certificate or shutoff signature invalid *)
+  | Malformed of string  (** wire-format parse failure *)
+  | No_route  (** no inter-domain path to the destination AID *)
+  | Crypto of string  (** AEAD open failure and similar *)
+  | Rejected of string  (** policy refusal (quota, unauthorized requester) *)
+
+val to_string : t -> string
+
+val kind_label : t -> string
+(** Short stable label of the error kind, for counters and metrics. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

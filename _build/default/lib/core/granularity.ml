@@ -1,0 +1,14 @@
+type t = Per_flow | Per_host | Per_application of string | Per_packet
+
+let pool_key = function
+  | Per_host -> Some "host"
+  | Per_application app -> Some ("app:" ^ app)
+  | Per_flow | Per_packet -> None
+
+let pp ppf = function
+  | Per_flow -> Format.pp_print_string ppf "per-flow"
+  | Per_host -> Format.pp_print_string ppf "per-host"
+  | Per_application app -> Format.fprintf ppf "per-application(%s)" app
+  | Per_packet -> Format.pp_print_string ppf "per-packet"
+
+let equal (a : t) (b : t) = a = b

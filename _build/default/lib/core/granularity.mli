@@ -1,0 +1,23 @@
+(** EphID usage granularity (paper §VIII-A).
+
+    APNA deliberately does not fix how hosts spread traffic over EphIDs;
+    the four policies below trade privacy (sender-flow unlinkability) and
+    shutoff blast-radius against issuance and management cost. *)
+
+type t =
+  | Per_flow  (** a fresh EphID for every connection (the typical case) *)
+  | Per_host  (** one EphID for everything: cheap, fully linkable *)
+  | Per_application of string
+      (** one EphID per application label — lets host and AS pinpoint a
+          misbehaving application together *)
+  | Per_packet
+      (** a fresh source EphID on every packet: strongest unlinkability;
+          demultiplexing relies on the connection identifier carried in
+          the session frame (cf. the one-time-address protocol the paper
+          cites) *)
+
+val pool_key : t -> string option
+(** The reuse-pool key: [None] means never reuse ([Per_flow], [Per_packet]). *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

@@ -1,0 +1,771 @@
+open Apna_crypto
+open Apna_net
+
+type attachment = {
+  aid : Addr.aid;
+  now : unit -> int;
+  now_f : unit -> float;
+  submit : Packet.t -> unit;
+  bootstrap_rpc : host_dh_pub:string -> (Registry.reply, Error.t) result;
+  trust : Trust.t;
+}
+
+type endpoint = { cert : Cert.t; keys : Keys.ephid_keys; receive_only : bool }
+
+type identity = {
+  kha : Keys.host_as;
+  ctrl_ephid : Ephid.t;
+  ctrl_expiry : int;
+  ms_cert : Cert.t;
+  dns_cert : Cert.t option;
+  aa_ephid : Ephid.t;
+}
+
+module I64_tbl = Hashtbl.Make (struct
+  type t = int64
+
+  let equal = Int64.equal
+  let hash = Hashtbl.hash
+end)
+
+type t = {
+  host_name : string;
+  rng : Drbg.t;
+  mutable gran : Granularity.t;
+  mutable att : attachment option;
+  mutable identity : identity option;
+  mutable all_endpoints : endpoint list;
+  (* Reuse pools, keyed by Granularity.pool_key, with waiters queued while
+     the pool's first issuance round trip is in flight. *)
+  pools : (string, endpoint) Hashtbl.t;
+  pool_waiters : (string, (endpoint -> unit) Queue.t) Hashtbl.t;
+  (* Prefetched one-shot EphIDs for per-packet sources. *)
+  prefetched : endpoint Queue.t;
+  mutable prefetch_inflight : int;
+  (* FIFO continuations for in-flight EphID requests: the generated secret
+     keys wait here to be paired with the certificate in the reply (reply
+     order matches request order within one AS). *)
+  pending_ephid : (Keys.ephid_keys * bool * (endpoint -> unit)) Queue.t;
+  pending_dns : (Msgs.t -> unit) Queue.t;
+  sessions_by_conn : Session.t I64_tbl.t;
+  (* Local endpoint backing each connection, for shutoff signatures and
+     queued 0.5-RTT data. *)
+  local_by_conn : endpoint I64_tbl.t;
+  queued_data : string Queue.t I64_tbl.t;
+  (* Most recent raw data packet per connection: the evidence a victim
+     presents in a shutoff request (Fig. 5). *)
+  last_packet_by_conn : Packet.t I64_tbl.t;
+  mutable data_handler : session:Session.t -> data:string -> unit;
+  mutable received_rev : (int64 * string) list;
+  mutable unreachables_rev : Icmp.unreachable_reason list;
+  mutable mtu_hints_rev : int list;
+  (* Shutoff notices from the AS: revoked EphID and, when the granularity
+     policy allows it, the application behind it (§VIII-A). *)
+  mutable revocation_notices_rev : (Ephid.t * string option) list;
+  pending_pings : (int, float * (float -> unit)) Hashtbl.t;
+  mutable next_ping_ident : int;
+  mutable ephid_requests : int;
+  mutable pkts_sent : int;
+  (* Server policy: accept 0-RTT data arriving under a receive-only EphID's
+     key? Refusing trades the first flight for protection of first packets
+     should the receive-only key later be compromised (§VII-C). *)
+  mutable accept_zero_rtt : bool;
+}
+
+let create ~name ~rng ?(granularity = Granularity.Per_flow) () =
+  {
+      host_name = name;
+      rng;
+      gran = granularity;
+      att = None;
+      identity = None;
+      all_endpoints = [];
+      pools = Hashtbl.create 4;
+      pool_waiters = Hashtbl.create 4;
+      prefetched = Queue.create ();
+      prefetch_inflight = 0;
+      pending_ephid = Queue.create ();
+      pending_dns = Queue.create ();
+      sessions_by_conn = I64_tbl.create 8;
+      local_by_conn = I64_tbl.create 8;
+      queued_data = I64_tbl.create 8;
+      last_packet_by_conn = I64_tbl.create 8;
+      data_handler = (fun ~session:_ ~data:_ -> ());
+      received_rev = [];
+      unreachables_rev = [];
+      mtu_hints_rev = [];
+      revocation_notices_rev = [];
+      pending_pings = Hashtbl.create 4;
+      next_ping_ident = 1;
+      ephid_requests = 0;
+      pkts_sent = 0;
+      accept_zero_rtt = true;
+  }
+
+(* Every successfully decrypted application payload is recorded, then the
+   user handler (if any) runs. *)
+let deliver_data t session data =
+  t.received_rev <- (Session.conn_id session, data) :: t.received_rev;
+  t.data_handler ~session ~data
+
+let name t = t.host_name
+let granularity t = t.gran
+let set_granularity t g = t.gran <- g
+let attach t att = t.att <- Some att
+let attachment t = t.att
+let is_bootstrapped t = Option.is_some t.identity
+let ctrl_ephid t = Option.map (fun i -> i.ctrl_ephid) t.identity
+let aa_ephid t = Option.map (fun i -> i.aa_ephid) t.identity
+let ms_cert t = Option.map (fun i -> i.ms_cert) t.identity
+let dns_cert t = Option.bind t.identity (fun i -> i.dns_cert)
+let kha t = Option.map (fun i -> i.kha) t.identity
+let endpoints t = t.all_endpoints
+let received t = List.rev t.received_rev
+let unreachables t = List.rev t.unreachables_rev
+let mtu_hints t = List.rev t.mtu_hints_rev
+let revocation_notices t = List.rev t.revocation_notices_rev
+let on_data t f = t.data_handler <- f
+let sessions t = I64_tbl.fold (fun _ s acc -> s :: acc) t.sessions_by_conn []
+let last_packet t session = I64_tbl.find_opt t.last_packet_by_conn (Session.conn_id session)
+let set_zero_rtt_policy t accept = t.accept_zero_rtt <- accept
+let ephid_requests_sent t = t.ephid_requests
+let packets_sent t = t.pkts_sent
+
+let require_att t =
+  match t.att with
+  | Some att -> Ok att
+  | None -> Error (Error.Rejected "host is not attached to an AS")
+
+let require_identity t =
+  match t.identity with
+  | Some id -> Ok id
+  | None -> Error (Error.Rejected "host is not bootstrapped")
+
+let warn t what = function
+  | Ok _ -> ()
+  | Error e -> Logs.warn (fun m -> m "%s: %s: %a" t.host_name what Error.pp e)
+
+(* ------------------------------------------------------------------ *)
+(* Bootstrap (Fig. 2, host side) *)
+
+let bootstrap t =
+  match require_att t with
+  | Error e -> Error e
+  | Ok att -> begin
+      let dh_secret, dh_public = X25519.generate t.rng in
+      match att.bootstrap_rpc ~host_dh_pub:dh_public with
+      | Error e -> Error e
+      | Ok reply -> begin
+          (* Verify everything the RS sent — bootstrap messages must be
+             authenticated (§IV-B): the signed id_info and the service
+             certificates, all against the AS key in the trust store. *)
+          match Trust.as_pub att.trust att.aid with
+          | Error e -> Error e
+          | Ok as_pub ->
+              let id_info =
+                Registry.id_info_bytes ~ctrl_ephid:reply.ctrl_ephid
+                  ~ctrl_expiry:reply.ctrl_expiry
+              in
+              if
+                not
+                  (Ed25519.verify ~pub:as_pub ~msg:id_info
+                     ~signature:reply.id_info_signature)
+              then Error (Error.Bad_signature "id_info")
+              else begin
+                let now = att.now () in
+                let cert_ok c = Result.is_ok (Trust.verify_cert att.trust ~now c) in
+                if not (cert_ok reply.ms_cert) then
+                  Error (Error.Bad_signature "MS certificate")
+                else if not (Option.fold ~none:true ~some:cert_ok reply.dns_cert)
+                then Error (Error.Bad_signature "DNS certificate")
+                else begin
+                  match
+                    X25519.shared_secret ~secret:dh_secret ~peer:reply.as_dh_pub
+                  with
+                  | Error e -> Error (Error.Crypto e)
+                  | Ok shared_secret ->
+                      t.identity <-
+                        Some
+                          {
+                            kha = Keys.derive_host_as ~shared_secret;
+                            ctrl_ephid = reply.ctrl_ephid;
+                            ctrl_expiry = reply.ctrl_expiry;
+                            ms_cert = reply.ms_cert;
+                            dns_cert = reply.dns_cert;
+                            aa_ephid = reply.aa_ephid;
+                          };
+                      Ok ()
+                end
+              end
+        end
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Packet construction *)
+
+let send_packet t ~src_ephid ~dst_aid ~dst_ephid ~proto ~payload =
+  match (require_att t, require_identity t) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok att, Ok id ->
+      let header =
+        Apna_header.make ~src_aid:att.aid ~src_ephid ~dst_aid ~dst_ephid ()
+      in
+      let pkt = Packet.make ~header ~proto ~payload in
+      let pkt = Pkt_auth.seal ~auth_key:id.kha.auth pkt in
+      t.pkts_sent <- t.pkts_sent + 1;
+      att.submit pkt;
+      Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* EphID acquisition (Fig. 3, host side) *)
+
+let request_ephid t ?(lifetime = Lifetime.Medium) ?(receive_only = false) k =
+  match (require_att t, require_identity t) with
+  | (Error _ as e), _ | _, (Error _ as e) -> warn t "request_ephid" e
+  | Ok _att, Ok id ->
+      let keys = Keys.make_ephid_keys t.rng in
+      let msg =
+        Management.Client.make_request ~rng:t.rng ~kha:id.kha ~keys ~lifetime
+      in
+      Queue.add (keys, receive_only, k) t.pending_ephid;
+      t.ephid_requests <- t.ephid_requests + 1;
+      warn t "request_ephid send"
+        (send_packet t ~src_ephid:(Ephid.to_bytes id.ctrl_ephid)
+           ~dst_aid:id.ms_cert.aid
+           ~dst_ephid:(Ephid.to_bytes id.ms_cert.ephid)
+           ~proto:Packet.Control ~payload:(Msgs.to_bytes msg))
+
+let release_endpoint t (endpoint : endpoint) =
+  match require_identity t with
+  | Error e -> Error e
+  | Ok id ->
+      let msg =
+        Management.Client.make_release ~rng:t.rng ~kha:id.kha
+          ~ephid:endpoint.cert.Cert.ephid
+      in
+      t.all_endpoints <-
+        List.filter
+          (fun e -> not (Cert.equal e.cert endpoint.cert))
+          t.all_endpoints;
+      Hashtbl.iter
+        (fun key (e : endpoint) ->
+          if Cert.equal e.cert endpoint.cert then Hashtbl.remove t.pools key)
+        (Hashtbl.copy t.pools);
+      send_packet t ~src_ephid:(Ephid.to_bytes id.ctrl_ephid)
+        ~dst_aid:id.ms_cert.aid
+        ~dst_ephid:(Ephid.to_bytes id.ms_cert.ephid)
+        ~proto:Packet.Control ~payload:(Msgs.to_bytes msg)
+
+(* ------------------------------------------------------------------ *)
+(* Granularity-driven source selection *)
+
+let renewal_margin_s = 30
+
+let with_pooled_endpoint t key k =
+  let fresh_enough (ep : endpoint) =
+    match t.att with
+    | Some att -> ep.cert.Cert.expiry > att.now () + renewal_margin_s
+    | None -> true
+  in
+  match Hashtbl.find_opt t.pools key with
+  | Some endpoint when fresh_enough endpoint -> k endpoint
+  | Some _ | None -> begin
+      match Hashtbl.find_opt t.pool_waiters key with
+      | Some waiters ->
+          (* An issuance for this pool is already in flight: share it. *)
+          Queue.add k waiters
+      | None ->
+          let waiters = Queue.create () in
+          Hashtbl.replace t.pool_waiters key waiters;
+          request_ephid t (fun endpoint ->
+              Hashtbl.replace t.pools key endpoint;
+              Hashtbl.remove t.pool_waiters key;
+              k endpoint;
+              Queue.iter (fun waiter -> waiter endpoint) waiters)
+    end
+
+let with_source_endpoint t ?app k =
+  let effective =
+    match (t.gran, app) with
+    | Granularity.Per_application _, Some app -> Granularity.Per_application app
+    | g, _ -> g
+  in
+  match Granularity.pool_key effective with
+  | Some key -> with_pooled_endpoint t key k
+  | None -> request_ephid t k
+
+(* Keep a small stock of unused EphIDs for per-packet sources. *)
+let prefetch_target = 8
+
+let rec refill_prefetch t =
+  if
+    Queue.length t.prefetched + t.prefetch_inflight < prefetch_target
+    && is_bootstrapped t
+  then begin
+    t.prefetch_inflight <- t.prefetch_inflight + 1;
+    request_ephid t (fun endpoint ->
+        t.prefetch_inflight <- t.prefetch_inflight - 1;
+        Queue.add endpoint t.prefetched;
+        refill_prefetch t)
+  end
+
+let take_fresh_source t k =
+  if Queue.is_empty t.prefetched then
+    request_ephid t (fun endpoint ->
+        refill_prefetch t;
+        k endpoint)
+  else begin
+    let endpoint = Queue.pop t.prefetched in
+    refill_prefetch t;
+    k endpoint
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sessions *)
+
+let fresh_conn_id t = String.get_int64_be (Drbg.generate t.rng 8) 0
+
+let send_frame t ~(endpoint : endpoint) ~remote:(remote_cert : Cert.t) frame =
+  send_packet t
+    ~src_ephid:(Ephid.to_bytes endpoint.cert.Cert.ephid)
+    ~dst_aid:remote_cert.aid
+    ~dst_ephid:(Ephid.to_bytes remote_cert.ephid)
+    ~proto:Packet.Data
+    ~payload:(Session.Frame.to_bytes frame)
+
+let connect t ~remote ?(data0 = "") ?app ?(expect_accept = false) k =
+  match require_att t with
+  | Error e -> warn t "connect" (Error e)
+  | Ok att ->
+      let now = att.now () in
+      (match Trust.verify_cert att.trust ~now remote with
+      | Error e -> warn t "connect: peer certificate" (Error e)
+      | Ok () ->
+          with_source_endpoint t ?app (fun endpoint ->
+              let conn_id = fresh_conn_id t in
+              (* [expect_accept] marks a connection to a receive-only EphID
+                 (the DNS record says so): the session stays unestablished
+                 — later sends queue for 0.5-RTT — until the server's
+                 Accept rekeys it onto the serving EphID (§VII-A/C). The
+                 0-RTT [data0] still goes out under the receive-only key. *)
+              match
+                Session.create ~conn_id ~initiator:true
+                  ~local_cert:endpoint.cert ~local_keys:endpoint.keys
+                  ~remote_cert:remote ~await_accept:expect_accept ()
+              with
+              | Error e -> warn t "connect: session" (Error e)
+              | Ok session ->
+                  I64_tbl.replace t.sessions_by_conn conn_id session;
+                  I64_tbl.replace t.local_by_conn conn_id endpoint;
+                  let seq, sealed = Session.seal session data0 in
+                  warn t "connect: init"
+                    (send_frame t ~endpoint ~remote
+                       (Session.Frame.Init
+                          { conn_id; cert = endpoint.cert; seq; sealed }));
+                  k session))
+
+let send t session data =
+  if not (Session.established session) then begin
+    (* §VII-C: before the server's Accept, either send 0-RTT under the
+       receive-only key (connect's data0) or queue for 0.5-RTT. *)
+    let conn_id = Session.conn_id session in
+    let q =
+      match I64_tbl.find_opt t.queued_data conn_id with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          I64_tbl.replace t.queued_data conn_id q;
+          q
+    in
+    Queue.add data q;
+    Ok ()
+  end
+  else begin
+    let conn_id = Session.conn_id session in
+    match I64_tbl.find_opt t.local_by_conn conn_id with
+    | None -> Error (Error.Rejected "unknown session")
+    | Some endpoint ->
+        let remote = Session.remote_cert session in
+        let seq, sealed = Session.seal session data in
+        let frame = Session.Frame.Data { conn_id; seq; sealed } in
+        if Granularity.equal t.gran Granularity.Per_packet then begin
+          (* Fresh source EphID for every packet (§VIII-A): strongest
+             unlinkability; the connection id does the demultiplexing. *)
+          take_fresh_source t (fun fresh ->
+              warn t "send(per-packet)" (send_frame t ~endpoint:fresh ~remote frame));
+          Ok ()
+        end
+        else send_frame t ~endpoint ~remote frame
+  end
+
+let flush_queued t session =
+  let conn_id = Session.conn_id session in
+  match I64_tbl.find_opt t.queued_data conn_id with
+  | None -> ()
+  | Some q ->
+      I64_tbl.remove t.queued_data conn_id;
+      Queue.iter (fun data -> warn t "flush" (send t session data)) q
+
+(* ------------------------------------------------------------------ *)
+(* Session teardown *)
+
+let forget_session t conn_id =
+  let endpoint = I64_tbl.find_opt t.local_by_conn conn_id in
+  I64_tbl.remove t.sessions_by_conn conn_id;
+  I64_tbl.remove t.local_by_conn conn_id;
+  I64_tbl.remove t.last_packet_by_conn conn_id;
+  I64_tbl.remove t.queued_data conn_id;
+  (* Per-flow EphIDs die with their flow: preemptively release the backing
+     EphID unless it is pooled (per-host/per-application) or receive-only
+     (§VIII-G2: hosts manage their EphID pool). *)
+  match endpoint with
+  | None -> ()
+  | Some endpoint ->
+      let pooled =
+        Hashtbl.fold
+          (fun _ (e : endpoint) acc -> acc || Cert.equal e.cert endpoint.cert)
+          t.pools false
+      in
+      if (not pooled) && not endpoint.receive_only then
+        warn t "close: release" (release_endpoint t endpoint)
+
+let close t session =
+  let conn_id = Session.conn_id session in
+  match I64_tbl.find_opt t.local_by_conn conn_id with
+  | None -> Error (Error.Rejected "unknown session")
+  | Some endpoint ->
+      let seq, sealed = Session.seal session "" in
+      let result =
+        send_frame t ~endpoint ~remote:(Session.remote_cert session)
+          (Session.Frame.Fin { conn_id; seq; sealed })
+      in
+      forget_session t conn_id;
+      result
+
+let handle_fin t ~conn_id ~seq ~sealed =
+  match I64_tbl.find_opt t.sessions_by_conn conn_id with
+  | None -> ()
+  | Some session -> begin
+      (* Only an authenticated close tears the session down: a spoofed Fin
+         must not be able to kill someone's connection. *)
+      match Session.open_sealed session ~seq ~sealed with
+      | Ok _ -> forget_session t conn_id
+      | Error e -> warn t "fin" (Error e)
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Server role (§VII-A) *)
+
+let dns_request t ~dns ~(client : endpoint) msg k =
+  Queue.add k t.pending_dns;
+  warn t "dns send"
+    (send_packet t
+       ~src_ephid:(Ephid.to_bytes client.cert.Cert.ephid)
+       ~dst_aid:(dns : Cert.t).Cert.aid
+       ~dst_ephid:(Ephid.to_bytes dns.Cert.ephid)
+       ~proto:Packet.Control ~payload:(Msgs.to_bytes msg))
+
+(* DNS exchanges are fronted by a dedicated client endpoint (requested on
+   demand and cached): its key material seals the query, and using it as
+   the source keeps DNS traffic routable even from behind an access point,
+   where the control EphID is local to the AP's domain. *)
+let with_dns_endpoint t k = with_pooled_endpoint t "dns-client" k
+
+let resolve_dns_cert t dns =
+  match dns with
+  | Some cert -> Ok cert
+  | None -> begin
+      match dns_cert t with
+      | Some cert -> Ok cert
+      | None -> Error (Error.Rejected "no DNS service known")
+    end
+
+let publish t ~name ?dns ?ipv4 k =
+  match resolve_dns_cert t dns with
+  | Error e -> warn t "publish" (Error e)
+  | Ok dns_cert ->
+      (* Receive-only EphIDs are immune to shutoff (§VII-A), so the
+         published name cannot be taken down by revoking its EphID. *)
+      request_ephid t ~lifetime:Lifetime.Long ~receive_only:true
+        (fun ro_endpoint ->
+          with_dns_endpoint t (fun client ->
+              match
+                Dns_service.Client.make_register ~rng:t.rng
+                  ~client_cert:client.cert ~client_keys:client.keys ~dns_cert
+                  ~name ~publish:ro_endpoint.cert ?ipv4 ~receive_only:true ()
+              with
+              | Error e -> warn t "publish: register" (Error e)
+              | Ok msg -> dns_request t ~dns:dns_cert ~client msg (fun _reply -> k ())))
+
+let dns_lookup t ~name ?dns k =
+  match (resolve_dns_cert t dns, require_att t) with
+  | Error e, _ | _, Error e -> warn t "dns_lookup" (Error e)
+  | Ok dns_cert, Ok att ->
+      with_dns_endpoint t (fun client ->
+          match
+            Dns_service.Client.make_query ~rng:t.rng ~client_cert:client.cert
+              ~client_keys:client.keys ~dns_cert ~name
+          with
+          | Error e -> warn t "dns_lookup: query" (Error e)
+          | Ok msg ->
+              dns_request t ~dns:dns_cert ~client msg (fun reply ->
+                  match
+                    Dns_service.Client.read_reply ~client_keys:client.keys
+                      ~client_cert:client.cert ~dns_cert reply
+                  with
+                  | Error e ->
+                      warn t "dns_lookup: reply" (Error e);
+                      k None
+                  | Ok None -> k None
+                  | Ok (Some record) -> begin
+                      (* DNSSEC stand-in: drop records whose zone signature
+                         does not verify. *)
+                      match Trust.zone_pub att.trust record.zone with
+                      | Error e ->
+                          warn t "dns_lookup: zone" (Error e);
+                          k None
+                      | Ok zone_pub ->
+                          if
+                            Result.is_ok
+                              (Dns_service.Record.verify ~zone_pub
+                                 ~now:(att.now ()) record)
+                          then k (Some record)
+                          else begin
+                            warn t "dns_lookup: record"
+                              (Error (Error.Bad_signature "zone"));
+                            k None
+                          end
+                    end))
+
+(* ------------------------------------------------------------------ *)
+(* ICMP (§VIII-B) *)
+
+let ping t ~dst_aid ~dst_ephid k =
+  match require_att t with
+  | Error e -> warn t "ping" (Error e)
+  | Ok att ->
+      with_source_endpoint t (fun endpoint ->
+          let ident = t.next_ping_ident in
+          t.next_ping_ident <- t.next_ping_ident + 1;
+          Hashtbl.replace t.pending_pings ident (att.now_f (), k);
+          let payload =
+            Icmp.to_bytes (Icmp.Echo_request { ident; data = "apna-ping" })
+          in
+          warn t "ping send"
+            (send_packet t
+               ~src_ephid:(Ephid.to_bytes endpoint.cert.Cert.ephid)
+               ~dst_aid ~dst_ephid:(Ephid.to_bytes dst_ephid)
+               ~proto:Packet.Icmp ~payload))
+
+(* ------------------------------------------------------------------ *)
+(* Shutoff (victim side, Fig. 5) *)
+
+let request_shutoff t ~session ~evidence =
+  let conn_id = Session.conn_id session in
+  match I64_tbl.find_opt t.local_by_conn conn_id with
+  | None -> Error (Error.Rejected "unknown session")
+  | Some endpoint ->
+      let peer = Session.remote_cert session in
+      let msg =
+        Shutoff.make_request ~packet:evidence ~dst_cert:endpoint.cert
+          ~dst_keys:endpoint.keys
+      in
+      send_packet t
+        ~src_ephid:(Ephid.to_bytes endpoint.cert.Cert.ephid)
+        ~dst_aid:peer.aid
+        ~dst_ephid:(Ephid.to_bytes peer.aa_ephid)
+        ~proto:Packet.Control ~payload:(Msgs.to_bytes msg)
+
+(* ------------------------------------------------------------------ *)
+(* Delivery *)
+
+let handle_ephid_reply t msg =
+  match (Queue.take_opt t.pending_ephid, require_identity t) with
+  | None, _ -> Logs.warn (fun m -> m "%s: unexpected EphID reply" t.host_name)
+  | _, Error e -> warn t "ephid reply" (Error e)
+  | Some (keys, receive_only, k), Ok id -> begin
+      match Management.Client.read_reply ~kha:id.kha msg with
+      | Error e -> warn t "ephid reply" (Error e)
+      | Ok cert ->
+          let endpoint = { cert; keys; receive_only } in
+          t.all_endpoints <- endpoint :: t.all_endpoints;
+          k endpoint
+    end
+
+let local_endpoint_for t raw_ephid =
+  List.find_opt
+    (fun e -> String.equal (Ephid.to_bytes e.cert.Cert.ephid) raw_ephid)
+    t.all_endpoints
+
+let handle_init t (pkt : Packet.t) ~conn_id ~(cert : Cert.t) ~seq ~sealed =
+  match require_att t with
+  | Error e -> warn t "init" (Error e)
+  | Ok att -> begin
+      match Trust.verify_cert att.trust ~now:(att.now ()) cert with
+      | Error e -> warn t "init: client certificate" (Error e)
+      | Ok () -> begin
+          match local_endpoint_for t pkt.header.dst_ephid with
+          | None -> Logs.warn (fun m -> m "%s: init for unknown EphID" t.host_name)
+          | Some local -> begin
+              match
+                Session.create ~conn_id ~initiator:false ~local_cert:local.cert
+                  ~local_keys:local.keys ~remote_cert:cert ()
+              with
+              | Error e -> warn t "init: session" (Error e)
+              | Ok session ->
+                  (* 0-RTT data, sealed under the key for the EphID the
+                     client targeted (the receive-only one for servers). *)
+                  let data0 =
+                    match Session.open_sealed session ~seq ~sealed with
+                    | Ok data -> Some data
+                    | Error e ->
+                        warn t "init: 0-rtt" (Error e);
+                        None
+                  in
+                  if local.receive_only then
+                    (* §VII-A: never source traffic from a receive-only
+                       EphID — answer from a fresh serving EphID and move
+                       the session onto it. *)
+                    request_ephid t (fun serving ->
+                        match
+                          Session.create ~conn_id ~initiator:false
+                            ~local_cert:serving.cert ~local_keys:serving.keys
+                            ~remote_cert:cert ()
+                        with
+                        | Error e -> warn t "init: serving session" (Error e)
+                        | Ok session' ->
+                            I64_tbl.replace t.sessions_by_conn conn_id session';
+                            I64_tbl.replace t.local_by_conn conn_id serving;
+                            let seq, sealed = Session.seal session' "" in
+                            warn t "init: accept"
+                              (send_frame t ~endpoint:serving ~remote:cert
+                                 (Session.Frame.Accept
+                                    { conn_id; cert = serving.cert; seq; sealed }));
+                            if t.accept_zero_rtt then
+                              Option.iter
+                                (fun d -> if d <> "" then deliver_data t session' d)
+                                data0
+                            else
+                              Logs.debug (fun m ->
+                                  m "%s: 0-RTT data refused by policy" t.host_name))
+                  else begin
+                    I64_tbl.replace t.sessions_by_conn conn_id session;
+                    I64_tbl.replace t.local_by_conn conn_id local;
+                    Option.iter (fun d -> if d <> "" then deliver_data t session d) data0
+                  end
+            end
+        end
+    end
+
+let handle_accept t ~conn_id ~(cert : Cert.t) ~seq:_ ~sealed:_ =
+  match (I64_tbl.find_opt t.sessions_by_conn conn_id, require_att t) with
+  | None, _ -> Logs.warn (fun m -> m "%s: accept for unknown conn" t.host_name)
+  | _, Error e -> warn t "accept" (Error e)
+  | Some session, Ok att -> begin
+      match Trust.verify_cert att.trust ~now:(att.now ()) cert with
+      | Error e -> warn t "accept: serving certificate" (Error e)
+      | Ok () -> begin
+          match Session.rekey session ~remote_cert:cert with
+          | Error e -> warn t "accept: rekey" (Error e)
+          | Ok () -> flush_queued t session
+        end
+    end
+
+let handle_data_frame t ~conn_id ~seq ~sealed =
+  match I64_tbl.find_opt t.sessions_by_conn conn_id with
+  | None -> Logs.warn (fun m -> m "%s: data for unknown conn" t.host_name)
+  | Some session -> begin
+      match Session.open_sealed session ~seq ~sealed with
+      | Error e -> warn t "data" (Error e)
+      | Ok data -> deliver_data t session data
+    end
+
+let rec handle_icmp t (pkt : Packet.t) =
+  match Icmp.of_bytes pkt.payload with
+  | Error e -> warn t "icmp" (Error e)
+  | Ok (Icmp.Encrypted { sealed }) -> begin
+      (* §VIII-B: sealed to the key of the EphID the packet targets. *)
+      match local_endpoint_for t pkt.header.dst_ephid with
+      | None -> ()
+      | Some local -> begin
+          match Ecies.open_ ~secret:local.keys.kx_secret sealed with
+          | Error e -> warn t "icmp: sealed" (Error e)
+          | Ok inner -> begin
+              match Icmp.of_bytes inner with
+              | Ok (Icmp.Encrypted _) ->
+                  warn t "icmp" (Error (Error.Malformed "nested encryption"))
+              | _ -> handle_icmp t { pkt with payload = inner }
+            end
+        end
+    end
+  | Ok (Icmp.Echo_request { ident; data }) -> begin
+      (* Reply from one of our endpoints, keeping the sender anonymous to
+         everyone but our AS. *)
+      match local_endpoint_for t pkt.header.dst_ephid with
+      | None -> ()
+      | Some local ->
+          warn t "icmp reply"
+            (send_packet t
+               ~src_ephid:(Ephid.to_bytes local.cert.Cert.ephid)
+               ~dst_aid:pkt.header.src_aid ~dst_ephid:pkt.header.src_ephid
+               ~proto:Packet.Icmp
+               ~payload:(Icmp.to_bytes (Icmp.Echo_reply { ident; data })))
+    end
+  | Ok (Icmp.Echo_reply { ident; _ }) -> begin
+      match (Hashtbl.find_opt t.pending_pings ident, require_att t) with
+      | Some (t0, k), Ok att ->
+          Hashtbl.remove t.pending_pings ident;
+          k (att.now_f () -. t0)
+      | _ -> ()
+    end
+  | Ok (Icmp.Unreachable { reason; _ }) ->
+      t.unreachables_rev <- reason :: t.unreachables_rev
+  | Ok (Icmp.Frag_needed { mtu; _ }) -> t.mtu_hints_rev <- mtu :: t.mtu_hints_rev
+
+let deliver t (pkt : Packet.t) =
+  match pkt.proto with
+  | Packet.Control -> begin
+      match Msgs.of_bytes pkt.payload with
+      | Error e -> warn t "control" (Error e)
+      | Ok (Msgs.Ephid_reply _ as msg) -> handle_ephid_reply t msg
+      | Ok (Msgs.Dns_reply _ as msg) -> begin
+          match Queue.take_opt t.pending_dns with
+          | Some k -> k msg
+          | None -> Logs.warn (fun m -> m "%s: unexpected DNS reply" t.host_name)
+        end
+      | Ok (Msgs.Revocation_notice { ephid }) -> begin
+          match Ephid.of_bytes ephid with
+          | Error e -> warn t "revocation notice" (Error (Error.Malformed e))
+          | Ok ephid ->
+              (* Identify the application behind the revoked EphID from the
+                 granularity pools (§VIII-A). *)
+              let app =
+                Hashtbl.fold
+                  (fun key (ep : endpoint) acc ->
+                    if Ephid.equal ep.cert.Cert.ephid ephid then
+                      match String.index_opt key ':' with
+                      | Some i ->
+                          Some (String.sub key (i + 1) (String.length key - i - 1))
+                      | None -> acc
+                    else acc)
+                  t.pools None
+              in
+              t.revocation_notices_rev <- (ephid, app) :: t.revocation_notices_rev
+        end
+      | Ok _ -> Logs.warn (fun m -> m "%s: unexpected control message" t.host_name)
+    end
+  | Packet.Data -> begin
+      match Session.Frame.of_bytes pkt.payload with
+      | Error e -> warn t "frame" (Error e)
+      | Ok (Session.Frame.Init { conn_id; cert; seq; sealed }) ->
+          I64_tbl.replace t.last_packet_by_conn conn_id pkt;
+          handle_init t pkt ~conn_id ~cert ~seq ~sealed
+      | Ok (Session.Frame.Accept { conn_id; cert; seq; sealed }) ->
+          handle_accept t ~conn_id ~cert ~seq ~sealed
+      | Ok (Session.Frame.Data { conn_id; seq; sealed }) ->
+          I64_tbl.replace t.last_packet_by_conn conn_id pkt;
+          handle_data_frame t ~conn_id ~seq ~sealed
+      | Ok (Session.Frame.Fin { conn_id; seq; sealed }) ->
+          handle_fin t ~conn_id ~seq ~sealed
+    end
+  | Packet.Icmp -> handle_icmp t pkt

@@ -1,0 +1,158 @@
+(** An APNA host: bootstraps to its AS, manages its EphID pool according to
+    a granularity policy, and runs encrypted sessions with peers
+    (paper §III-C and §IV end to end).
+
+    Hosts are event-driven: operations that involve a network round trip
+    (EphID issuance, connection establishment, DNS, ping) take a
+    continuation that fires when the reply arrives. With the discrete-event
+    engine, running the simulation to quiescence resolves all of them
+    deterministically. *)
+
+type t
+
+type attachment = {
+  aid : Apna_net.Addr.aid;
+  now : unit -> int;  (** Unix seconds (simulated). *)
+  now_f : unit -> float;  (** Simulated time, sub-second resolution. *)
+  submit : Apna_net.Packet.t -> unit;  (** Hand a packet to the AS. *)
+  bootstrap_rpc :
+    host_dh_pub:string -> (Registry.reply, Error.t) result;
+      (** The out-of-band authenticated channel to the RS (Fig. 2); the
+          subscriber credential is bound in by the AS at attach time. *)
+  trust : Trust.t;
+}
+
+type endpoint = {
+  cert : Cert.t;
+  keys : Keys.ephid_keys;
+  receive_only : bool;  (** Never used as a source EphID (§VII-A). *)
+}
+
+val create :
+  name:string -> rng:Apna_crypto.Drbg.t ->
+  ?granularity:Granularity.t -> unit -> t
+(** Granularity defaults to {!Granularity.Per_flow}. *)
+
+val name : t -> string
+val granularity : t -> Granularity.t
+val set_granularity : t -> Granularity.t -> unit
+
+(** {2 Wiring (called by the AS / access point)} *)
+
+val attach : t -> attachment -> unit
+val attachment : t -> attachment option
+val deliver : t -> Apna_net.Packet.t -> unit
+(** Entry point for packets addressed to this host. *)
+
+(** {2 Control plane} *)
+
+val bootstrap : t -> (unit, Error.t) result
+(** Runs the Fig. 2 procedure: DH with the RS, verification of the signed
+    id_info and of the MS/DNS service certificates against the trust
+    store. *)
+
+val is_bootstrapped : t -> bool
+val ctrl_ephid : t -> Ephid.t option
+val aa_ephid : t -> Ephid.t option
+val ms_cert : t -> Cert.t option
+val dns_cert : t -> Cert.t option
+val kha : t -> Keys.host_as option
+
+val request_ephid :
+  t -> ?lifetime:Lifetime.t -> ?receive_only:bool ->
+  (endpoint -> unit) -> unit
+(** Requests a fresh EphID from the MS (Fig. 3); the continuation receives
+    the new endpoint. Replies match requests in FIFO order (delivery within
+    an AS is ordered in this simulator). *)
+
+val endpoints : t -> endpoint list
+
+val release_endpoint : t -> endpoint -> (unit, Error.t) result
+(** Preemptively retires an EphID the host no longer needs (§VIII-G2):
+    tells the MS to revoke it and drops it from the local pools. *)
+
+(** {2 Data plane} *)
+
+val connect :
+  t -> remote:Cert.t -> ?data0:string -> ?app:string ->
+  ?expect_accept:bool -> (Session.t -> unit) -> unit
+(** Establishes a session with the owner of [remote] (§IV-D1): picks or
+    requests a source EphID per the granularity policy ([app] labels
+    {!Granularity.Per_application} traffic), derives the session key, and
+    sends the [Init] frame — carrying [data0] as 0-RTT data when given
+    (§VII-C). The continuation receives the session as soon as it exists
+    locally; if [remote] is receive-only, the session is usable but
+    unestablished until the server's [Accept] arrives. *)
+
+val send : t -> Session.t -> string -> (unit, Error.t) result
+(** Sends a data frame on an established session. Under
+    {!Granularity.Per_packet} every frame goes out under a fresh source
+    EphID from the prefetched pool. *)
+
+val on_data : t -> (session:Session.t -> data:string -> unit) -> unit
+(** Installs an application data handler. Decrypted payloads are always
+    also appended to {!received}. *)
+
+val received : t -> (int64 * string) list
+(** All application data received, oldest first, tagged by connection id. *)
+
+val sessions : t -> Session.t list
+
+val close : t -> Session.t -> (unit, Error.t) result
+(** Authenticated session close: sends a [Fin] frame, drops local state,
+    and preemptively releases the backing EphID when it was per-flow
+    (§VIII-G2's pool management). *)
+
+val set_zero_rtt_policy : t -> bool -> unit
+(** Server-side policy for 0-RTT data arriving under a receive-only
+    EphID's key (§VII-C): accepted by default; refusing costs the client
+    0.5 RTT but protects first-flight data against later compromise of the
+    receive-only key. *)
+
+(** {2 Server role (§VII-A)} *)
+
+val publish :
+  t -> name:string -> ?dns:Cert.t -> ?ipv4:Apna_net.Addr.hid ->
+  (unit -> unit) -> unit
+(** Requests a receive-only EphID, then registers it in DNS under [name]
+    ([dns] defaults to the host's own AS's DNS service). On [Init] frames
+    arriving at a receive-only EphID the host automatically answers with an
+    [Accept] carrying a fresh serving certificate. *)
+
+val dns_lookup :
+  t -> name:string -> ?dns:Cert.t -> (Dns_service.Record.t option -> unit) -> unit
+(** Encrypted DNS query (§VII-A); verifies the zone signature against the
+    trust store and discards forged records (calls back with [None]). *)
+
+(** {2 Feedback and defence} *)
+
+val ping :
+  t -> dst_aid:Apna_net.Addr.aid -> dst_ephid:Ephid.t -> (float -> unit) -> unit
+(** ICMP echo (§VIII-B); continuation receives the RTT in seconds. *)
+
+val unreachables : t -> Icmp.unreachable_reason list
+(** ICMP destination-unreachable notifications received, oldest first. *)
+
+val mtu_hints : t -> int list
+(** Path-MTU hints from ICMP packet-too-big feedback, oldest first: the
+    largest APNA packet the constraining link carries. *)
+
+val revocation_notices : t -> (Ephid.t * string option) list
+(** Shutoff notices from the AS, oldest first: the revoked EphID and —
+    under {!Granularity.Per_application} — the application behind it, so
+    host and AS can collaboratively pin down a misbehaving app (§VIII-A). *)
+
+val last_packet : t -> Session.t -> Apna_net.Packet.t option
+(** The most recent raw packet received on a session — shutoff evidence. *)
+
+val request_shutoff : t -> session:Session.t -> evidence:Apna_net.Packet.t ->
+  (unit, Error.t) result
+(** Victim side of the shutoff protocol (Fig. 5): signs the unwanted
+    packet with the key of the session's local (destination) EphID and
+    sends the request to the accountability agent named in the {e peer's}
+    certificate. *)
+
+(** {2 Introspection for tests and benchmarks} *)
+
+val ephid_requests_sent : t -> int
+val packets_sent : t -> int

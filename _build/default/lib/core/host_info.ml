@@ -1,0 +1,22 @@
+type entry = { kha : Keys.host_as; mutable revoked : bool }
+type t = entry Apna_net.Addr.Hid_tbl.t
+
+let create () = Apna_net.Addr.Hid_tbl.create 64
+
+let register t hid kha =
+  Apna_net.Addr.Hid_tbl.replace t hid { kha; revoked = false }
+
+let find t hid =
+  match Apna_net.Addr.Hid_tbl.find_opt t hid with
+  | None -> Error Error.Unknown_host
+  | Some entry when entry.revoked -> Error (Error.Revoked "HID")
+  | Some entry -> Ok entry
+
+let mem_valid t hid = Result.is_ok (find t hid)
+
+let revoke_hid t hid =
+  match Apna_net.Addr.Hid_tbl.find_opt t hid with
+  | Some entry -> entry.revoked <- true
+  | None -> ()
+
+let count = Apna_net.Addr.Hid_tbl.length

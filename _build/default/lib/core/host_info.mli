@@ -1,0 +1,21 @@
+(** The per-AS [host_info] database (paper Fig. 2/4): what every
+    infrastructure entity of an AS (routers, MS, AA) knows about each
+    bootstrapped host — its HID and the shared kHA keys — so it can
+    authenticate the host's packets. *)
+
+type entry = {
+  kha : Keys.host_as;
+  mutable revoked : bool;  (** HID revoked (identity-minting defence, §VI-A). *)
+}
+
+type t
+
+val create : unit -> t
+val register : t -> Apna_net.Addr.hid -> Keys.host_as -> unit
+
+val find : t -> Apna_net.Addr.hid -> (entry, Error.t) result
+(** [Error Unknown_host] when absent, [Error (Revoked _)] when revoked. *)
+
+val mem_valid : t -> Apna_net.Addr.hid -> bool
+val revoke_hid : t -> Apna_net.Addr.hid -> unit
+val count : t -> int

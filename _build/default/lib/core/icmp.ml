@@ -1,0 +1,86 @@
+type unreachable_reason = No_route | Ephid_expired | Ephid_revoked | Host_unknown
+
+type t =
+  | Echo_request of { ident : int; data : string }
+  | Echo_reply of { ident : int; data : string }
+  | Unreachable of { reason : unreachable_reason; quoted : string }
+  | Frag_needed of { mtu : int; quoted : string }
+  | Encrypted of { sealed : Ecies.sealed }
+
+let reason_to_int = function
+  | No_route -> 0
+  | Ephid_expired -> 1
+  | Ephid_revoked -> 2
+  | Host_unknown -> 3
+
+let reason_of_int = function
+  | 0 -> Ok No_route
+  | 1 -> Ok Ephid_expired
+  | 2 -> Ok Ephid_revoked
+  | 3 -> Ok Host_unknown
+  | n -> Error (Printf.sprintf "icmp: unknown unreachable reason %d" n)
+
+let reason_to_string = function
+  | No_route -> "no route to AS"
+  | Ephid_expired -> "destination EphID expired"
+  | Ephid_revoked -> "destination EphID revoked"
+  | Host_unknown -> "destination host unknown"
+
+let to_bytes t =
+  let w = Apna_util.Rw.Writer.create () in
+  let open Apna_util.Rw.Writer in
+  (match t with
+  | Echo_request { ident; data } ->
+      u8 w 0;
+      u16 w ident;
+      bytes w data
+  | Echo_reply { ident; data } ->
+      u8 w 1;
+      u16 w ident;
+      bytes w data
+  | Unreachable { reason; quoted } ->
+      u8 w 2;
+      u8 w (reason_to_int reason);
+      bytes w quoted
+  | Frag_needed { mtu; quoted } ->
+      u8 w 3;
+      u16 w mtu;
+      bytes w quoted
+  | Encrypted { sealed } ->
+      u8 w 4;
+      bytes w (Ecies.to_bytes sealed));
+  contents w
+
+let of_bytes s =
+  let open Apna_util.Rw in
+  let r = Reader.of_string s in
+  let parse =
+    let* kind = Reader.u8 r in
+    match kind with
+    | 0 | 1 ->
+        let* ident = Reader.u16 r in
+        let data = Reader.rest r in
+        Ok (if kind = 0 then Echo_request { ident; data } else Echo_reply { ident; data })
+    | 2 ->
+        let* reason_int = Reader.u8 r in
+        let* reason = reason_of_int reason_int in
+        Ok (Unreachable { reason; quoted = Reader.rest r })
+    | 3 ->
+        let* mtu = Reader.u16 r in
+        Ok (Frag_needed { mtu; quoted = Reader.rest r })
+    | 4 -> begin
+        match Ecies.of_bytes (Reader.rest r) with
+        | Ok sealed -> Ok (Encrypted { sealed })
+        | Error e -> Error (Error.to_string e)
+      end
+    | n -> Error (Printf.sprintf "icmp: unknown type %d" n)
+  in
+  Result.map_error (fun e -> Error.Malformed e) parse
+
+let pp ppf = function
+  | Echo_request { ident; _ } -> Format.fprintf ppf "echo-request(%d)" ident
+  | Echo_reply { ident; _ } -> Format.fprintf ppf "echo-reply(%d)" ident
+  | Unreachable { reason; _ } ->
+      Format.fprintf ppf "unreachable(%s)" (reason_to_string reason)
+  | Frag_needed { mtu; _ } -> Format.fprintf ppf "frag-needed(mtu=%d)" mtu
+  | Encrypted _ -> Format.pp_print_string ppf "encrypted"

@@ -1,0 +1,34 @@
+(** ICMP over APNA (paper §VIII-B).
+
+    Because the source EphID in every packet is a working return address,
+    network feedback keeps working under host privacy: any entity can send
+    an ICMP message to a source it observed, the sender of the ICMP message
+    stays anonymous to everyone but its own AS, and the message is
+    attributable through the usual per-packet MAC. Payloads of ICMP
+    messages are {e not} encrypted (the paper leaves that to future work). *)
+
+type unreachable_reason =
+  | No_route
+  | Ephid_expired
+  | Ephid_revoked
+  | Host_unknown
+
+type t =
+  | Echo_request of { ident : int; data : string }
+  | Echo_reply of { ident : int; data : string }
+  | Unreachable of { reason : unreachable_reason; quoted : string }
+      (** [quoted] echoes the offending packet's first bytes, like
+          classical ICMP quoting. *)
+  | Frag_needed of { mtu : int; quoted : string }
+      (** Packet-too-big feedback for path-MTU discovery (§II-C); [mtu] is
+          the largest APNA packet the offending link carries. *)
+  | Encrypted of { sealed : Ecies.sealed }
+      (** An ICMP error sealed to the offending packet's source EphID —
+          the §VIII-B future work: the sender found the source's
+          certificate in its {!Cert_cache} and encrypted the payload, so
+          not even network feedback leaks what went wrong. *)
+
+val to_bytes : t -> string
+val of_bytes : string -> (t, Error.t) result
+val reason_to_string : unreachable_reason -> string
+val pp : Format.formatter -> t -> unit

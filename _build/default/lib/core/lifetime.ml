@@ -1,0 +1,22 @@
+type t = Short | Medium | Long
+
+type policy = { short_s : int; medium_s : int; long_s : int }
+
+let default_policy = { short_s = 60; medium_s = 900; long_s = 86_400 }
+
+let seconds p = function
+  | Short -> p.short_s
+  | Medium -> p.medium_s
+  | Long -> p.long_s
+
+let to_int = function Short -> 0 | Medium -> 1 | Long -> 2
+
+let of_int = function
+  | 0 -> Ok Short
+  | 1 -> Ok Medium
+  | 2 -> Ok Long
+  | n -> Error (Printf.sprintf "lifetime: unknown class %d" n)
+
+let pp ppf t =
+  Format.pp_print_string ppf
+    (match t with Short -> "short" | Medium -> "medium" | Long -> "long")

@@ -1,0 +1,17 @@
+(** EphID lifetime classes (paper §VIII-G1): rather than a single fixed
+    expiration, an AS offers short/medium/long-term EphIDs so hosts can
+    match token lifetime to flow duration. The 15-minute medium default
+    follows the paper's observation that 98% of Internet flows last less
+    than 15 minutes. *)
+
+type t = Short | Medium | Long
+
+type policy = { short_s : int; medium_s : int; long_s : int }
+
+val default_policy : policy
+(** Short = 60 s, Medium = 900 s (15 min), Long = 86400 s. *)
+
+val seconds : policy -> t -> int
+val to_int : t -> int
+val of_int : int -> (t, string) result
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,157 @@
+open Apna_crypto
+
+type t = {
+  keys : Keys.as_keys;
+  host_info : Host_info.t;
+  revoked : Revocation.t;
+  rng : Drbg.t;
+  policy : Lifetime.policy;
+  aa_ephid : Ephid.t;
+  audit : Audit.t option;
+  mutable issued : int;
+  mutable released : int;
+}
+
+let create ~keys ~host_info ?(revoked = Revocation.create ()) ~rng
+    ?(policy = Lifetime.default_policy) ~aa_ephid ?audit () =
+  {
+    keys;
+    host_info;
+    revoked;
+    rng;
+    policy;
+    aa_ephid;
+    audit;
+    issued = 0;
+    released = 0;
+  }
+
+let issue_direct t ~now ~hid ~kx_pub ~sig_pub ~lifetime =
+  if String.length kx_pub <> 32 || String.length sig_pub <> 32 then
+    Error (Error.Malformed "ephemeral public key size")
+  else begin
+    let expiry = now + Lifetime.seconds t.policy lifetime in
+    let ephid = Ephid.issue_random t.keys t.rng ~hid ~expiry in
+    let cert =
+      Cert.issue t.keys ~ephid ~expiry ~kx_pub ~sig_pub ~aa_ephid:t.aa_ephid
+    in
+    t.issued <- t.issued + 1;
+    (* Data retention (§VIII-H): the EphID -> HID binding, nothing more. *)
+    Option.iter (fun a -> Audit.record_issuance a ~now ~ephid ~hid) t.audit;
+    Ok cert
+  end
+
+let handle_request t ~now ~src_ephid msg =
+  match msg with
+  | Msgs.Ephid_request { nonce; sealed } -> begin
+      match Ephid.of_bytes src_ephid with
+      | Error e -> Error (Error.Malformed e)
+      | Ok ctrl -> begin
+          (* Fig. 3: decrypt the control EphID; check expiry; check HID. *)
+          match Ephid.parse t.keys ctrl with
+          | Error e -> Error e
+          | Ok info when Ephid.expired info ~now -> Error (Error.Expired "control EphID")
+          | Ok info -> begin
+              match Host_info.find t.host_info info.hid with
+              | Error e -> Error e
+              | Ok entry -> begin
+                  match Aead.open_ ~key:entry.kha.ctrl ~nonce sealed with
+                  | Error e -> Error (Error.Crypto e)
+                  | Ok body_bytes -> begin
+                      match Msgs.Request_body.of_bytes body_bytes with
+                      | Error e -> Error e
+                      | Ok body -> begin
+                          match
+                            issue_direct t ~now ~hid:info.hid ~kx_pub:body.kx_pub
+                              ~sig_pub:body.sig_pub ~lifetime:body.lifetime
+                          with
+                          | Error e -> Error e
+                          | Ok cert ->
+                              (* The reply is encrypted so that an observer
+                                 cannot correlate issued EphIDs with the
+                                 requesting control EphID (§IV-C). *)
+                              let reply_nonce = Drbg.generate t.rng Aead.nonce_size in
+                              let sealed =
+                                Aead.seal ~key:entry.kha.ctrl ~nonce:reply_nonce
+                                  (Cert.to_bytes cert)
+                              in
+                              Ok (Msgs.Ephid_reply { nonce = reply_nonce; sealed })
+                        end
+                    end
+                end
+            end
+        end
+    end
+  | _ -> Error (Error.Malformed "MS: not an EphID request")
+
+let issued_count t = t.issued
+let released_count t = t.released
+
+(* Validate the control EphID and open a kHA-ctrl-sealed body — shared by
+   requests and releases. *)
+let open_from_host t ~now ~src_ephid ~nonce ~sealed =
+  match Ephid.of_bytes src_ephid with
+  | Error e -> Error (Error.Malformed e)
+  | Ok ctrl -> begin
+      match Ephid.parse t.keys ctrl with
+      | Error e -> Error e
+      | Ok info when Ephid.expired info ~now -> Error (Error.Expired "control EphID")
+      | Ok info -> begin
+          match Host_info.find t.host_info info.hid with
+          | Error e -> Error e
+          | Ok entry -> begin
+              match Aead.open_ ~key:entry.kha.ctrl ~nonce sealed with
+              | Error e -> Error (Error.Crypto e)
+              | Ok body -> Ok (info.hid, entry, body)
+            end
+        end
+    end
+
+let handle_release t ~now ~src_ephid msg =
+  match msg with
+  | Msgs.Ephid_release { nonce; sealed } -> begin
+      match open_from_host t ~now ~src_ephid ~nonce ~sealed with
+      | Error e -> Error e
+      | Ok (hid, _entry, body) -> begin
+          match Ephid.of_bytes body with
+          | Error e -> Error (Error.Malformed e)
+          | Ok released -> begin
+              match Ephid.parse t.keys released with
+              | Error e -> Error e
+              | Ok info ->
+                  (* Only the owner may retire an EphID. *)
+                  if not (Apna_net.Addr.hid_equal info.hid hid) then
+                    Error (Error.Rejected "release of a foreign EphID")
+                  else begin
+                    Revocation.revoke t.revoked released ~expiry:info.expiry;
+                    t.released <- t.released + 1;
+                    Ok ()
+                  end
+            end
+        end
+    end
+  | _ -> Error (Error.Malformed "MS: not a release")
+
+module Client = struct
+  let make_request_raw ~rng ~(kha : Keys.host_as) ~kx_pub ~sig_pub ~lifetime =
+    let body = Msgs.Request_body.to_bytes { kx_pub; sig_pub; lifetime } in
+    let nonce = Drbg.generate rng Aead.nonce_size in
+    Msgs.Ephid_request { nonce; sealed = Aead.seal ~key:kha.ctrl ~nonce body }
+
+  let make_request ~rng ~kha ~(keys : Keys.ephid_keys) ~lifetime =
+    make_request_raw ~rng ~kha ~kx_pub:keys.kx_public
+      ~sig_pub:(Ed25519.public_key keys.sig_keypair) ~lifetime
+
+  let make_release ~rng ~(kha : Keys.host_as) ~ephid =
+    let nonce = Drbg.generate rng Aead.nonce_size in
+    Msgs.Ephid_release
+      { nonce; sealed = Aead.seal ~key:kha.ctrl ~nonce (Ephid.to_bytes ephid) }
+
+  let read_reply ~(kha : Keys.host_as) = function
+    | Msgs.Ephid_reply { nonce; sealed } -> begin
+        match Aead.open_ ~key:kha.ctrl ~nonce sealed with
+        | Error e -> Error (Error.Crypto e)
+        | Ok cert_bytes -> Cert.of_bytes cert_bytes
+      end
+    | _ -> Error (Error.Malformed "expected an EphID reply")
+end

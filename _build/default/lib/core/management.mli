@@ -1,0 +1,65 @@
+(** The EphID Management Service (MS) — issuance (paper §IV-C, Fig. 3,
+    §V-A).
+
+    The MS receives an encrypted request carrying the host-generated
+    ephemeral public keys, validates the control EphID (tag, expiry, HID
+    validity), and answers with an encrypted short-lived certificate for a
+    freshly issued EphID. Issuance is stateless with respect to EphIDs:
+    decrypting the token is the only lookup the AS ever needs. *)
+
+type t
+
+val create :
+  keys:Keys.as_keys ->
+  host_info:Host_info.t ->
+  ?revoked:Revocation.t ->
+  rng:Apna_crypto.Drbg.t ->
+  ?policy:Lifetime.policy ->
+  aa_ephid:Ephid.t ->
+  ?audit:Audit.t ->
+  unit ->
+  t
+(** [revoked] is the border routers' revocation list, which preemptive
+    releases feed into (§VIII-G2); defaults to a private list. [audit]
+    enables data retention of issuance bindings (§VIII-H). *)
+
+val handle_request :
+  t -> now:int -> src_ephid:string -> Msgs.t -> (Msgs.t, Error.t) result
+(** [handle_request t ~now ~src_ephid msg] performs the Fig. 3 checks —
+    control EphID authenticity and expiry, HID validity, request
+    decryption — and returns the encrypted [Ephid_reply]. [src_ephid] is
+    the raw source identifier from the packet header. *)
+
+val issue_direct :
+  t -> now:int -> hid:Apna_net.Addr.hid -> kx_pub:string -> sig_pub:string ->
+  lifetime:Lifetime.t -> (Cert.t, Error.t) result
+(** Issuance without the message wrapper: used for AS services' own
+    EphIDs, NAT-mode access points (§VII-B) and gateways (§VII-D). *)
+
+val issued_count : t -> int
+(** Total EphIDs issued — the statistic of the §V-A3 evaluation. *)
+
+val handle_release :
+  t -> now:int -> src_ephid:string -> Msgs.t -> (unit, Error.t) result
+(** Preemptive revocation by the owner (§VIII-G2): validates that the
+    release comes from the EphID's own HID, then revokes it. *)
+
+val released_count : t -> int
+
+(** Host-side helpers for the request/reply exchange. *)
+module Client : sig
+  val make_request :
+    rng:Apna_crypto.Drbg.t -> kha:Keys.host_as -> keys:Keys.ephid_keys ->
+    lifetime:Lifetime.t -> Msgs.t
+
+  val make_request_raw :
+    rng:Apna_crypto.Drbg.t -> kha:Keys.host_as -> kx_pub:string ->
+    sig_pub:string -> lifetime:Lifetime.t -> Msgs.t
+  (** Request with externally supplied public keys — what a NAT-mode access
+      point sends on behalf of a client (§VII-B). *)
+
+  val read_reply : kha:Keys.host_as -> Msgs.t -> (Cert.t, Error.t) result
+
+  val make_release :
+    rng:Apna_crypto.Drbg.t -> kha:Keys.host_as -> ephid:Ephid.t -> Msgs.t
+end

@@ -1,0 +1,113 @@
+open Apna_util.Rw
+
+type t =
+  | Ephid_request of { nonce : string; sealed : string }
+  | Ephid_reply of { nonce : string; sealed : string }
+  | Shutoff_request of { packet : string; signature : string; cert : string }
+  | Dns_query of { client_cert : string; nonce : string; sealed : string }
+  | Dns_reply of { nonce : string; sealed : string }
+  | Dns_register of { client_cert : string; nonce : string; sealed : string }
+  | Revocation_notice of { ephid : string }
+  | Ephid_release of { nonce : string; sealed : string }
+
+let nonce_size = 16
+
+let tag = function
+  | Ephid_request _ -> 0
+  | Ephid_reply _ -> 1
+  | Shutoff_request _ -> 2
+  | Dns_query _ -> 3
+  | Dns_reply _ -> 4
+  | Dns_register _ -> 5
+  | Revocation_notice _ -> 6
+  | Ephid_release _ -> 7
+
+let write_var w s =
+  Writer.u16 w (String.length s);
+  Writer.bytes w s
+
+let read_var r =
+  let* len = Reader.u16 r in
+  Reader.bytes r len
+
+let to_bytes t =
+  let w = Writer.create () in
+  Writer.u8 w (tag t);
+  (match t with
+  | Ephid_request { nonce; sealed } | Ephid_reply { nonce; sealed }
+  | Dns_reply { nonce; sealed } | Ephid_release { nonce; sealed } ->
+      Writer.bytes w nonce;
+      write_var w sealed
+  | Shutoff_request { packet; signature; cert } ->
+      write_var w packet;
+      write_var w signature;
+      write_var w cert
+  | Dns_query { client_cert; nonce; sealed }
+  | Dns_register { client_cert; nonce; sealed } ->
+      write_var w client_cert;
+      Writer.bytes w nonce;
+      write_var w sealed
+  | Revocation_notice { ephid } -> Writer.bytes w ephid);
+  Writer.contents w
+
+let of_bytes s =
+  let r = Reader.of_string s in
+  let parse =
+    let* kind = Reader.u8 r in
+    let* msg =
+      match kind with
+      | 0 | 1 | 4 | 7 ->
+          let* nonce = Reader.bytes r nonce_size in
+          let* sealed = read_var r in
+          Ok
+            (match kind with
+            | 0 -> Ephid_request { nonce; sealed }
+            | 1 -> Ephid_reply { nonce; sealed }
+            | 4 -> Dns_reply { nonce; sealed }
+            | _ -> Ephid_release { nonce; sealed })
+      | 2 ->
+          let* packet = read_var r in
+          let* signature = read_var r in
+          let* cert = read_var r in
+          Ok (Shutoff_request { packet; signature; cert })
+      | 3 | 5 ->
+          let* client_cert = read_var r in
+          let* nonce = Reader.bytes r nonce_size in
+          let* sealed = read_var r in
+          Ok
+            (if kind = 3 then Dns_query { client_cert; nonce; sealed }
+             else Dns_register { client_cert; nonce; sealed })
+      | 6 ->
+          let* ephid = Reader.bytes r 16 in
+          Ok (Revocation_notice { ephid })
+      | n -> Error (Printf.sprintf "unknown control message tag %d" n)
+    in
+    let* () = Reader.expect_end r in
+    Ok msg
+  in
+  Result.map_error (fun e -> Error.Malformed ("control: " ^ e)) parse
+
+module Request_body = struct
+  type t = { kx_pub : string; sig_pub : string; lifetime : Lifetime.t }
+
+  let to_bytes t =
+    if String.length t.kx_pub <> 32 || String.length t.sig_pub <> 32 then
+      invalid_arg "Request_body: key size";
+    let w = Writer.create ~capacity:65 () in
+    Writer.bytes w t.kx_pub;
+    Writer.bytes w t.sig_pub;
+    Writer.u8 w (Lifetime.to_int t.lifetime);
+    Writer.contents w
+
+  let of_bytes s =
+    let r = Reader.of_string s in
+    let parse =
+      let* kx_pub = Reader.bytes r 32 in
+      let* sig_pub = Reader.bytes r 32 in
+      let* lifetime_int = Reader.u8 r in
+      let* lifetime = Lifetime.of_int lifetime_int in
+      let* () = Reader.expect_end r in
+      Ok { kx_pub; sig_pub; lifetime }
+    in
+    Result.map_error (fun e -> Error.Malformed ("ephid request: " ^ e)) parse
+end

@@ -1,0 +1,40 @@
+(** Wire formats for control-plane messages (packet proto {!Apna_net.Packet.Control}).
+
+    EphID request/reply bodies are AEAD-sealed under the host–AS control
+    key so that an on-path observer cannot link the ephemeral public keys
+    in requests to later connection-establishment packets (§IV-C). *)
+
+type t =
+  | Ephid_request of { nonce : string; sealed : string }
+      (** host → MS, sealed under kHA-ctrl: {!request_body}. *)
+  | Ephid_reply of { nonce : string; sealed : string }
+      (** MS → host, sealed under kHA-ctrl: certificate bytes. *)
+  | Shutoff_request of { packet : string; signature : string; cert : string }
+      (** victim → AA of the source (Fig. 5): the unwanted packet, an
+          Ed25519 signature over it by the victim's EphID key, and the
+          victim's certificate. *)
+  | Dns_query of { client_cert : string; nonce : string; sealed : string }
+      (** sealed under ECDH(client EphID key, DNS service key): the name. *)
+  | Dns_reply of { nonce : string; sealed : string }
+      (** sealed likewise: a {!Dns_record} or an empty string for NXDOMAIN. *)
+  | Dns_register of { client_cert : string; nonce : string; sealed : string }
+      (** sealed likewise: name length-prefixed, then the record. *)
+  | Revocation_notice of { ephid : string }
+      (** AA → source host after a shutoff: which EphID was revoked, so the
+          host can identify the application behind it (§VIII-A). *)
+  | Ephid_release of { nonce : string; sealed : string }
+      (** host → MS, sealed under kHA-ctrl: an EphID the host no longer
+          needs, revoked preemptively (§VIII-G2). The seal proves the
+          request comes from the key-holder, and the MS additionally checks
+          the EphID belongs to the requesting HID. *)
+
+val to_bytes : t -> string
+val of_bytes : string -> (t, Error.t) result
+
+(** EphID request body (the confidential part). *)
+module Request_body : sig
+  type t = { kx_pub : string; sig_pub : string; lifetime : Lifetime.t }
+
+  val to_bytes : t -> string
+  val of_bytes : string -> (t, Error.t) result
+end

@@ -1,0 +1,180 @@
+open Apna_net
+
+(* Host <-> border-router latency inside an AS; packets cross it twice per
+   AS-to-AS round. *)
+let intra_as_delay_s = 0.0002
+
+type transport = Native | Gre_ipv4
+
+(* In the §VII-D deployment, APNA routers are IPv4 endpoints; give each AS
+   a deterministic router address. *)
+let router_ip aid = Addr.hid_of_int (0xac100000 lor (Addr.aid_to_int aid land 0xffff))
+
+(* Fig. 9: IPv4 / GRE / APNA header / payload between APNA entities. *)
+let encapsulate ~from ~to_ pkt =
+  let inner = Gre.encapsulate ~protocol:Gre.protocol_apna (Packet.to_bytes pkt) in
+  let header =
+    Ipv4_header.make ~protocol:Ipv4_header.protocol_gre ~src:(router_ip from)
+      ~dst:(router_ip to_) ~payload_len:(String.length inner) ()
+  in
+  Ipv4_header.to_bytes header ^ inner
+
+let decapsulate bytes =
+  let open Apna_util.Rw in
+  let* header = Ipv4_header.of_bytes bytes in
+  if header.protocol <> Ipv4_header.protocol_gre then Error "not GRE"
+  else begin
+    let inner =
+      String.sub bytes Ipv4_header.size (String.length bytes - Ipv4_header.size)
+    in
+    let* proto, apna = Gre.decapsulate inner in
+    if proto <> Gre.protocol_apna then Error "not an APNA payload"
+    else Packet.of_bytes apna
+  end
+
+type t = {
+  engine : Apna_sim.Engine.t;
+  topology : Topology.t;
+  trust : Trust.t;
+  rng : Apna_crypto.Drbg.t;
+  nodes : As_node.t Addr.Aid_tbl.t;
+  epoch : int;
+  (* Store-and-forward FIFO per directed link: when its sender side frees
+     up. Serialization happens in order, so small packets cannot overtake
+     large ones queued ahead of them. *)
+  link_busy_until : (int * int, float ref) Hashtbl.t;
+  mutable tap : from:Addr.aid -> to_:Addr.aid -> Packet.t -> unit;
+  transport : transport;
+}
+
+let create ?(seed = "apna-network") ?(epoch = 1_750_000_000)
+    ?(transport = Native) () =
+  {
+    engine = Apna_sim.Engine.create ();
+    topology = Topology.create ();
+    trust = Trust.create ();
+    rng = Apna_crypto.Drbg.create ~seed;
+    nodes = Addr.Aid_tbl.create 8;
+    epoch;
+    link_busy_until = Hashtbl.create 16;
+    tap = (fun ~from:_ ~to_:_ _ -> ());
+    transport;
+  }
+
+let engine t = t.engine
+let topology t = t.topology
+let trust t = t.trust
+let rng t = t.rng
+let now_f t = Apna_sim.Engine.now t.engine
+let now_unix t = t.epoch + int_of_float (now_f t)
+let node t aid = Addr.Aid_tbl.find_opt t.nodes aid
+
+let node_exn t as_number =
+  match node t (Addr.aid_of_int as_number) with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Network.node_exn: AS%d unknown" as_number)
+
+let add_as t as_number ?dns_zone ?retention ?icmp_encryption () =
+  let aid = Addr.aid_of_int as_number in
+  if Addr.Aid_tbl.mem t.nodes aid then
+    invalid_arg (Printf.sprintf "Network.add_as: AS%d already exists" as_number);
+  Topology.add_as t.topology aid;
+  let node =
+    As_node.create
+      ~rng:(Apna_crypto.Drbg.split t.rng (Printf.sprintf "as-%d" as_number))
+      ~aid ~trust:t.trust ~topology:t.topology
+      ~now:(fun () -> now_unix t)
+      ~now_f:(fun () -> now_f t)
+      ?dns_zone ?retention ?icmp_encryption ()
+  in
+  As_node.set_emit node (fun ~next pkt ->
+      match (Addr.Aid_tbl.find_opt t.nodes next, Topology.link t.topology aid next) with
+      | Some peer, Some link ->
+          t.tap ~from:aid ~to_:next pkt;
+          let key = (as_number, Addr.aid_to_int next) in
+          let busy =
+            match Hashtbl.find_opt t.link_busy_until key with
+            | Some b -> b
+            | None ->
+                let b = ref 0.0 in
+                Hashtbl.replace t.link_busy_until key b;
+                b
+          in
+          let now = Apna_sim.Engine.now t.engine in
+          (* In GRE mode the packet really crosses the wire as IPv4/GRE
+             bytes (Fig. 9): serialize, pay the encapsulation overhead, and
+             re-parse at the far router — the codecs run on every hop. *)
+          let wire_bytes, deliver =
+            match t.transport with
+            | Native -> (Packet.wire_size pkt, fun () -> As_node.receive peer pkt)
+            | Gre_ipv4 ->
+                let frame = encapsulate ~from:aid ~to_:next pkt in
+                ( String.length frame,
+                  fun () ->
+                    match decapsulate frame with
+                    | Ok pkt -> As_node.receive peer pkt
+                    | Error e ->
+                        Logs.err (fun m -> m "network: GRE decapsulation: %s" e) )
+          in
+          if wire_bytes > link.Link.mtu then begin
+            (* Packet too big for the link: drop and tell the source the
+               largest APNA packet that fits (path-MTU discovery, §II-C).
+               The encapsulation overhead is charged against the MTU. *)
+            let overhead = wire_bytes - Packet.wire_size pkt in
+            As_node.feedback_to_source node pkt
+              (Icmp.Frag_needed
+                 {
+                   mtu = link.Link.mtu - overhead;
+                   quoted = String.sub (Packet.to_bytes pkt) 0 48;
+                 })
+          end
+          else begin
+            let serialization =
+              float_of_int (8 * wire_bytes) /. link.Link.capacity_bps
+            in
+            let departure = Float.max now !busy +. serialization in
+            busy := departure;
+            Apna_sim.Engine.schedule t.engine
+              ~at:(departure +. link.Link.propagation_s)
+              deliver
+          end
+      | _ ->
+          Logs.debug (fun m ->
+              m "network: dropping packet for unknown neighbor %a" Addr.pp_aid next));
+  Addr.Aid_tbl.replace t.nodes aid node;
+  node
+
+let connect_as t a b ?(link = Link.make ()) () =
+  Topology.connect t.topology (Addr.aid_of_int a) (Addr.aid_of_int b) link
+
+let add_host t ~as_number ~name ~credential ?granularity () =
+  let node = node_exn t as_number in
+  let host =
+    Host.create ~name
+      ~rng:(Apna_crypto.Drbg.split t.rng ("host-" ^ name))
+      ?granularity ()
+  in
+  As_node.add_host node host ~credential;
+  (* Submissions hop the host->BR access link through the engine so every
+     exchange consumes simulated time and stays deterministically ordered. *)
+  (match Host.attachment host with
+  | Some att ->
+      let direct_submit = att.submit in
+      Host.attach host
+        {
+          att with
+          submit =
+            (fun pkt ->
+              Apna_sim.Engine.schedule_in t.engine ~delay:intra_as_delay_s
+                (fun () -> direct_submit pkt));
+        }
+  | None -> assert false);
+  host
+
+let run ?until t = Apna_sim.Engine.run ?until t.engine
+
+let advance_time t dt =
+  let target = now_f t +. dt in
+  Apna_sim.Engine.run ~until:target t.engine
+
+let set_tap t tap = t.tap <- tap

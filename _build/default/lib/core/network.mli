@@ -1,0 +1,57 @@
+(** The simulated inter-domain network: ASes on a topology, a shared trust
+    store (RPKI stand-in), a discrete-event engine, and a simulated wall
+    clock for EphID expiry.
+
+    This is the test bench on which all examples, tests and benchmarks run
+    end-to-end protocol flows. Everything is deterministic given the
+    seed. *)
+
+type t
+
+type transport =
+  | Native  (** APNA packets travel as-is between border routers. *)
+  | Gre_ipv4
+      (** The §VII-D deployment (Fig. 9): every inter-AS transmission is
+          serialized as IPv4 / GRE / APNA and re-parsed at the next router,
+          with router IPv4 addresses standing in for AIDs on the wire. *)
+
+val create : ?seed:string -> ?epoch:int -> ?transport:transport -> unit -> t
+(** [epoch] is the Unix time at simulation start (default 1,750,000,000). *)
+
+val engine : t -> Apna_sim.Engine.t
+val topology : t -> Apna_net.Topology.t
+val trust : t -> Trust.t
+val now_unix : t -> int
+val now_f : t -> float
+val rng : t -> Apna_crypto.Drbg.t
+
+val add_as :
+  t -> int -> ?dns_zone:string -> ?retention:bool -> ?icmp_encryption:bool ->
+  unit -> As_node.t
+(** [add_as t 64500 ()] creates and registers an AS with that number.
+    [retention] turns on the §VIII-H audit log; [icmp_encryption] turns on
+    §VIII-B sealed ICMP feedback (with its certificate cache). *)
+
+val node : t -> Apna_net.Addr.aid -> As_node.t option
+val node_exn : t -> int -> As_node.t
+
+val connect_as : t -> int -> int -> ?link:Apna_net.Link.t -> unit -> unit
+(** Inter-AS link; default 10 Gbps, 5 ms. *)
+
+val add_host :
+  t -> as_number:int -> name:string -> credential:string ->
+  ?granularity:Granularity.t -> unit -> Host.t
+(** Creates a host with its own derived RNG, attaches it to the AS and
+    enrolls the credential. The host still has to {!Host.bootstrap}. *)
+
+val run : ?until:float -> t -> unit
+(** Drives the event engine until quiescence (or simulated time [until]). *)
+
+val set_tap :
+  t -> (from:Apna_net.Addr.aid -> to_:Apna_net.Addr.aid -> Apna_net.Packet.t -> unit) -> unit
+(** Installs a passive observer on every inter-AS transmission — the
+    adversary's vantage point for the privacy experiments and tests. *)
+
+val advance_time : t -> float -> unit
+(** [advance_time t dt] fast-forwards the clock by [dt] seconds, processing
+    any events in between — for expiry and garbage-collection tests. *)

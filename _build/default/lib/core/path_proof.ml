@@ -1,0 +1,73 @@
+open Apna_crypto
+
+let mac_size = 16
+
+type attestation = { aid : Apna_net.Addr.aid; mac : string }
+
+let pairwise_key (keys : Keys.as_keys) ~peer_dh_pub =
+  match X25519.shared_secret ~secret:keys.dh_secret ~peer:peer_dh_pub with
+  | Error e -> Error (Error.Crypto e)
+  | Ok shared -> Ok (Hkdf.derive ~info:"apna:pathproof:v1" ~len:32 shared)
+
+(* The attestation binds the packet through its host MAC (unique per packet
+   thanks to the kHA keying) and names the attested AS. *)
+let attestation_mac ~key ~aid (pkt : Apna_net.Packet.t) =
+  String.sub
+    (Hmac.Sha256.mac_list ~key
+       [ pkt.header.mac; Apna_net.Addr.aid_to_bytes aid; Apna_net.Packet.bytes_for_mac pkt ])
+    0 mac_size
+
+let attest ~src_keys ~path pkt =
+  let rec build acc = function
+    | [] -> Ok (List.rev acc)
+    | (aid, dh_pub) :: rest -> begin
+        match pairwise_key src_keys ~peer_dh_pub:dh_pub with
+        | Error e -> Error e
+        | Ok key -> build ({ aid; mac = attestation_mac ~key ~aid pkt } :: acc) rest
+      end
+  in
+  build [] path
+
+let attest_cached ~keys pkt =
+  List.map (fun (aid, key) -> { aid; mac = attestation_mac ~key ~aid pkt }) keys
+
+let verify_claim ~src_keys ~claimant ~claimant_dh_pub ~attestation pkt =
+  if not (Apna_net.Addr.aid_equal attestation.aid claimant) then
+    Error (Error.Rejected "attestation names a different AS")
+  else begin
+    match pairwise_key src_keys ~peer_dh_pub:claimant_dh_pub with
+    | Error e -> Error e
+    | Ok key ->
+        if Apna_util.Ct.equal attestation.mac (attestation_mac ~key ~aid:claimant pkt)
+        then Ok ()
+        else Error (Error.Bad_signature "path attestation")
+  end
+
+let to_bytes attestations =
+  let w = Apna_util.Rw.Writer.create () in
+  Apna_util.Rw.Writer.u8 w (List.length attestations);
+  List.iter
+    (fun a ->
+      Apna_util.Rw.Writer.bytes w (Apna_net.Addr.aid_to_bytes a.aid);
+      Apna_util.Rw.Writer.bytes w a.mac)
+    attestations;
+  Apna_util.Rw.Writer.contents w
+
+let of_bytes s =
+  let open Apna_util.Rw in
+  let r = Reader.of_string s in
+  let parse =
+    let* n = Reader.u8 r in
+    let rec loop acc i =
+      if i = 0 then Ok (List.rev acc)
+      else
+        let* aid_bytes = Reader.bytes r 4 in
+        let* aid = Apna_net.Addr.aid_of_bytes aid_bytes in
+        let* mac = Reader.bytes r mac_size in
+        loop ({ aid; mac } :: acc) (i - 1)
+    in
+    let* attestations = loop [] n in
+    let* () = Reader.expect_end r in
+    Ok attestations
+  in
+  Result.map_error (fun e -> Error.Malformed ("path proof: " ^ e)) parse

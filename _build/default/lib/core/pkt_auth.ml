@@ -1,0 +1,12 @@
+open Apna_net
+
+let mac ~auth_key pkt =
+  String.sub
+    (Apna_crypto.Hmac.Sha256.mac ~key:auth_key (Packet.bytes_for_mac pkt))
+    0 Apna_header.mac_size
+
+let seal ~auth_key (pkt : Packet.t) =
+  { pkt with header = Apna_header.with_mac pkt.header (mac ~auth_key pkt) }
+
+let verify ~auth_key (pkt : Packet.t) =
+  Apna_util.Ct.equal pkt.header.mac (mac ~auth_key pkt)

@@ -1,0 +1,15 @@
+(** Per-packet authentication (paper §IV-D2).
+
+    Every packet a host sends carries an 8-byte MAC computed with the
+    kHA authentication key shared between host and AS. This is the link
+    between a packet and its sender: border routers verify it on egress,
+    and the accountability agent re-verifies it when judging shutoff
+    evidence. *)
+
+val mac : auth_key:string -> Apna_net.Packet.t -> string
+(** The 8-byte tag over the packet with its MAC field zeroed. *)
+
+val seal : auth_key:string -> Apna_net.Packet.t -> Apna_net.Packet.t
+(** Returns the packet with its header MAC filled in. *)
+
+val verify : auth_key:string -> Apna_net.Packet.t -> bool

@@ -1,0 +1,100 @@
+open Apna_crypto
+
+type services = { ms_cert : Cert.t; dns_cert : Cert.t option; aa_ephid : Ephid.t }
+
+type t = {
+  keys : Keys.as_keys;
+  host_info : Host_info.t;
+  rng : Drbg.t;
+  ctrl_lifetime_s : int;
+  credentials : (string, Apna_net.Addr.hid option) Hashtbl.t;
+  mutable next_hid : int;
+  mutable services : services option;
+}
+
+let create ~keys ~host_info ~rng ?(ctrl_lifetime_s = 86_400) ?(first_hid = 0x0a000001)
+    () =
+  {
+    keys;
+    host_info;
+    rng;
+    ctrl_lifetime_s;
+    credentials = Hashtbl.create 64;
+    next_hid = first_hid;
+    services = None;
+  }
+
+let set_service_certs t ~ms_cert ~dns_cert ~aa_ephid =
+  t.services <- Some { ms_cert; dns_cert; aa_ephid }
+
+let enroll t ~credential =
+  if not (Hashtbl.mem t.credentials credential) then
+    Hashtbl.replace t.credentials credential None
+
+type reply = {
+  ctrl_ephid : Ephid.t;
+  ctrl_expiry : int;
+  as_dh_pub : string;
+  ms_cert : Cert.t;
+  dns_cert : Cert.t option;
+  aa_ephid : Ephid.t;
+  id_info_signature : string;
+}
+
+let id_info_bytes ~ctrl_ephid ~ctrl_expiry =
+  let w = Apna_util.Rw.Writer.create ~capacity:20 () in
+  Apna_util.Rw.Writer.bytes w (Ephid.to_bytes ctrl_ephid);
+  Apna_util.Rw.Writer.u32_of_int w ctrl_expiry;
+  Apna_util.Rw.Writer.contents w
+
+let bootstrap t ~now ~credential ~host_dh_pub =
+  match Hashtbl.find_opt t.credentials credential with
+  | None -> Error Error.Auth_failed
+  | Some previous_hid -> begin
+      match t.services with
+      | None -> Error (Error.Rejected "AS services not initialized")
+      | Some services -> begin
+          match X25519.shared_secret ~secret:t.keys.dh_secret ~peer:host_dh_pub with
+          | Error e -> Error (Error.Crypto e)
+          | Ok shared_secret ->
+              (* One live identity per subscriber: a fresh bootstrap revokes
+                 the old HID and every EphID bound to it (§VI-A). *)
+              Option.iter (Host_info.revoke_hid t.host_info) previous_hid;
+              let hid = Apna_net.Addr.hid_of_int t.next_hid in
+              t.next_hid <- t.next_hid + 1;
+              Hashtbl.replace t.credentials credential (Some hid);
+              let kha = Keys.derive_host_as ~shared_secret in
+              Host_info.register t.host_info hid kha;
+              let ctrl_expiry = now + t.ctrl_lifetime_s in
+              let ctrl_ephid =
+                Ephid.issue_random t.keys t.rng ~hid ~expiry:ctrl_expiry
+              in
+              let id_info_signature =
+                Ed25519.sign t.keys.signing (id_info_bytes ~ctrl_ephid ~ctrl_expiry)
+              in
+              Ok
+                ( {
+                    ctrl_ephid;
+                    ctrl_expiry;
+                    as_dh_pub = t.keys.dh_public;
+                    ms_cert = services.ms_cert;
+                    dns_cert = services.dns_cert;
+                    aa_ephid = services.aa_ephid;
+                    id_info_signature;
+                  },
+                  hid )
+        end
+    end
+
+let hid_of_credential t ~credential =
+  Option.join (Hashtbl.find_opt t.credentials credential)
+
+let credential_of_hid t hid =
+  Hashtbl.fold
+    (fun credential bound acc ->
+      match bound with
+      | Some h when Apna_net.Addr.hid_equal h hid -> Some credential
+      | _ -> acc)
+    t.credentials None
+
+let customer_count t = Hashtbl.length t.credentials

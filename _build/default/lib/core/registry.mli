@@ -1,0 +1,61 @@
+(** The Registry Service (RS) — host bootstrapping (paper §IV-B, Fig. 2).
+
+    The RS authenticates a subscriber, runs a Diffie-Hellman exchange to
+    establish the kHA key pair, assigns a HID, issues the control EphID,
+    pushes (HID, kHA) into the AS-wide [host_info] database, and returns the
+    bootstrap bundle: signed id_info plus the certificates of the MS and
+    DNS services.
+
+    Customer authentication itself is pluggable (the paper defers to
+    RADIUS/Diameter); here subscribers enroll with an opaque credential. *)
+
+type t
+
+val create :
+  keys:Keys.as_keys ->
+  host_info:Host_info.t ->
+  rng:Apna_crypto.Drbg.t ->
+  ?ctrl_lifetime_s:int ->
+  ?first_hid:int ->
+  unit ->
+  t
+(** [ctrl_lifetime_s] defaults to 86400 (a DHCP-lease-scale lifetime,
+    §IV-B). HIDs are assigned sequentially from [first_hid]. *)
+
+val set_service_certs : t -> ms_cert:Cert.t -> dns_cert:Cert.t option -> aa_ephid:Ephid.t -> unit
+(** Wires in the service certificates handed to hosts at bootstrap; called
+    once by {!As_node} after the services are brought up. *)
+
+val enroll : t -> credential:string -> unit
+(** Registers a subscriber (out-of-band contract with the ISP). *)
+
+type reply = {
+  ctrl_ephid : Ephid.t;
+  ctrl_expiry : int;
+  as_dh_pub : string;  (** From which the host derives kHA on its side. *)
+  ms_cert : Cert.t;
+  dns_cert : Cert.t option;
+  aa_ephid : Ephid.t;
+  id_info_signature : string;  (** {ctrl_ephid, expiry} signed by the AS. *)
+}
+
+val id_info_bytes : ctrl_ephid:Ephid.t -> ctrl_expiry:int -> string
+(** The byte string [id_info_signature] covers (hosts verify it against
+    the AS key from {!Trust}). *)
+
+val bootstrap :
+  t -> now:int -> credential:string -> host_dh_pub:string ->
+  (reply * Apna_net.Addr.hid, Error.t) result
+(** Authenticates and bootstraps a host. Re-bootstrapping with the same
+    credential revokes the previous HID first — a host holds exactly one
+    live identity at any time (§VI-A, identity minting). The HID is
+    returned for the caller ({!As_node}) to index the host; the host itself
+    never needs it. *)
+
+val hid_of_credential : t -> credential:string -> Apna_net.Addr.hid option
+
+val credential_of_hid : t -> Apna_net.Addr.hid -> string option
+(** The subscriber behind a HID — the mapping an AS reveals under a lawful,
+    targeted request (§VIII-H). *)
+
+val customer_count : t -> int

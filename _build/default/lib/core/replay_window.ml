@@ -1,0 +1,33 @@
+type t = { size : int; seen : bool array; mutable highest : int64 }
+
+let create ?(size = 64) () =
+  if size < 1 || size > 1024 then invalid_arg "Replay_window.create: size";
+  { size; seen = Array.make size false; highest = -1L }
+
+let slot t seq = Int64.to_int (Int64.rem seq (Int64.of_int t.size))
+
+let check_and_update t seq =
+  if Int64.compare seq 0L < 0 then false
+  else if Int64.compare seq t.highest > 0 then begin
+    (* Advance: clear every slot between the old and new highest. *)
+    let gap = Int64.sub seq t.highest in
+    let to_clear =
+      if Int64.compare gap (Int64.of_int t.size) >= 0 then t.size
+      else Int64.to_int gap
+    in
+    for i = 1 to to_clear do
+      t.seen.(slot t (Int64.add t.highest (Int64.of_int i))) <- false
+    done;
+    t.highest <- seq;
+    t.seen.(slot t seq) <- true;
+    true
+  end
+  else if Int64.compare (Int64.sub t.highest seq) (Int64.of_int t.size) >= 0 then
+    false (* too old: outside the window *)
+  else if t.seen.(slot t seq) then false
+  else begin
+    t.seen.(slot t seq) <- true;
+    true
+  end
+
+let highest t = t.highest

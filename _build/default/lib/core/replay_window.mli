@@ -1,0 +1,19 @@
+(** Anti-replay sliding window (paper §VIII-D).
+
+    Tracks sequence numbers per session direction: a replayed packet —
+    which a malicious entity could use to provoke shutoff incidents against
+    the source — is detected and discarded by the destination. The window
+    accepts out-of-order delivery up to [size] sequence numbers behind the
+    highest seen, IPsec-style. *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** [size] defaults to 64 and must be in [\[1, 1024\]]. *)
+
+val check_and_update : t -> int64 -> bool
+(** [check_and_update t seq] is [true] exactly when [seq] is fresh: neither
+    seen before nor older than the window. Marks it seen. *)
+
+val highest : t -> int64
+(** Highest accepted sequence number, [-1L] initially. *)

@@ -1,0 +1,13 @@
+type t = int Ephid.Tbl.t
+
+let create () = Ephid.Tbl.create 64
+let revoke t ephid ~expiry = Ephid.Tbl.replace t ephid expiry
+let is_revoked t ephid = Ephid.Tbl.mem t ephid
+let size t = Ephid.Tbl.length t
+
+let gc t ~now =
+  let stale =
+    Ephid.Tbl.fold (fun e expiry acc -> if expiry < now then e :: acc else acc) t []
+  in
+  List.iter (Ephid.Tbl.remove t) stale;
+  List.length stale

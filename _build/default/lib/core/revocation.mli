@@ -1,0 +1,21 @@
+(** The revoked-EphID list kept by border routers (paper Fig. 4/5 and
+    §VIII-G2).
+
+    Entries carry the EphID's own expiry time so that the periodic garbage
+    collection the paper describes — "expired EphIDs can be removed from
+    revoked_EphIDs" — is possible. *)
+
+type t
+
+val create : unit -> t
+
+val revoke : t -> Ephid.t -> expiry:int -> unit
+(** [expiry] is the EphID's expiration time, after which the entry is
+    garbage-collectable (packets are dropped by the expiry check anyway). *)
+
+val is_revoked : t -> Ephid.t -> bool
+val size : t -> int
+
+val gc : t -> now:int -> int
+(** [gc t ~now] drops entries whose EphID has expired; returns how many
+    were removed. *)

@@ -1,0 +1,155 @@
+open Apna_crypto
+
+type t = {
+  conn_id : int64;
+  initiator : bool;
+  local_cert : Cert.t;
+  local_keys : Keys.ephid_keys;
+  mutable remote_cert : Cert.t;
+  mutable key : Aead.key;
+  mutable send_seq : int64;
+  mutable replay : Replay_window.t;
+  window : int;
+  mutable established : bool;
+}
+
+let conn_id t = t.conn_id
+let remote_cert t = t.remote_cert
+let local_cert t = t.local_cert
+let established t = t.established
+
+(* kEaEb: ECDH over the EphID-bound X25519 keys, expanded with an
+   order-independent transcript of the two EphIDs so both ends derive the
+   same key. *)
+let derive_key ~(local_keys : Keys.ephid_keys) ~(local_cert : Cert.t)
+    ~(remote_cert : Cert.t) =
+  match
+    X25519.shared_secret ~secret:local_keys.kx_secret ~peer:remote_cert.kx_pub
+  with
+  | Error e -> Error (Error.Crypto e)
+  | Ok shared ->
+      let a = Ephid.to_bytes local_cert.ephid
+      and b = Ephid.to_bytes remote_cert.ephid in
+      let lo, hi = if String.compare a b <= 0 then (a, b) else (b, a) in
+      let info = "apna:session:v1" ^ lo ^ hi in
+      Ok (Aead.of_secret (Hkdf.derive ~info ~len:32 shared))
+
+let create ~conn_id ~initiator ~local_cert ~local_keys ~remote_cert
+    ?(window = 64) ?(await_accept = false) () =
+  match derive_key ~local_keys ~local_cert ~remote_cert with
+  | Error e -> Error e
+  | Ok key ->
+      Ok
+        {
+          conn_id;
+          initiator;
+          local_cert;
+          local_keys;
+          remote_cert;
+          key;
+          send_seq = 0L;
+          replay = Replay_window.create ~size:window ();
+          window;
+          established = not await_accept;
+        }
+
+let rekey t ~remote_cert =
+  match derive_key ~local_keys:t.local_keys ~local_cert:t.local_cert ~remote_cert with
+  | Error e -> Error e
+  | Ok key ->
+      t.remote_cert <- remote_cert;
+      t.key <- key;
+      t.send_seq <- 0L;
+      t.replay <- Replay_window.create ~size:t.window ();
+      t.established <- true;
+      Ok ()
+
+let nonce ~conn_id ~dir seq =
+  (* conn id (8 B) ‖ direction bit in the top byte ‖ low 56 bits of seq:
+     unique per (key, direction, sequence number). *)
+  let b = Bytes.make Aead.nonce_size '\000' in
+  Bytes.set_int64_be b 0 conn_id;
+  Bytes.set_int64_be b 8
+    (Int64.logor (Int64.shift_left (if dir then 1L else 0L) 56) seq);
+  Bytes.unsafe_to_string b
+
+let seal t data =
+  let seq = t.send_seq in
+  t.send_seq <- Int64.add seq 1L;
+  let n = nonce ~conn_id:t.conn_id ~dir:t.initiator seq in
+  (seq, Aead.seal ~key:t.key ~nonce:n data)
+
+let open_sealed t ~seq ~sealed =
+  let n = nonce ~conn_id:t.conn_id ~dir:(not t.initiator) seq in
+  match Aead.open_ ~key:t.key ~nonce:n sealed with
+  | Error e -> Error (Error.Crypto e)
+  | Ok data ->
+      (* Authenticate first, then replay-check: only genuine packets may
+         advance the window (§VIII-D). *)
+      if Replay_window.check_and_update t.replay seq then Ok data
+      else Error (Error.Rejected "replayed or stale sequence number")
+
+module Frame = struct
+  type f =
+    | Init of { conn_id : int64; cert : Cert.t; seq : int64; sealed : string }
+    | Accept of { conn_id : int64; cert : Cert.t; seq : int64; sealed : string }
+    | Data of { conn_id : int64; seq : int64; sealed : string }
+    | Fin of { conn_id : int64; seq : int64; sealed : string }
+
+  let to_bytes f =
+    let w = Apna_util.Rw.Writer.create ~capacity:64 () in
+    let open Apna_util.Rw.Writer in
+    (match f with
+    | Init { conn_id; cert; seq; sealed } ->
+        u8 w 0;
+        u64 w conn_id;
+        bytes w (Cert.to_bytes cert);
+        u64 w seq;
+        bytes w sealed
+    | Accept { conn_id; cert; seq; sealed } ->
+        u8 w 1;
+        u64 w conn_id;
+        bytes w (Cert.to_bytes cert);
+        u64 w seq;
+        bytes w sealed
+    | Data { conn_id; seq; sealed } ->
+        u8 w 2;
+        u64 w conn_id;
+        u64 w seq;
+        bytes w sealed
+    | Fin { conn_id; seq; sealed } ->
+        u8 w 3;
+        u64 w conn_id;
+        u64 w seq;
+        bytes w sealed);
+    contents w
+
+  let of_bytes s =
+    let open Apna_util.Rw in
+    let r = Reader.of_string s in
+    let with_cert k =
+      let* conn_id = Reader.u64 r in
+      let* cert_bytes = Reader.bytes r Cert.size in
+      let* cert =
+        Result.map_error Error.to_string (Cert.of_bytes cert_bytes)
+      in
+      let* seq = Reader.u64 r in
+      Ok (k ~conn_id ~cert ~seq ~sealed:(Reader.rest r))
+    in
+    let parse =
+      let* kind = Reader.u8 r in
+      match kind with
+      | 0 -> with_cert (fun ~conn_id ~cert ~seq ~sealed -> Init { conn_id; cert; seq; sealed })
+      | 1 -> with_cert (fun ~conn_id ~cert ~seq ~sealed -> Accept { conn_id; cert; seq; sealed })
+      | 2 ->
+          let* conn_id = Reader.u64 r in
+          let* seq = Reader.u64 r in
+          Ok (Data { conn_id; seq; sealed = Reader.rest r })
+      | 3 ->
+          let* conn_id = Reader.u64 r in
+          let* seq = Reader.u64 r in
+          Ok (Fin { conn_id; seq; sealed = Reader.rest r })
+      | n -> Error (Printf.sprintf "unknown frame type %d" n)
+    in
+    Result.map_error (fun e -> Error.Malformed ("frame: " ^ e)) parse
+end

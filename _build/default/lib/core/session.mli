@@ -1,0 +1,60 @@
+(** End-to-end encrypted sessions (paper §IV-D1/2, §VII-A, §VII-C).
+
+    Two hosts derive a session key from the X25519 keys bound to their
+    EphIDs and encrypt every data packet with the CCA-secure AEAD. Each
+    session has its own key, giving perfect forward secrecy: compromising
+    long-term keys (AS signing keys, host keys) reveals nothing about
+    recorded traffic, and compromising one EphID's key opens exactly the
+    sessions keyed by that EphID.
+
+    Wire framing (packet payload for proto [Data]):
+    {v
+      Init   : 0x00 ‖ conn_id(8) ‖ cert(168) ‖ seq(8) ‖ sealed   — may carry 0-RTT data
+      Accept : 0x01 ‖ conn_id(8) ‖ cert(168) ‖ seq(8) ‖ sealed   — server's serving cert (§VII-A)
+      Data   : 0x02 ‖ conn_id(8) ‖ seq(8) ‖ sealed
+      Fin    : 0x03 ‖ conn_id(8) ‖ seq(8) ‖ sealed   — authenticated close
+    v}
+
+    The connection id demultiplexes sessions independently of the source
+    EphID, which is what makes the per-packet EphID granularity workable. *)
+
+type t
+
+val conn_id : t -> int64
+val remote_cert : t -> Cert.t
+val local_cert : t -> Cert.t
+val established : t -> bool
+(** False only for a client still waiting for an [Accept] from a
+    receive-only server EphID. *)
+
+val create :
+  conn_id:int64 -> initiator:bool -> local_cert:Cert.t ->
+  local_keys:Keys.ephid_keys -> remote_cert:Cert.t -> ?window:int ->
+  ?await_accept:bool -> unit -> (t, Error.t) result
+(** Derives the session key from ECDH(local EphID key, remote EphID key).
+    [initiator] fixes the nonce direction bit so the two directions of one
+    session never reuse a nonce. [await_accept] marks a client session
+    towards a receive-only EphID (§VII-A). *)
+
+val rekey : t -> remote_cert:Cert.t -> (unit, Error.t) result
+(** Client side of §VII-A: switch to the server's serving certificate and
+    re-derive the key; marks the session established and resets sequence
+    state. *)
+
+val seal : t -> string -> int64 * string
+(** [seal t data] is [(seq, sealed)] for the next outgoing frame. *)
+
+val open_sealed : t -> seq:int64 -> sealed:string -> (string, Error.t) result
+(** AEAD-opens an incoming frame and enforces the anti-replay window. *)
+
+(** Frame codec. *)
+module Frame : sig
+  type f =
+    | Init of { conn_id : int64; cert : Cert.t; seq : int64; sealed : string }
+    | Accept of { conn_id : int64; cert : Cert.t; seq : int64; sealed : string }
+    | Data of { conn_id : int64; seq : int64; sealed : string }
+    | Fin of { conn_id : int64; seq : int64; sealed : string }
+
+  val to_bytes : f -> string
+  val of_bytes : string -> (f, Error.t) result
+end

@@ -1,0 +1,30 @@
+open Apna_crypto
+
+let make_request ~packet ~(dst_cert : Cert.t) ~(dst_keys : Keys.ephid_keys) =
+  if dst_cert.sig_pub <> Ed25519.public_key dst_keys.sig_keypair then
+    invalid_arg "Shutoff.make_request: certificate/key mismatch";
+  let packet_bytes = Apna_net.Packet.to_bytes packet in
+  Msgs.Shutoff_request
+    {
+      packet = packet_bytes;
+      signature = Ed25519.sign dst_keys.sig_keypair packet_bytes;
+      cert = Cert.to_bytes dst_cert;
+    }
+
+type parsed = {
+  packet : Apna_net.Packet.t;
+  signature : string;
+  cert : Cert.t;
+}
+
+let parse_request = function
+  | Msgs.Shutoff_request { packet; signature; cert } -> begin
+      match Apna_net.Packet.of_bytes packet with
+      | Error e -> Error (Error.Malformed ("shutoff packet: " ^ e))
+      | Ok pkt -> begin
+          match Cert.of_bytes cert with
+          | Error e -> Error e
+          | Ok cert -> Ok { packet = pkt; signature; cert }
+        end
+    end
+  | _ -> Error (Error.Malformed "expected a shutoff request")

@@ -1,0 +1,24 @@
+(** Shutoff protocol messages — the victim's side (paper §IV-E, Fig. 5).
+
+    A destination host that received an unwanted packet asks the {e source}
+    AS's accountability agent to block the offending EphID. The request
+    carries:
+    - the unwanted packet itself (evidence the source really sent traffic
+      to this destination — it bears the source AS's per-packet MAC),
+    - an Ed25519 signature over the packet by the key bound to the
+      destination EphID (proof the requester owns the destination), and
+    - the destination EphID's certificate. *)
+
+val make_request :
+  packet:Apna_net.Packet.t -> dst_cert:Cert.t -> dst_keys:Keys.ephid_keys ->
+  Msgs.t
+(** Builds the signed [Shutoff_request].
+    @raise Invalid_argument if [dst_cert] does not match [dst_keys]. *)
+
+type parsed = {
+  packet : Apna_net.Packet.t;
+  signature : string;
+  cert : Cert.t;
+}
+
+val parse_request : Msgs.t -> (parsed, Error.t) result

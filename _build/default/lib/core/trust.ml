@@ -1,0 +1,29 @@
+type t = {
+  as_keys : string Apna_net.Addr.Aid_tbl.t;
+  zones : (string, string) Hashtbl.t;
+}
+
+let create () =
+  { as_keys = Apna_net.Addr.Aid_tbl.create 16; zones = Hashtbl.create 4 }
+
+let register_as t aid ~pub = Apna_net.Addr.Aid_tbl.replace t.as_keys aid pub
+
+let as_pub t aid =
+  match Apna_net.Addr.Aid_tbl.find_opt t.as_keys aid with
+  | Some pub -> Ok pub
+  | None ->
+      Error
+        (Error.Bad_signature
+           (Format.asprintf "no trusted key for %a" Apna_net.Addr.pp_aid aid))
+
+let register_zone t name ~pub = Hashtbl.replace t.zones name pub
+
+let zone_pub t name =
+  match Hashtbl.find_opt t.zones name with
+  | Some pub -> Ok pub
+  | None -> Error (Error.Bad_signature ("no trusted key for zone " ^ name))
+
+let verify_cert t ~now (cert : Cert.t) =
+  match as_pub t cert.aid with
+  | Error err -> Error err
+  | Ok pub -> Cert.verify ~as_pub:pub ~now cert

@@ -1,0 +1,15 @@
+(** AS public-key store — the stand-in for RPKI (paper §IV-A assumption:
+    "participating parties can retrieve and verify the public keys of
+    ASes"). Maps AIDs to Ed25519 verification keys, plus named zone keys
+    for DNSSEC-style record signing (§VII-A). *)
+
+type t
+
+val create : unit -> t
+val register_as : t -> Apna_net.Addr.aid -> pub:string -> unit
+val as_pub : t -> Apna_net.Addr.aid -> (string, Error.t) result
+val register_zone : t -> string -> pub:string -> unit
+val zone_pub : t -> string -> (string, Error.t) result
+
+val verify_cert : t -> now:int -> Cert.t -> (unit, Error.t) result
+(** Resolves the issuing AS's key and checks signature and expiry. *)

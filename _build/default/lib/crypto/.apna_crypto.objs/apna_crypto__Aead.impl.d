@@ -1,0 +1,1 @@
+lib/crypto/aead.ml: Aes Apna_util Bytes Gcm Hkdf Hmac Int64 String

@@ -1,0 +1,1 @@
+lib/crypto/aes.ml: Apna_util Array Buffer Bytes Char Printf String

@@ -1,0 +1,1 @@
+lib/crypto/bigint.ml: Apna_util Array Char Format List Stdlib String

@@ -1,0 +1,1 @@
+lib/crypto/ed25519.ml: Array Bigint Bytes Char Drbg Fe25519 Lazy Sha512 String

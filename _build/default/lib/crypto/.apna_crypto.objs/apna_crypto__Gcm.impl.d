@@ -1,0 +1,1 @@
+lib/crypto/gcm.ml: Aes Apna_util Bytes Int32 Int64 String

@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Apna_util Bytes Char Sha256 Sha512 String

@@ -1,0 +1,1 @@
+lib/crypto/sha2_constants.ml: Array Bigint Int64 List Option

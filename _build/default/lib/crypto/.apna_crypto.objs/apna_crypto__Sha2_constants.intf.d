@@ -1,0 +1,1 @@
+lib/crypto/sha2_constants.mli:

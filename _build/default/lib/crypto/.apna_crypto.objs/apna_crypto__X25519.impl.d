@@ -1,0 +1,1 @@
+lib/crypto/x25519.ml: Bytes Char Drbg Fe25519 String

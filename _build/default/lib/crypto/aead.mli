@@ -1,0 +1,36 @@
+(** CCA-secure authenticated encryption by the Encrypt-then-MAC generic
+    composition (Bellare–Namprempre), the construction the paper prescribes
+    for data-plane payload encryption (§IV-A, §IV-D2).
+
+    AES-256-CTR for secrecy, HMAC-SHA256 truncated to 16 bytes for
+    integrity, with independent subkeys derived from the session key via
+    HKDF. Nonces must be unique per key; the protocol layer uses a packet
+    counter. *)
+
+type key
+
+type scheme =
+  | Encrypt_then_mac  (** AES-256-CTR + HMAC-SHA256 (default). *)
+  | Gcm  (** AES-256-GCM — the mode the paper cites (§IV-A). *)
+
+val key_size : int
+(** Input keying material size: 32 bytes. *)
+
+val nonce_size : int
+(** 16 bytes. *)
+
+val tag_size : int
+(** 16 bytes. *)
+
+val of_secret : ?scheme:scheme -> string -> key
+(** [of_secret ikm] derives the scheme's subkeys from a 32-byte secret
+    (e.g. an X25519 shared secret). Both peers must pick the same scheme;
+    this repository's protocols use the default. *)
+
+val seal : key:key -> nonce:string -> ?aad:string -> string -> string
+(** [seal ~key ~nonce ~aad plaintext] is [ciphertext ^ tag]; the tag also
+    covers [nonce] and [aad]. *)
+
+val open_ : key:key -> nonce:string -> ?aad:string -> string -> (string, string) result
+(** [open_ ~key ~nonce ~aad sealed] authenticates and decrypts. Any
+    modification of ciphertext, nonce or aad yields [Error _]. *)

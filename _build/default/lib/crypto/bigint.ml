@@ -1,0 +1,293 @@
+(* Little-endian arrays of digits in radix 2^26. The representation is kept
+   normalized: no leading (most-significant) zero digits, and zero is the
+   empty array. 26-bit digits ensure every intermediate product of two digits
+   plus carries fits comfortably within OCaml's 63-bit native integers. *)
+
+let bits_per_digit = 26
+let base = 1 lsl bits_per_digit
+let digit_mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+let is_zero n = Array.length n = 0
+
+let normalize (a : int array) : t =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Bigint.of_int: negative";
+  let rec digits acc n = if n = 0 then acc else digits ((n land digit_mask) :: acc) (n lsr bits_per_digit) in
+  Array.of_list (List.rev (digits [] n))
+
+let one = of_int 1
+
+let to_int_opt n =
+  (* An OCaml int holds at most 62 value bits: accept up to 3 digits if the
+     reassembled value does not overflow. *)
+  if Array.length n > 3 then None
+  else begin
+    let v = ref 0 in
+    let ok = ref true in
+    for i = Array.length n - 1 downto 0 do
+      if !v > max_int lsr bits_per_digit then ok := false
+      else v := (!v lsl bits_per_digit) lor n.(i)
+    done;
+    if !ok then Some !v else None
+  end
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = 1 + max la lb in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 1 do
+    let da = if i < la then a.(i) else 0 in
+    let db = if i < lb then b.(i) else 0 in
+    let s = da + db + !carry in
+    r.(i) <- s land digit_mask;
+    carry := s lsr bits_per_digit
+  done;
+  normalize r
+
+let sub a b =
+  if compare a b < 0 then invalid_arg "Bigint.sub: underflow";
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let db = if i < lb then b.(i) else 0 in
+    let s = a.(i) - db - !borrow in
+    if s < 0 then begin
+      r.(i) <- s + base;
+      borrow := 1
+    end
+    else begin
+      r.(i) <- s;
+      borrow := 0
+    end
+  done;
+  normalize r
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = Array.unsafe_get a i in
+      for j = 0 to lb - 1 do
+        let t =
+          Array.unsafe_get r (i + j) + (ai * Array.unsafe_get b j) + !carry
+        in
+        Array.unsafe_set r (i + j) (t land digit_mask);
+        carry := t lsr bits_per_digit
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    normalize r
+  end
+
+let shift_left a k =
+  if k < 0 then invalid_arg "Bigint.shift_left";
+  if is_zero a || k = 0 then a
+  else begin
+    let dshift = k / bits_per_digit and bshift = k mod bits_per_digit in
+    let la = Array.length a in
+    let r = Array.make (la + dshift + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bshift in
+      r.(i + dshift) <- r.(i + dshift) lor (v land digit_mask);
+      r.(i + dshift + 1) <- r.(i + dshift + 1) lor (v lsr bits_per_digit)
+    done;
+    normalize r
+  end
+
+let shift_right a k =
+  if k < 0 then invalid_arg "Bigint.shift_right";
+  if is_zero a || k = 0 then a
+  else begin
+    let dshift = k / bits_per_digit and bshift = k mod bits_per_digit in
+    let la = Array.length a in
+    if dshift >= la then zero
+    else begin
+      let lr = la - dshift in
+      let r = Array.make lr 0 in
+      for i = 0 to lr - 1 do
+        let lo = a.(i + dshift) lsr bshift in
+        let hi =
+          if bshift = 0 || i + dshift + 1 >= la then 0
+          else (a.(i + dshift + 1) lsl (bits_per_digit - bshift)) land digit_mask
+        in
+        r.(i) <- lo lor hi
+      done;
+      normalize r
+    end
+  end
+
+let bit a i =
+  let d = i / bits_per_digit in
+  if d >= Array.length a then false
+  else a.(d) land (1 lsl (i mod bits_per_digit)) <> 0
+
+let num_bits a =
+  let la = Array.length a in
+  if la = 0 then 0
+  else begin
+    let top = a.(la - 1) in
+    let rec width n acc = if n = 0 then acc else width (n lsr 1) (acc + 1) in
+    ((la - 1) * bits_per_digit) + width top 0
+  end
+
+(* Division. Single-digit divisors use short division; the general case is
+   Knuth's Algorithm D with normalization so the top divisor digit has its
+   high bit set, which bounds the quotient-digit estimate error by 2. *)
+
+let divmod_small a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl bits_per_digit) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (normalize q, of_int !r)
+
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else if Array.length b = 1 then divmod_small a b.(0)
+  else begin
+    (* Normalize so that the divisor's top digit >= base/2. *)
+    let top = b.(Array.length b - 1) in
+    let rec lead n acc = if n >= base / 2 then acc else lead (n lsl 1) (acc + 1) in
+    let shift = lead top 0 in
+    let u0 = shift_left a shift and v = shift_left b shift in
+    let n = Array.length v in
+    let lu = Array.length u0 in
+    let m = lu - n in
+    let u = Array.make (lu + 1) 0 in
+    Array.blit u0 0 u 0 lu;
+    let q = Array.make (m + 1) 0 in
+    let v1 = v.(n - 1) and v2 = v.(n - 2) in
+    for j = m downto 0 do
+      let num = (u.(j + n) lsl bits_per_digit) lor u.(j + n - 1) in
+      let qhat = ref (num / v1) and rhat = ref (num mod v1) in
+      let adjust () =
+        if !qhat >= base || !qhat * v2 > (!rhat lsl bits_per_digit) lor u.(j + n - 2)
+        then begin
+          decr qhat;
+          rhat := !rhat + v1;
+          !rhat < base
+        end
+        else false
+      in
+      while adjust () do () done;
+      (* Multiply-and-subtract qhat * v from u[j .. j+n]. *)
+      let borrow = ref 0 and carry = ref 0 in
+      for i = 0 to n - 1 do
+        let p = (!qhat * v.(i)) + !carry in
+        carry := p lsr bits_per_digit;
+        let s = u.(i + j) - (p land digit_mask) - !borrow in
+        if s < 0 then begin
+          u.(i + j) <- s + base;
+          borrow := 1
+        end
+        else begin
+          u.(i + j) <- s;
+          borrow := 0
+        end
+      done;
+      let s = u.(j + n) - !carry - !borrow in
+      if s < 0 then begin
+        (* qhat was one too large: add the divisor back. *)
+        u.(j + n) <- s + base;
+        decr qhat;
+        let c = ref 0 in
+        for i = 0 to n - 1 do
+          let t = u.(i + j) + v.(i) + !c in
+          u.(i + j) <- t land digit_mask;
+          c := t lsr bits_per_digit
+        done;
+        u.(j + n) <- (u.(j + n) + !c) land digit_mask
+      end
+      else u.(j + n) <- s;
+      q.(j) <- !qhat
+    done;
+    let r = normalize (Array.sub u 0 n) in
+    (normalize q, shift_right r shift)
+  end
+
+let rem a b = snd (divmod a b)
+let mod_add a b m = rem (add a b) m
+let mod_mul a b m = rem (mul a b) m
+
+let of_decimal s =
+  let ten = of_int 10 in
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' -> acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+      | _ -> invalid_arg "Bigint.of_decimal: non-digit")
+    s;
+  !acc
+
+let of_bytes_le s =
+  let acc = ref zero in
+  for i = String.length s - 1 downto 0 do
+    acc := add (shift_left !acc 8) (of_int (Char.code s.[i]))
+  done;
+  !acc
+
+let of_bytes_be s =
+  let acc = ref zero in
+  String.iter (fun c -> acc := add (shift_left !acc 8) (of_int (Char.code c))) s;
+  !acc
+
+let byte_at n i =
+  (* The i-th little-endian byte of n. *)
+  let bitpos = i * 8 in
+  let d = bitpos / bits_per_digit and off = bitpos mod bits_per_digit in
+  let la = Array.length n in
+  if d >= la then 0
+  else begin
+    let lo = n.(d) lsr off in
+    let hi = if d + 1 < la then n.(d + 1) lsl (bits_per_digit - off) else 0 in
+    (lo lor hi) land 0xff
+  end
+
+let to_bytes_le n width =
+  if num_bits n > width * 8 then invalid_arg "Bigint.to_bytes_le: overflow";
+  String.init width (fun i -> Char.chr (byte_at n i))
+
+let to_bytes_be n width =
+  if num_bits n > width * 8 then invalid_arg "Bigint.to_bytes_be: overflow";
+  String.init width (fun i -> Char.chr (byte_at n (width - 1 - i)))
+
+let pp ppf n =
+  if is_zero n then Format.pp_print_string ppf "0"
+  else begin
+    let width = (num_bits n + 7) / 8 in
+    Format.fprintf ppf "0x%s" (Apna_util.Hex.encode (to_bytes_be n width))
+  end

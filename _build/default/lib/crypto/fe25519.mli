@@ -1,0 +1,49 @@
+(** Field arithmetic modulo p = 2^255 - 19, shared by X25519 and Ed25519.
+
+    Elements are mutable arrays of 17 limbs of 15 bits (17 * 15 = 255), a
+    deliberately unsaturated representation: every schoolbook product of two
+    limbs plus accumulated carries fits in OCaml's 63-bit native int with a
+    wide margin, so the reduction logic needs no delicate carry analysis.
+
+    This code runs inside a network simulator; it is not hardened against
+    timing side channels (conditional swaps use plain branches). *)
+
+type t
+
+val zero : unit -> t
+val one : unit -> t
+val of_int : int -> t
+val copy : t -> t
+
+val of_bytes : string -> t
+(** [of_bytes s] decodes 32 little-endian bytes; the top bit is ignored
+    (field elements occupy 255 bits). *)
+
+val to_bytes : t -> string
+(** Canonical 32-byte little-endian encoding of the fully reduced value. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val sq : t -> t
+val mul_small : t -> int -> t
+
+val pow_bytes : t -> string -> t
+(** [pow_bytes a e] is [a^e] where [e] is a little-endian exponent. *)
+
+val invert : t -> t
+(** Addition-chain inversion (a^(p-2)). *)
+
+val generic_invert : t -> t
+(** Square-and-multiply inversion — the oracle {!invert} is tested
+    against. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+
+val is_negative : t -> bool
+(** Least significant bit of the canonical encoding (RFC 8032 sign). *)
+
+val sqrt : t -> t option
+(** [sqrt a] is a square root of [a] mod p when one exists. *)

@@ -1,0 +1,21 @@
+let hash_len = Sha256.digest_size
+
+let extract ?(salt = "") ~ikm () = Hmac.Sha256.mac ~key:salt ikm
+
+let expand ~prk ~info ~len =
+  if len > 255 * hash_len then invalid_arg "Hkdf.expand: length too large";
+  let out = Buffer.create len in
+  let rec blocks prev i =
+    if Buffer.length out >= len then ()
+    else begin
+      let t =
+        Hmac.Sha256.mac_list ~key:prk [ prev; info; String.make 1 (Char.chr i) ]
+      in
+      Buffer.add_string out t;
+      blocks t (i + 1)
+    end
+  in
+  blocks "" 1;
+  Buffer.sub out 0 len
+
+let derive ?salt ~info ~len ikm = expand ~prk:(extract ?salt ~ikm ()) ~info ~len

@@ -1,0 +1,12 @@
+(** HKDF (RFC 5869) over HMAC-SHA256 — the key-derivation function used to
+    turn Diffie-Hellman shared secrets into the symmetric keys of the
+    protocol (kHA pairs, session keys, and the AS's kA' / kA'' subkeys). *)
+
+val extract : ?salt:string -> ikm:string -> unit -> string
+(** [extract ~salt ~ikm ()] is the 32-byte pseudo-random key. *)
+
+val expand : prk:string -> info:string -> len:int -> string
+(** [expand ~prk ~info ~len] derives [len] bytes ([len <= 8160]). *)
+
+val derive : ?salt:string -> info:string -> len:int -> string -> string
+(** [derive ~info ~len ikm] is extract-then-expand of [ikm]. *)

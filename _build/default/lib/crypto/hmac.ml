@@ -1,0 +1,42 @@
+module type HASH = sig
+  val digest_size : int
+  val block_size : int
+  val digest : string -> string
+  val digest_list : string list -> string
+end
+
+module Make (H : HASH) = struct
+  let pad_key key =
+    let key = if String.length key > H.block_size then H.digest key else key in
+    let padded = Bytes.make H.block_size '\000' in
+    Bytes.blit_string key 0 padded 0 (String.length key);
+    Bytes.unsafe_to_string padded
+
+  let with_byte b key = String.map (fun c -> Char.chr (Char.code c lxor b)) key
+
+  let mac_list ~key parts =
+    let k = pad_key key in
+    let inner = H.digest_list (with_byte 0x36 k :: parts) in
+    H.digest_list [ with_byte 0x5c k; inner ]
+
+  let mac ~key msg = mac_list ~key [ msg ]
+
+  let verify ~key ~tag msg =
+    let n = String.length tag in
+    if n < 8 || n > H.digest_size then false
+    else Apna_util.Ct.equal tag (String.sub (mac ~key msg) 0 n)
+end
+
+module Sha256 = Make (struct
+  let digest_size = Sha256.digest_size
+  let block_size = Sha256.block_size
+  let digest = Sha256.digest
+  let digest_list = Sha256.digest_list
+end)
+
+module Sha512 = Make (struct
+  let digest_size = Sha512.digest_size
+  let block_size = Sha512.block_size
+  let digest = Sha512.digest
+  let digest_list = Sha512.digest_list
+end)

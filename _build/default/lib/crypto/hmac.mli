@@ -1,0 +1,31 @@
+(** HMAC (RFC 2104) over SHA-256 and SHA-512. *)
+
+module type HASH = sig
+  val digest_size : int
+  val block_size : int
+  val digest : string -> string
+  val digest_list : string list -> string
+end
+
+module Make (H : HASH) : sig
+  val mac : key:string -> string -> string
+  (** [mac ~key msg] is the full-length HMAC tag. *)
+
+  val mac_list : key:string -> string list -> string
+  (** Tag over the concatenation of the parts, without concatenating. *)
+
+  val verify : key:string -> tag:string -> string -> bool
+  (** Constant-time tag check; accepts truncated tags of >= 8 bytes. *)
+end
+
+module Sha256 : sig
+  val mac : key:string -> string -> string
+  val mac_list : key:string -> string list -> string
+  val verify : key:string -> tag:string -> string -> bool
+end
+
+module Sha512 : sig
+  val mac : key:string -> string -> string
+  val mac_list : key:string -> string list -> string
+  val verify : key:string -> tag:string -> string -> bool
+end

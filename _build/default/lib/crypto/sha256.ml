@@ -1,0 +1,129 @@
+(* SHA-256 over native ints masked to 32 bits: on a 64-bit platform every
+   intermediate sum of 32-bit quantities fits without overflow, and masking
+   only at assignment keeps the compression loop branch-free. *)
+
+let digest_size = 32
+let block_size = 64
+let mask = 0xffffffff
+
+type ctx = {
+  h : int array; (* 8 state words *)
+  buf : Bytes.t; (* partial block *)
+  mutable buf_len : int;
+  mutable total : int; (* total bytes fed *)
+  mutable finalized : bool;
+  sched : int array; (* 64-entry message schedule, owned by this context *)
+}
+
+let init () =
+  {
+    h = Array.copy Sha2_constants.sha256_h;
+    buf = Bytes.create block_size;
+    buf_len = 0;
+    total = 0;
+    finalized = false;
+    sched = Array.make 64 0;
+  }
+
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+
+let compress w h block off =
+  for t = 0 to 15 do
+    w.(t) <-
+      (Char.code (Bytes.get block (off + (4 * t))) lsl 24)
+      lor (Char.code (Bytes.get block (off + (4 * t) + 1)) lsl 16)
+      lor (Char.code (Bytes.get block (off + (4 * t) + 2)) lsl 8)
+      lor Char.code (Bytes.get block (off + (4 * t) + 3))
+  done;
+  for t = 16 to 63 do
+    let s0 =
+      let x = w.(t - 15) in
+      rotr x 7 lxor rotr x 18 lxor (x lsr 3)
+    in
+    let s1 =
+      let x = w.(t - 2) in
+      rotr x 17 lxor rotr x 19 lxor (x lsr 10)
+    in
+    w.(t) <- (w.(t - 16) + s0 + w.(t - 7) + s1) land mask
+  done;
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for t = 0 to 63 do
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = (!e land !f) lxor (lnot !e land !g) in
+    let t1 = (!hh + s1 + ch + Sha2_constants.sha256_k.(t) + w.(t)) land mask in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
+    let t2 = (s0 + maj) land mask in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := (!d + t1) land mask;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := (t1 + t2) land mask
+  done;
+  h.(0) <- (h.(0) + !a) land mask;
+  h.(1) <- (h.(1) + !b) land mask;
+  h.(2) <- (h.(2) + !c) land mask;
+  h.(3) <- (h.(3) + !d) land mask;
+  h.(4) <- (h.(4) + !e) land mask;
+  h.(5) <- (h.(5) + !f) land mask;
+  h.(6) <- (h.(6) + !g) land mask;
+  h.(7) <- (h.(7) + !hh) land mask
+
+let feed ctx s =
+  if ctx.finalized then invalid_arg "Sha256.feed: finalized context";
+  ctx.total <- ctx.total + String.length s;
+  let pos = ref 0 and len = String.length s in
+  (* Top up a partial block first. *)
+  if ctx.buf_len > 0 then begin
+    let need = min (block_size - ctx.buf_len) len in
+    Bytes.blit_string s 0 ctx.buf ctx.buf_len need;
+    ctx.buf_len <- ctx.buf_len + need;
+    pos := need;
+    if ctx.buf_len = block_size then begin
+      compress ctx.sched ctx.h ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  while len - !pos >= block_size do
+    Bytes.blit_string s !pos ctx.buf 0 block_size;
+    compress ctx.sched ctx.h ctx.buf 0;
+    pos := !pos + block_size
+  done;
+  if len - !pos > 0 then begin
+    Bytes.blit_string s !pos ctx.buf 0 (len - !pos);
+    ctx.buf_len <- len - !pos
+  end
+
+let finalize ctx =
+  if ctx.finalized then invalid_arg "Sha256.finalize: finalized context";
+  ctx.finalized <- true;
+  let bit_len = ctx.total * 8 in
+  let pad_len =
+    let rem = (ctx.total + 1 + 8) mod block_size in
+    if rem = 0 then 1 + 8 else 1 + 8 + (block_size - rem)
+  in
+  let pad = Bytes.make pad_len '\000' in
+  Bytes.set pad 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set pad (pad_len - 1 - i) (Char.chr ((bit_len lsr (8 * i)) land 0xff))
+  done;
+  ctx.finalized <- false;
+  feed ctx (Bytes.unsafe_to_string pad);
+  ctx.finalized <- true;
+  assert (ctx.buf_len = 0);
+  String.init digest_size (fun i ->
+      Char.chr ((ctx.h.(i / 4) lsr (8 * (3 - (i mod 4)))) land 0xff))
+
+let digest s =
+  let c = init () in
+  feed c s;
+  finalize c
+
+let digest_list parts =
+  let c = init () in
+  List.iter (feed c) parts;
+  finalize c

@@ -1,0 +1,21 @@
+(** SHA-256 (FIPS 180-4). *)
+
+val digest_size : int
+(** 32 bytes. *)
+
+val block_size : int
+(** 64 bytes — relevant for HMAC key padding. *)
+
+type ctx
+(** Incremental hashing context (mutable). *)
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+
+val finalize : ctx -> string
+(** [finalize c] pads, returns the 32-byte digest, and invalidates [c]. *)
+
+val digest : string -> string
+val digest_list : string list -> string
+(** [digest_list parts] hashes the concatenation of [parts] without building
+    the concatenated string. *)

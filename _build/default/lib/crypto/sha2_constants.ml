@@ -1,0 +1,60 @@
+(* SHA-2 round constants, derived rather than transcribed.
+
+   FIPS 180-4 defines the initial hash values as the first 32 (resp. 64) bits
+   of the fractional parts of the square roots of the first 8 primes, and the
+   round constants as the same for the cube roots of the first 64 (resp. 80)
+   primes. We compute them exactly with integer k-th roots over [Bigint]:
+   frac(p^(1/k)) * 2^w = floor((p * 2^(k*w))^(1/k)) mod 2^w. *)
+
+let first_primes n =
+  let rec is_prime i d =
+    if d * d > i then true else if i mod d = 0 then false else is_prime i (d + 1)
+  in
+  let rec collect acc i =
+    if List.length acc = n then List.rev acc
+    else collect (if is_prime i 2 then i :: acc else acc) (i + 1)
+  in
+  Array.of_list (collect [] 2)
+
+(* floor(n^(1/k)) by binary search. *)
+let iroot k n =
+  let rec pow b e = if e = 0 then Bigint.one else Bigint.mul b (pow b (e - 1)) in
+  let hi_bits = (Bigint.num_bits n / k) + 1 in
+  let rec search lo hi =
+    (* Invariant: lo^k <= n < hi^k. *)
+    if Bigint.compare (Bigint.add lo Bigint.one) hi >= 0 then lo
+    else begin
+      let mid = Bigint.shift_right (Bigint.add lo hi) 1 in
+      if Bigint.compare (pow mid k) n <= 0 then search mid hi else search lo mid
+    end
+  in
+  search Bigint.zero (Bigint.shift_left Bigint.one hi_bits)
+
+let frac_root ~k ~word_bits p =
+  let n = Bigint.shift_left (Bigint.of_int p) (k * word_bits) in
+  let root = iroot k n in
+  Bigint.rem root (Bigint.shift_left Bigint.one word_bits)
+
+let to_int b = Option.get (Bigint.to_int_opt b)
+
+let to_int64 b =
+  (* 64-bit constants can exceed OCaml's 62 value bits; reassemble halves. *)
+  let lo = Bigint.rem b (Bigint.shift_left Bigint.one 32) in
+  let hi = Bigint.shift_right b 32 in
+  Int64.logor
+    (Int64.shift_left (Int64.of_int (to_int hi)) 32)
+    (Int64.of_int (to_int lo))
+
+let primes80 = first_primes 80
+
+let sha256_h =
+  Array.init 8 (fun i -> to_int (frac_root ~k:2 ~word_bits:32 primes80.(i)))
+
+let sha256_k =
+  Array.init 64 (fun i -> to_int (frac_root ~k:3 ~word_bits:32 primes80.(i)))
+
+let sha512_h =
+  Array.init 8 (fun i -> to_int64 (frac_root ~k:2 ~word_bits:64 primes80.(i)))
+
+let sha512_k =
+  Array.init 80 (fun i -> to_int64 (frac_root ~k:3 ~word_bits:64 primes80.(i)))

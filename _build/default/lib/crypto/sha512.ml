@@ -1,0 +1,124 @@
+let digest_size = 64
+let block_size = 128
+
+type ctx = {
+  h : int64 array;
+  buf : Bytes.t;
+  mutable buf_len : int;
+  mutable total : int;
+  mutable finalized : bool;
+  sched : int64 array; (* 80-entry message schedule, owned by this context *)
+}
+
+let init () =
+  {
+    h = Array.copy Sha2_constants.sha512_h;
+    buf = Bytes.create block_size;
+    buf_len = 0;
+    total = 0;
+    finalized = false;
+    sched = Array.make 80 0L;
+  }
+
+let rotr x n = Int64.logor (Int64.shift_right_logical x n) (Int64.shift_left x (64 - n))
+let ( +% ) = Int64.add
+let ( ^% ) = Int64.logxor
+let ( &% ) = Int64.logand
+
+let compress w h block off =
+  for t = 0 to 15 do
+    w.(t) <- Bytes.get_int64_be block (off + (8 * t))
+  done;
+  for t = 16 to 79 do
+    let s0 =
+      let x = w.(t - 15) in
+      rotr x 1 ^% rotr x 8 ^% Int64.shift_right_logical x 7
+    in
+    let s1 =
+      let x = w.(t - 2) in
+      rotr x 19 ^% rotr x 61 ^% Int64.shift_right_logical x 6
+    in
+    w.(t) <- w.(t - 16) +% s0 +% w.(t - 7) +% s1
+  done;
+  let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for t = 0 to 79 do
+    let s1 = rotr !e 14 ^% rotr !e 18 ^% rotr !e 41 in
+    let ch = (!e &% !f) ^% (Int64.lognot !e &% !g) in
+    let t1 = !hh +% s1 +% ch +% Sha2_constants.sha512_k.(t) +% w.(t) in
+    let s0 = rotr !a 28 ^% rotr !a 34 ^% rotr !a 39 in
+    let maj = (!a &% !b) ^% (!a &% !c) ^% (!b &% !c) in
+    let t2 = s0 +% maj in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := !d +% t1;
+    d := !c;
+    c := !b;
+    b := !a;
+    a := t1 +% t2
+  done;
+  h.(0) <- h.(0) +% !a;
+  h.(1) <- h.(1) +% !b;
+  h.(2) <- h.(2) +% !c;
+  h.(3) <- h.(3) +% !d;
+  h.(4) <- h.(4) +% !e;
+  h.(5) <- h.(5) +% !f;
+  h.(6) <- h.(6) +% !g;
+  h.(7) <- h.(7) +% !hh
+
+let feed ctx s =
+  if ctx.finalized then invalid_arg "Sha512.feed: finalized context";
+  ctx.total <- ctx.total + String.length s;
+  let pos = ref 0 and len = String.length s in
+  if ctx.buf_len > 0 then begin
+    let need = min (block_size - ctx.buf_len) len in
+    Bytes.blit_string s 0 ctx.buf ctx.buf_len need;
+    ctx.buf_len <- ctx.buf_len + need;
+    pos := need;
+    if ctx.buf_len = block_size then begin
+      compress ctx.sched ctx.h ctx.buf 0;
+      ctx.buf_len <- 0
+    end
+  end;
+  while len - !pos >= block_size do
+    Bytes.blit_string s !pos ctx.buf 0 block_size;
+    compress ctx.sched ctx.h ctx.buf 0;
+    pos := !pos + block_size
+  done;
+  if len - !pos > 0 then begin
+    Bytes.blit_string s !pos ctx.buf 0 (len - !pos);
+    ctx.buf_len <- len - !pos
+  end
+
+let finalize ctx =
+  if ctx.finalized then invalid_arg "Sha512.finalize: finalized context";
+  let bit_len = ctx.total * 8 in
+  (* The length field is 16 bytes; an OCaml int cannot overflow it here. *)
+  let pad_len =
+    let rem = (ctx.total + 1 + 16) mod block_size in
+    if rem = 0 then 1 + 16 else 1 + 16 + (block_size - rem)
+  in
+  let pad = Bytes.make pad_len '\000' in
+  Bytes.set pad 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set pad (pad_len - 1 - i) (Char.chr ((bit_len lsr (8 * i)) land 0xff))
+  done;
+  feed ctx (Bytes.unsafe_to_string pad);
+  ctx.finalized <- true;
+  assert (ctx.buf_len = 0);
+  let out = Bytes.create digest_size in
+  for i = 0 to 7 do
+    Bytes.set_int64_be out (8 * i) ctx.h.(i)
+  done;
+  Bytes.unsafe_to_string out
+
+let digest s =
+  let c = init () in
+  feed c s;
+  finalize c
+
+let digest_list parts =
+  let c = init () in
+  List.iter (feed c) parts;
+  finalize c

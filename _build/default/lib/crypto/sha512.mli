@@ -1,0 +1,15 @@
+(** SHA-512 (FIPS 180-4). Required by Ed25519. *)
+
+val digest_size : int
+(** 64 bytes. *)
+
+val block_size : int
+(** 128 bytes. *)
+
+type ctx
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+val finalize : ctx -> string
+val digest : string -> string
+val digest_list : string list -> string

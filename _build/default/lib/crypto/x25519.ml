@@ -1,0 +1,62 @@
+let key_size = 32
+
+let clamp scalar =
+  let b = Bytes.of_string scalar in
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) land 248));
+  Bytes.set b 31 (Char.chr (Char.code (Bytes.get b 31) land 127 lor 64));
+  Bytes.unsafe_to_string b
+
+(* RFC 7748 Montgomery ladder on the u-coordinate. Branching on scalar bits
+   is acceptable here: see the side-channel note in {!Fe25519}. *)
+let scalar_mult ~scalar ~point =
+  if String.length scalar <> 32 || String.length point <> 32 then
+    invalid_arg "X25519.scalar_mult: key size";
+  let k = clamp scalar in
+  let x1 = Fe25519.of_bytes point in
+  let x2 = ref (Fe25519.one ()) and z2 = ref (Fe25519.zero ()) in
+  let x3 = ref (Fe25519.copy x1) and z3 = ref (Fe25519.one ()) in
+  let swap = ref 0 in
+  for t = 254 downto 0 do
+    let kt = (Char.code k.[t / 8] lsr (t mod 8)) land 1 in
+    if !swap lxor kt = 1 then begin
+      let tx = !x2 and tz = !z2 in
+      x2 := !x3;
+      z2 := !z3;
+      x3 := tx;
+      z3 := tz
+    end;
+    swap := kt;
+    let a = Fe25519.add !x2 !z2 in
+    let aa = Fe25519.sq a in
+    let b = Fe25519.sub !x2 !z2 in
+    let bb = Fe25519.sq b in
+    let e = Fe25519.sub aa bb in
+    let c = Fe25519.add !x3 !z3 in
+    let d = Fe25519.sub !x3 !z3 in
+    let da = Fe25519.mul d a in
+    let cb = Fe25519.mul c b in
+    let sum = Fe25519.add da cb in
+    let diff = Fe25519.sub da cb in
+    x3 := Fe25519.sq sum;
+    z3 := Fe25519.mul x1 (Fe25519.sq diff);
+    x2 := Fe25519.mul aa bb;
+    z2 := Fe25519.mul e (Fe25519.add aa (Fe25519.mul_small e 121665))
+  done;
+  if !swap = 1 then begin
+    x2 := !x3;
+    z2 := !z3
+  end;
+  Fe25519.to_bytes (Fe25519.mul !x2 (Fe25519.invert !z2))
+
+let base_point = String.init 32 (fun i -> if i = 0 then '\009' else '\000')
+let public_of_secret sk = scalar_mult ~scalar:sk ~point:base_point
+
+let shared_secret ~secret ~peer =
+  let out = scalar_mult ~scalar:secret ~point:peer in
+  if String.for_all (fun c -> c = '\000') out then
+    Error "x25519: low-order peer point"
+  else Ok out
+
+let generate rng =
+  let sk = Drbg.generate rng 32 in
+  (sk, public_of_secret sk)

@@ -1,0 +1,19 @@
+(** X25519 Diffie-Hellman (RFC 7748) — the key agreement used to derive
+    host–AS keys (kHA) and session keys (kEaEb) in the paper's protocols. *)
+
+val key_size : int
+(** 32 bytes for scalars, public values and shared secrets. *)
+
+val scalar_mult : scalar:string -> point:string -> string
+(** [scalar_mult ~scalar ~point] is the raw X25519 function: the scalar is
+    clamped per RFC 7748, the point is a u-coordinate. *)
+
+val public_of_secret : string -> string
+(** [public_of_secret sk] is [scalar_mult ~scalar:sk ~point:base]. *)
+
+val shared_secret : secret:string -> peer:string -> (string, string) result
+(** [shared_secret ~secret ~peer] is the DH output, or [Error _] when the
+    result is the all-zero point (peer on a small-order subgroup). *)
+
+val generate : Drbg.t -> string * string
+(** [generate rng] is a fresh [(secret, public)] pair. *)

@@ -1,0 +1,1 @@
+lib/net/addr.ml: Char Format Hashtbl Int Map String

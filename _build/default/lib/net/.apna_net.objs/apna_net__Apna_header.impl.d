@@ -1,0 +1,1 @@
+lib/net/apna_header.ml: Addr Apna_util Format Printf Reader String

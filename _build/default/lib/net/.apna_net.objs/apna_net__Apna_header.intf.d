@@ -1,0 +1,1 @@
+lib/net/apna_header.mli: Addr Format

@@ -1,0 +1,1 @@
+lib/net/gre.ml: Apna_util Reader String

@@ -1,0 +1,1 @@
+lib/net/ipv4_header.ml: Addr Apna_util Char Reader String

@@ -1,0 +1,1 @@
+lib/net/ipv4_header.mli: Addr

@@ -1,0 +1,1 @@
+lib/net/packet.ml: Apna_header Apna_util Format Printf Reader String

@@ -1,0 +1,1 @@
+lib/net/packet.mli: Apna_header Format

@@ -1,0 +1,1 @@
+lib/net/topology.ml: Addr Hashtbl Link List Option Queue

@@ -1,0 +1,66 @@
+type t = {
+  src_aid : Addr.aid;
+  src_ephid : string;
+  dst_aid : Addr.aid;
+  dst_ephid : string;
+  mac : string;
+}
+
+let ephid_size = 16
+let mac_size = 8
+let size = 4 + ephid_size + ephid_size + 4 + mac_size
+
+let check_len label expected s =
+  if String.length s <> expected then
+    invalid_arg (Printf.sprintf "Apna_header: %s must be %d bytes" label expected)
+
+let make ~src_aid ~src_ephid ~dst_aid ~dst_ephid ?(mac = String.make mac_size '\000')
+    () =
+  check_len "src_ephid" ephid_size src_ephid;
+  check_len "dst_ephid" ephid_size dst_ephid;
+  check_len "mac" mac_size mac;
+  { src_aid; src_ephid; dst_aid; dst_ephid; mac }
+
+let with_mac t mac =
+  check_len "mac" mac_size mac;
+  { t with mac }
+
+let encode t ~mac =
+  let w = Apna_util.Rw.Writer.create ~capacity:size () in
+  Apna_util.Rw.Writer.bytes w (Addr.aid_to_bytes t.src_aid);
+  Apna_util.Rw.Writer.bytes w t.src_ephid;
+  Apna_util.Rw.Writer.bytes w t.dst_ephid;
+  Apna_util.Rw.Writer.bytes w (Addr.aid_to_bytes t.dst_aid);
+  Apna_util.Rw.Writer.bytes w mac;
+  Apna_util.Rw.Writer.contents w
+
+let to_bytes t = encode t ~mac:t.mac
+let bytes_for_mac t = encode t ~mac:(String.make mac_size '\000')
+
+let of_bytes s =
+  let open Apna_util.Rw in
+  let r = Reader.of_string s in
+  let* src_aid_bytes = Reader.bytes r 4 in
+  let* src_aid = Addr.aid_of_bytes src_aid_bytes in
+  let* src_ephid = Reader.bytes r ephid_size in
+  let* dst_ephid = Reader.bytes r ephid_size in
+  let* dst_aid_bytes = Reader.bytes r 4 in
+  let* dst_aid = Addr.aid_of_bytes dst_aid_bytes in
+  let* mac = Reader.bytes r mac_size in
+  let* () = Reader.expect_end r in
+  Ok { src_aid; src_ephid; dst_aid; dst_ephid; mac }
+
+let reverse t =
+  {
+    src_aid = t.dst_aid;
+    src_ephid = t.dst_ephid;
+    dst_aid = t.src_aid;
+    dst_ephid = t.src_ephid;
+    mac = String.make mac_size '\000';
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "%a:%s -> %a:%s" Addr.pp_aid t.src_aid
+    (Apna_util.Hex.encode (String.sub t.src_ephid 0 4))
+    Addr.pp_aid t.dst_aid
+    (Apna_util.Hex.encode (String.sub t.dst_ephid 0 4))

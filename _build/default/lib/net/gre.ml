@@ -1,0 +1,20 @@
+let size = 4
+let protocol_apna = 0x0A9A
+
+let encapsulate ~protocol payload =
+  if protocol < 0 || protocol > 0xffff then invalid_arg "Gre.encapsulate";
+  let w = Apna_util.Rw.Writer.create ~capacity:(size + String.length payload) () in
+  Apna_util.Rw.Writer.u16 w 0 (* no checksum, reserved0 = 0, version 0 *);
+  Apna_util.Rw.Writer.u16 w protocol;
+  Apna_util.Rw.Writer.bytes w payload;
+  Apna_util.Rw.Writer.contents w
+
+let decapsulate s =
+  let open Apna_util.Rw in
+  let r = Reader.of_string s in
+  let* flags = Reader.u16 r in
+  if flags <> 0 then Error "gre: unsupported flags or version"
+  else begin
+    let* protocol = Reader.u16 r in
+    Ok (protocol, Reader.rest r)
+  end

@@ -1,0 +1,15 @@
+(** GRE encapsulation (RFC 2784), the vehicle for deploying APNA over
+    today's IPv4 Internet (paper §VII-D, Fig. 9): an APNA packet travels as
+    IPv4 / GRE / APNA header / payload between APNA entities. *)
+
+val size : int
+(** 4 bytes (base header, no optional fields). *)
+
+val protocol_apna : int
+(** The EtherType-style protocol number we use for APNA payloads. The paper
+    notes a real deployment would request one from IANA; we use 0x0A9A. *)
+
+val encapsulate : protocol:int -> string -> string
+val decapsulate : string -> (int * string, string) result
+(** [decapsulate s] is [(protocol, payload)]; rejects reserved flag bits
+    and non-zero versions. *)

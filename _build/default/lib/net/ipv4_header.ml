@@ -1,0 +1,69 @@
+type t = {
+  ttl : int;
+  protocol : int;
+  src : Addr.hid;
+  dst : Addr.hid;
+  payload_len : int;
+}
+
+let size = 20
+let protocol_gre = 47
+
+let make ?(ttl = 64) ~protocol ~src ~dst ~payload_len () =
+  if payload_len < 0 || payload_len > 65535 - size then
+    invalid_arg "Ipv4_header.make: payload length";
+  { ttl; protocol; src; dst; payload_len }
+
+let checksum s =
+  let sum = ref 0 in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i + 1 < n do
+    sum := !sum + ((Char.code s.[!i] lsl 8) lor Char.code s.[!i + 1]);
+    i := !i + 2
+  done;
+  if n land 1 = 1 then sum := !sum + (Char.code s.[n - 1] lsl 8);
+  while !sum lsr 16 <> 0 do
+    sum := (!sum land 0xffff) + (!sum lsr 16)
+  done;
+  lnot !sum land 0xffff
+
+let encode t ~cksum =
+  let w = Apna_util.Rw.Writer.create ~capacity:size () in
+  let open Apna_util.Rw.Writer in
+  u8 w 0x45 (* version 4, IHL 5 *);
+  u8 w 0 (* DSCP/ECN *);
+  u16 w (size + t.payload_len);
+  u16 w 0 (* identification *);
+  u16 w 0 (* flags/fragment offset *);
+  u8 w t.ttl;
+  u8 w t.protocol;
+  u16 w cksum;
+  bytes w (Addr.hid_to_bytes t.src);
+  bytes w (Addr.hid_to_bytes t.dst);
+  contents w
+
+let to_bytes t = encode t ~cksum:(checksum (encode t ~cksum:0))
+
+let of_bytes s =
+  let open Apna_util.Rw in
+  let r = Reader.of_string s in
+  let* vihl = Reader.u8 r in
+  if vihl <> 0x45 then Error "ipv4: unsupported version/IHL"
+  else begin
+    let* _dscp = Reader.u8 r in
+    let* total_len = Reader.u16 r in
+    let* _ident = Reader.u16 r in
+    let* _frag = Reader.u16 r in
+    let* ttl = Reader.u8 r in
+    let* protocol = Reader.u8 r in
+    let* _cksum = Reader.u16 r in
+    let* src_bytes = Reader.bytes r 4 in
+    let* src = Addr.hid_of_bytes src_bytes in
+    let* dst_bytes = Reader.bytes r 4 in
+    let* dst = Addr.hid_of_bytes dst_bytes in
+    if total_len < size then Error "ipv4: bad total length"
+    else if String.length s < size then Error "ipv4: truncated"
+    else if checksum (String.sub s 0 size) <> 0 then Error "ipv4: bad checksum"
+    else Ok { ttl; protocol; src; dst; payload_len = total_len - size }
+  end

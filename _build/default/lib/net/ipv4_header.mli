@@ -1,0 +1,28 @@
+(** Minimal IPv4 header (RFC 791, no options) for the GRE-encapsulated
+    deployment of APNA over today's Internet (paper §VII-D, Fig. 9). *)
+
+type t = {
+  ttl : int;
+  protocol : int;
+  src : Addr.hid;  (** IPv4 addresses double as HIDs in this deployment. *)
+  dst : Addr.hid;
+  payload_len : int;
+}
+
+val size : int
+(** 20 bytes. *)
+
+val protocol_gre : int
+(** 47. *)
+
+val make : ?ttl:int -> protocol:int -> src:Addr.hid -> dst:Addr.hid ->
+  payload_len:int -> unit -> t
+
+val to_bytes : t -> string
+(** Serializes with a correct header checksum. *)
+
+val of_bytes : string -> (t, string) result
+(** Rejects short input, bad version/IHL and checksum mismatches. *)
+
+val checksum : string -> int
+(** The Internet checksum (RFC 1071) over a byte string. *)

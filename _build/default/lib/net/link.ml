@@ -1,0 +1,13 @@
+type t = { capacity_bps : float; propagation_s : float; mtu : int }
+
+let make ?(capacity_gbps = 10.0) ?(propagation_ms = 5.0) ?(mtu = 1500) () =
+  if capacity_gbps <= 0.0 || propagation_ms < 0.0 || mtu < 128 then
+    invalid_arg "Link.make";
+  {
+    capacity_bps = capacity_gbps *. 1e9;
+    propagation_s = propagation_ms /. 1e3;
+    mtu;
+  }
+
+let transit_delay t ~bytes =
+  t.propagation_s +. (float_of_int (8 * bytes) /. t.capacity_bps)

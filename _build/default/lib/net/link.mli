@@ -1,0 +1,9 @@
+(** Point-to-point link model: capacity and propagation delay. *)
+
+type t = { capacity_bps : float; propagation_s : float; mtu : int }
+
+val make : ?capacity_gbps:float -> ?propagation_ms:float -> ?mtu:int -> unit -> t
+(** Defaults: 10 Gbps, 5 ms, 1500-byte MTU. *)
+
+val transit_delay : t -> bytes:int -> float
+(** Serialization plus propagation delay for a frame of [bytes] bytes. *)

@@ -1,0 +1,30 @@
+(** An APNA packet: header, upper-layer protocol tag, payload.
+
+    The protocol tag plays the role of Fig. 9's "Protocol = UL" field: it
+    tells the receiving entity how to interpret the payload. It travels as a
+    one-byte shim between header and payload and is covered by the packet
+    MAC. *)
+
+type proto =
+  | Data  (** encrypted session data *)
+  | Control  (** bootstrap / EphID issuance / shutoff / DNS messages *)
+  | Icmp  (** network feedback (§VIII-B) *)
+
+val proto_to_int : proto -> int
+val proto_of_int : int -> (proto, string) result
+
+type t = { header : Apna_header.t; proto : proto; payload : string }
+
+val make : header:Apna_header.t -> proto:proto -> payload:string -> t
+
+val wire_size : t -> int
+(** Bytes on the wire: header + shim + payload. *)
+
+val to_bytes : t -> string
+val of_bytes : string -> (t, string) result
+
+val bytes_for_mac : t -> string
+(** Serialization with a zeroed MAC field — the input the source host and
+    its AS agree to authenticate (§IV-D2). *)
+
+val pp : Format.formatter -> t -> unit

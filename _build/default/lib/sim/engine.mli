@@ -1,0 +1,28 @@
+(** Discrete-event simulation engine.
+
+    Time is a float in seconds. Events are closures ordered by (time,
+    sequence number); ties resolve in scheduling order, which keeps runs
+    deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time in seconds. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** [schedule t ~at f] runs [f] at absolute time [at].
+    @raise Invalid_argument if [at] is in the past. *)
+
+val schedule_in : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule_in t ~delay f] runs [f] after [delay] seconds. *)
+
+val run : ?until:float -> t -> unit
+(** [run ?until t] processes events in time order until the queue empties
+    or simulated time would exceed [until]. *)
+
+val step : t -> bool
+(** [step t] processes one event; [false] when the queue is empty. *)
+
+val pending : t -> int

@@ -1,0 +1,55 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = seed }
+
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = create (int64 t)
+
+let float t =
+  (* 53 uniform bits into [0, 1). *)
+  let bits = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  bits /. 9007199254740992.0
+
+let int t n =
+  if n < 1 then invalid_arg "Rng.int";
+  if n = 1 then 0
+  else begin
+    let limit = max_int - (max_int mod n) in
+    let rec draw () =
+      let v = Int64.to_int (int64 t) land max_int in
+      if v < limit then v mod n else draw ()
+    in
+    draw ()
+  end
+
+let exponential t ~mean =
+  let u = float t in
+  -.mean *. log (1.0 -. u)
+
+let pareto t ~xm ~alpha =
+  let u = float t in
+  xm /. ((1.0 -. u) ** (1.0 /. alpha))
+
+let lognormal t ~mu ~sigma =
+  (* Box-Muller. *)
+  let u1 = max (float t) 1e-12 and u2 = float t in
+  let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+  exp (mu +. (sigma *. z))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,28 @@
+(** SplitMix64 pseudo-random numbers for workload generation.
+
+    Fast and deterministic; used for traffic models (arrival times, flow
+    durations, packet sizes). Cryptographic randomness uses
+    {!Apna_crypto.Drbg} instead. *)
+
+type t
+
+val create : int64 -> t
+val split : t -> t
+(** [split t] derives an independent stream and advances [t]. *)
+
+val int64 : t -> int64
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)], [n >= 1]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed sample (inter-arrival times). *)
+
+val pareto : t -> xm:float -> alpha:float -> float
+(** Pareto sample with scale [xm] and shape [alpha] (heavy-tailed flow
+    sizes and durations). *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+val shuffle : t -> 'a array -> unit

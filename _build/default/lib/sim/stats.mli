@@ -1,0 +1,38 @@
+(** Online statistics for measurements: counters, mean/variance accumulators
+    (Welford), and fixed-bucket histograms with percentile estimates. *)
+
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+module Hist : sig
+  type t
+
+  val create : ?buckets:int -> lo:float -> hi:float -> unit -> t
+  (** Linear-bucket histogram over [\[lo, hi\]]; out-of-range samples clamp
+      to the edge buckets. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+
+  val percentile : t -> float -> float
+  (** [percentile t 0.99] estimates the p99 by linear interpolation within
+      the bucket. Returns [nan] when empty. *)
+end
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : ?by:int -> t -> unit
+  val value : t -> int
+end

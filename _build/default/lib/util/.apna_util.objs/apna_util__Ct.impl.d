@@ -1,0 +1,1 @@
+lib/util/ct.ml: Bytes Char String

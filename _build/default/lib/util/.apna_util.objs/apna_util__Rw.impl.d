@@ -1,0 +1,1 @@
+lib/util/rw.ml: Buffer Bytes Char Int32 Result String

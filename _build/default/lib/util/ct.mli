@@ -1,0 +1,16 @@
+(** Constant-time byte-string operations.
+
+    Cryptographic comparisons must not leak the position of the first
+    mismatching byte through timing; these helpers accumulate differences
+    without early exit. *)
+
+val equal : string -> string -> bool
+(** [equal a b] is [true] iff [a] and [b] have the same length and contents,
+    evaluated without data-dependent branching on the contents. *)
+
+val xor : string -> string -> string
+(** [xor a b] is the byte-wise xor of two equal-length strings.
+    @raise Invalid_argument if lengths differ. *)
+
+val zeroize : bytes -> unit
+(** [zeroize b] overwrites [b] with zero bytes (best-effort key hygiene). *)

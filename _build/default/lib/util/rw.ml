@@ -1,0 +1,68 @@
+let ( let* ) = Result.bind
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(capacity = 64) () = Buffer.create capacity
+  let length = Buffer.length
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
+
+  let u16 t v =
+    u8 t (v lsr 8);
+    u8 t v
+
+  let u32 t v = Buffer.add_string t (Bytes.unsafe_to_string
+      (let b = Bytes.create 4 in Bytes.set_int32_be b 0 v; b))
+
+  let u32_of_int t v = u32 t (Int32.of_int v)
+
+  let u64 t v = Buffer.add_string t (Bytes.unsafe_to_string
+      (let b = Bytes.create 8 in Bytes.set_int64_be b 0 v; b))
+
+  let bytes = Buffer.add_string
+  let contents = Buffer.contents
+end
+
+module Reader = struct
+  type t = { src : string; mutable pos : int }
+
+  let of_string src = { src; pos = 0 }
+  let remaining t = String.length t.src - t.pos
+
+  let take t n =
+    if remaining t < n then Error "short read"
+    else begin
+      let s = String.sub t.src t.pos n in
+      t.pos <- t.pos + n;
+      Ok s
+    end
+
+  let u8 t =
+    let* s = take t 1 in
+    Ok (Char.code s.[0])
+
+  let u16 t =
+    let* s = take t 2 in
+    Ok ((Char.code s.[0] lsl 8) lor Char.code s.[1])
+
+  let u32 t =
+    let* s = take t 4 in
+    Ok (String.get_int32_be s 0)
+
+  let u32_to_int t =
+    let* v = u32 t in
+    Ok (Int32.to_int v land 0xffffffff)
+
+  let u64 t =
+    let* s = take t 8 in
+    Ok (String.get_int64_be s 0)
+
+  let bytes = take
+
+  let rest t =
+    let s = String.sub t.src t.pos (remaining t) in
+    t.pos <- String.length t.src;
+    s
+
+  let expect_end t = if remaining t = 0 then Ok () else Error "trailing bytes"
+end

@@ -1,0 +1,44 @@
+(** Byte readers and writers for fixed-layout wire formats.
+
+    All multi-byte integers are big-endian (network byte order) unless the
+    function name says otherwise. Readers return [result] rather than raising
+    so that malformed packets from the network are ordinary values. *)
+
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int32 -> unit
+  val u32_of_int : t -> int -> unit
+  val u64 : t -> int64 -> unit
+  val bytes : t -> string -> unit
+
+  val contents : t -> string
+  (** [contents w] is everything written so far; [w] remains usable. *)
+end
+
+module Reader : sig
+  type t
+
+  val of_string : string -> t
+  val remaining : t -> int
+  val u8 : t -> (int, string) result
+  val u16 : t -> (int, string) result
+  val u32 : t -> (int32, string) result
+  val u32_to_int : t -> (int, string) result
+  val u64 : t -> (int64, string) result
+  val bytes : t -> int -> (string, string) result
+
+  val rest : t -> string
+  (** [rest r] consumes and returns all remaining bytes. *)
+
+  val expect_end : t -> (unit, string) result
+  (** [expect_end r] is [Ok ()] iff no bytes remain. *)
+end
+
+val ( let* ) :
+  ('a, 'e) result -> ('a -> ('b, 'e) result) -> ('b, 'e) result
+(** Result bind, re-exported for decoding pipelines. *)

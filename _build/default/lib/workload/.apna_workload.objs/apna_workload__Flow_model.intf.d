@@ -1,0 +1,1 @@
+lib/workload/flow_model.mli: Apna_sim

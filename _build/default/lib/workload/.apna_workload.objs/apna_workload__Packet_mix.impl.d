@@ -1,0 +1,1 @@
+lib/workload/packet_mix.ml: Apna_sim Format List

@@ -1,0 +1,1 @@
+lib/workload/packet_mix.mli: Apna_sim Format

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Apna_sim Float Flow_model Hashtbl Option

@@ -1,0 +1,1 @@
+lib/workload/trace.mli: Apna_sim Flow_model

@@ -1,0 +1,38 @@
+type t = {
+  dragonfly_fraction : float;
+  tortoise_fraction : float;
+  body_mu : float;
+  body_sigma : float;
+  tail_xm : float;
+  tail_alpha : float;
+}
+
+(* Calibration targets: P(duration < 2 s) = 0.45 and P(< 15 min) = 0.98.
+   The lognormal body (median 15 s, sigma 1.3) itself has ~6% mass below
+   2 s and ~99.9% below 900 s, so the dragonfly mode carries 41.6% and the
+   Pareto tortoise tail 2%:
+     P(<2)   = 0.416 + 0.564 * 0.060            ~= 0.450
+     P(<900) = 0.416 + 0.564 * 0.999            ~= 0.980 *)
+let default =
+  {
+    dragonfly_fraction = 0.416;
+    tortoise_fraction = 0.02;
+    body_mu = log 15.0;
+    body_sigma = 1.3;
+    tail_xm = 900.0;
+    tail_alpha = 1.2;
+  }
+
+let sample_duration t rng =
+  let u = Apna_sim.Rng.float rng in
+  if u < t.dragonfly_fraction then 0.01 +. (1.99 *. Apna_sim.Rng.float rng)
+  else if u < t.dragonfly_fraction +. t.tortoise_fraction then
+    Apna_sim.Rng.pareto rng ~xm:t.tail_xm ~alpha:t.tail_alpha
+  else Apna_sim.Rng.lognormal rng ~mu:t.body_mu ~sigma:t.body_sigma
+
+let fraction_below t rng ~threshold ~samples =
+  let below = ref 0 in
+  for _ = 1 to samples do
+    if sample_duration t rng < threshold then incr below
+  done;
+  float_of_int !below /. float_of_int samples

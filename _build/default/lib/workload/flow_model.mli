@@ -1,0 +1,25 @@
+(** Flow-duration model after Brownlee & Claffy's "dragonflies and
+    tortoises" (the paper's §VIII-G1 calibration source): a mixture of
+    short-lived dragonflies, a lognormal body, and a Pareto tortoise tail,
+    parameterized so that ≈45% of flows last under 2 s and ≈98% under 15
+    minutes — the statistic the paper uses to pick the default EphID
+    lifetime. *)
+
+type t = {
+  dragonfly_fraction : float;  (** flows drawn from the sub-2 s mode *)
+  tortoise_fraction : float;  (** flows drawn from the Pareto tail *)
+  body_mu : float;
+  body_sigma : float;
+  tail_xm : float;
+  tail_alpha : float;
+}
+
+val default : t
+(** Calibrated to the 45% / 98% targets above. *)
+
+val sample_duration : t -> Apna_sim.Rng.t -> float
+(** A flow duration in seconds. *)
+
+val fraction_below : t -> Apna_sim.Rng.t -> threshold:float -> samples:int -> float
+(** Monte-Carlo estimate of P(duration < threshold) — used by the tests to
+    pin the calibration. *)

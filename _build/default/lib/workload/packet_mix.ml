@@ -1,0 +1,27 @@
+let paper_sizes = [ 128; 256; 512; 1024; 1518 ]
+
+type t = Fixed of int | Imix
+
+let imix = [ (7, 64); (4, 570); (1, 1518) ]
+let imix_total_weight = List.fold_left (fun acc (w, _) -> acc + w) 0 imix
+
+let sample t rng =
+  match t with
+  | Fixed n -> n
+  | Imix ->
+      let r = Apna_sim.Rng.int rng imix_total_weight in
+      let rec pick acc = function
+        | [] -> 1518
+        | (w, size) :: rest -> if r < acc + w then size else pick (acc + w) rest
+      in
+      pick 0 imix
+
+let mean_size = function
+  | Fixed n -> float_of_int n
+  | Imix ->
+      let weighted = List.fold_left (fun acc (w, s) -> acc + (w * s)) 0 imix in
+      float_of_int weighted /. float_of_int imix_total_weight
+
+let pp ppf = function
+  | Fixed n -> Format.fprintf ppf "%dB" n
+  | Imix -> Format.pp_print_string ppf "IMIX"

@@ -1,0 +1,15 @@
+(** Packet-size workloads for the forwarding benchmarks.
+
+    The paper's Fig. 8 sweeps fixed Ethernet frame sizes from 128 to 1518
+    bytes; IMIX is provided as an additional realistic mix. *)
+
+val paper_sizes : int list
+(** [128; 256; 512; 1024; 1518] — the §V-B3 sweep. *)
+
+type t =
+  | Fixed of int
+  | Imix  (** 7:4:1 mix of 64-, 570- and 1518-byte frames (simple IMIX). *)
+
+val sample : t -> Apna_sim.Rng.t -> int
+val mean_size : t -> float
+val pp : Format.formatter -> t -> unit

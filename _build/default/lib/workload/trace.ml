@@ -1,0 +1,60 @@
+type config = {
+  hosts : int;
+  peak_rate : float;
+  trough_ratio : float;
+  duration_s : float;
+  peak_at_s : float;
+  model : Flow_model.t;
+}
+
+let paper_config =
+  {
+    hosts = 1_266_598;
+    peak_rate = 3_888.0;
+    trough_ratio = 0.25;
+    duration_s = 86_400.0;
+    peak_at_s = 14.0 *. 3600.0;
+    model = Flow_model.default;
+  }
+
+type flow = { start : float; host : int; duration : float }
+
+(* Sinusoidal diurnal shape: peak_rate at peak_at_s, trough_ratio*peak at
+   the opposite phase. *)
+let rate_at config t =
+  let phase = 2.0 *. Float.pi *. (t -. config.peak_at_s) /. 86_400.0 in
+  let lo = config.trough_ratio *. config.peak_rate in
+  let hi = config.peak_rate in
+  lo +. ((hi -. lo) *. (0.5 *. (1.0 +. cos phase)))
+
+(* Inhomogeneous Poisson by thinning against the peak rate. *)
+let iter ?window rng config f =
+  let t_start, t_end =
+    match window with Some (a, b) -> (a, b) | None -> (0.0, config.duration_s)
+  in
+  let t = ref t_start in
+  let continue = ref true in
+  while !continue do
+    t := !t +. Apna_sim.Rng.exponential rng ~mean:(1.0 /. config.peak_rate);
+    if !t >= t_end then continue := false
+    else if Apna_sim.Rng.float rng *. config.peak_rate <= rate_at config !t then
+      f
+        {
+          start = !t;
+          host = Apna_sim.Rng.int rng config.hosts;
+          duration = Flow_model.sample_duration config.model rng;
+        }
+  done
+
+let count ?window rng config =
+  let n = ref 0 in
+  iter ?window rng config (fun _ -> incr n);
+  !n
+
+let peak_rate_measured rng config ~bucket_s =
+  let window = (config.peak_at_s -. 60.0, config.peak_at_s +. 60.0) in
+  let buckets = Hashtbl.create 16 in
+  iter ~window rng config (fun flow ->
+      let b = int_of_float (flow.start /. bucket_s) in
+      Hashtbl.replace buckets b (1 + Option.value ~default:0 (Hashtbl.find_opt buckets b)));
+  Hashtbl.fold (fun _ n acc -> Float.max acc (float_of_int n /. bucket_s)) buckets 0.0

@@ -1,0 +1,41 @@
+(** Synthetic flow-arrival trace, the stand-in for the paper's 24-hour
+    HTTP(S) capture from a national research network (§V-A3).
+
+    The generator reproduces the two aggregates the MS experiment consumes:
+    the host population (1,266,598 unique hosts) and the peak arrival rate
+    (3,888 new sessions per second), with a diurnal day shape and
+    heavy-tailed per-flow durations. *)
+
+type config = {
+  hosts : int;
+  peak_rate : float;  (** new flows per second at the busiest time *)
+  trough_ratio : float;  (** off-peak rate as a fraction of peak *)
+  duration_s : float;  (** length of the generated window *)
+  peak_at_s : float;  (** time of day of the peak within the window *)
+  model : Flow_model.t;
+}
+
+val paper_config : config
+(** 1,266,598 hosts, 3,888 flows/s peak, 24 h window — the trace statistics
+    reported in §V-A3. *)
+
+type flow = {
+  start : float;
+  host : int;  (** index in [0, hosts) *)
+  duration : float;
+}
+
+val rate_at : config -> float -> float
+(** Instantaneous arrival rate (flows/s) at a given time. *)
+
+val iter : ?window:float * float -> Apna_sim.Rng.t -> config -> (flow -> unit) -> unit
+(** [iter rng config f] draws the inhomogeneous-Poisson arrival process and
+    calls [f] for every flow, in start order. [window] restricts generation
+    to a sub-interval (e.g. the peak minute) without changing the process. *)
+
+val count : ?window:float * float -> Apna_sim.Rng.t -> config -> int
+
+val peak_rate_measured :
+  Apna_sim.Rng.t -> config -> bucket_s:float -> float
+(** Empirical peak arrival rate over fixed buckets around the configured
+    peak — validates calibration against the paper's 3,888/s. *)

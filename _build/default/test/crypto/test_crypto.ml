@@ -1,0 +1,576 @@
+(* Known-answer tests (FIPS 197, FIPS 180-4, RFC 4231, RFC 5869, RFC 7748,
+   RFC 8032) plus property-based tests for the algebraic invariants. *)
+
+open Apna_crypto
+
+let hex = Apna_util.Hex.decode_exn
+let hex_of = Apna_util.Hex.encode
+let check_hex name expected actual = Alcotest.(check string) name expected (hex_of actual)
+
+(* ------------------------------------------------------------------ *)
+(* Bigint *)
+
+let big_of_int = Bigint.of_int
+
+let arb_bigint =
+  (* Random naturals up to ~416 bits, biased toward interesting small ones. *)
+  QCheck2.Gen.(
+    let* n_bytes = int_range 0 52 in
+    let* s = string_size ~gen:char (return n_bytes) in
+    return (Bigint.of_bytes_be s))
+
+let qtest ?(count = 300) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let bigint_tests =
+  [
+    Alcotest.test_case "of_int/to_int roundtrip" `Quick (fun () ->
+        List.iter
+          (fun n ->
+            Alcotest.(check (option int))
+              (string_of_int n) (Some n)
+              (Bigint.to_int_opt (big_of_int n)))
+          [ 0; 1; 19; 65536; 1 lsl 40; max_int / 4 ]);
+    Alcotest.test_case "of_decimal" `Quick (fun () ->
+        let n = Bigint.of_decimal "340282366920938463463374607431768211456" in
+        (* 2^128 *)
+        Alcotest.(check bool)
+          "2^128" true
+          (Bigint.equal n (Bigint.shift_left Bigint.one 128)));
+    Alcotest.test_case "sub underflow" `Quick (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Bigint.sub: underflow")
+          (fun () -> ignore (Bigint.sub Bigint.one (big_of_int 2))));
+    Alcotest.test_case "divmod by zero" `Quick (fun () ->
+        Alcotest.check_raises "raises" Division_by_zero (fun () ->
+            ignore (Bigint.divmod Bigint.one Bigint.zero)));
+    qtest "add commutative" QCheck2.Gen.(pair arb_bigint arb_bigint)
+      (fun (a, b) -> Bigint.equal (Bigint.add a b) (Bigint.add b a));
+    qtest "add/sub inverse" QCheck2.Gen.(pair arb_bigint arb_bigint)
+      (fun (a, b) -> Bigint.equal (Bigint.sub (Bigint.add a b) b) a);
+    qtest "mul distributes" QCheck2.Gen.(triple arb_bigint arb_bigint arb_bigint)
+      (fun (a, b, c) ->
+        Bigint.equal
+          (Bigint.mul a (Bigint.add b c))
+          (Bigint.add (Bigint.mul a b) (Bigint.mul a c)));
+    qtest "divmod identity" QCheck2.Gen.(pair arb_bigint arb_bigint)
+      (fun (a, b) ->
+        if Bigint.is_zero b then true
+        else begin
+          let q, r = Bigint.divmod a b in
+          Bigint.compare r b < 0
+          && Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+        end);
+    qtest "shift roundtrip" QCheck2.Gen.(pair arb_bigint (int_range 0 100))
+      (fun (a, k) ->
+        Bigint.equal (Bigint.shift_right (Bigint.shift_left a k) k) a);
+    qtest "bytes roundtrip" arb_bigint (fun a ->
+        let w = max 1 ((Bigint.num_bits a + 7) / 8) in
+        Bigint.equal a (Bigint.of_bytes_le (Bigint.to_bytes_le a w))
+        && Bigint.equal a (Bigint.of_bytes_be (Bigint.to_bytes_be a w)));
+    qtest "num_bits vs compare" arb_bigint (fun a ->
+        let nb = Bigint.num_bits a in
+        if Bigint.is_zero a then nb = 0
+        else
+          Bigint.compare a (Bigint.shift_left Bigint.one nb) < 0
+          && Bigint.compare a (Bigint.shift_left Bigint.one (nb - 1)) >= 0);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* SHA-2 *)
+
+let sha2_tests =
+  [
+    Alcotest.test_case "sha256 empty" `Quick (fun () ->
+        check_hex "digest"
+          "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+          (Sha256.digest ""));
+    Alcotest.test_case "sha256 abc" `Quick (fun () ->
+        check_hex "digest"
+          "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+          (Sha256.digest "abc"));
+    Alcotest.test_case "sha256 two blocks" `Quick (fun () ->
+        check_hex "digest"
+          "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+          (Sha256.digest
+             "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"));
+    Alcotest.test_case "sha256 million a" `Slow (fun () ->
+        check_hex "digest"
+          "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+          (Sha256.digest (String.make 1_000_000 'a')));
+    Alcotest.test_case "sha256 incremental equals one-shot" `Quick (fun () ->
+        let msg = String.init 1000 (fun i -> Char.chr (i land 0xff)) in
+        let c = Sha256.init () in
+        let rec feed i =
+          if i < String.length msg then begin
+            let n = min 17 (String.length msg - i) in
+            Sha256.feed c (String.sub msg i n);
+            feed (i + n)
+          end
+        in
+        feed 0;
+        Alcotest.(check string) "same" (hex_of (Sha256.digest msg))
+          (hex_of (Sha256.finalize c)));
+    Alcotest.test_case "sha512 empty" `Quick (fun () ->
+        check_hex "digest"
+          "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e"
+          (Sha512.digest ""));
+    Alcotest.test_case "sha512 abc" `Quick (fun () ->
+        check_hex "digest"
+          "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"
+          (Sha512.digest "abc"));
+    Alcotest.test_case "sha512 two blocks" `Quick (fun () ->
+        check_hex "digest"
+          "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909"
+          (Sha512.digest
+             "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"));
+    qtest "sha256 incremental = one-shot" ~count:100
+      QCheck2.Gen.(string_size (int_range 0 300))
+      (fun msg ->
+        let c = Sha256.init () in
+        String.iter (fun ch -> Sha256.feed c (String.make 1 ch)) msg;
+        Sha256.finalize c = Sha256.digest msg);
+    qtest "sha512 digest_list = digest of concat" ~count:100
+      QCheck2.Gen.(list_size (int_range 0 8) (string_size (int_range 0 64)))
+      (fun parts -> Sha512.digest_list parts = Sha512.digest (String.concat "" parts));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* HMAC / HKDF / DRBG *)
+
+let kdf_tests =
+  [
+    Alcotest.test_case "hmac-sha256 rfc4231 case 1" `Quick (fun () ->
+        check_hex "tag"
+          "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+          (Hmac.Sha256.mac ~key:(String.make 20 '\x0b') "Hi There"));
+    Alcotest.test_case "hmac-sha256 rfc4231 case 2" `Quick (fun () ->
+        check_hex "tag"
+          "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+          (Hmac.Sha256.mac ~key:"Jefe" "what do ya want for nothing?"));
+    Alcotest.test_case "hmac-sha512 rfc4231 case 1" `Quick (fun () ->
+        check_hex "tag"
+          "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cdedaa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854"
+          (Hmac.Sha512.mac ~key:(String.make 20 '\x0b') "Hi There"));
+    Alcotest.test_case "hmac key longer than block" `Quick (fun () ->
+        (* RFC 4231 case 6: 131-byte key. *)
+        check_hex "tag"
+          "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+          (Hmac.Sha256.mac
+             ~key:(String.make 131 '\xaa')
+             "Test Using Larger Than Block-Size Key - Hash Key First"));
+    Alcotest.test_case "hmac verify accepts truncated" `Quick (fun () ->
+        let key = "k" and msg = "m" in
+        let tag = String.sub (Hmac.Sha256.mac ~key msg) 0 16 in
+        Alcotest.(check bool) "ok" true (Hmac.Sha256.verify ~key ~tag msg));
+    Alcotest.test_case "hmac verify rejects short tags" `Quick (fun () ->
+        let key = "k" and msg = "m" in
+        let tag = String.sub (Hmac.Sha256.mac ~key msg) 0 4 in
+        Alcotest.(check bool) "rejected" false (Hmac.Sha256.verify ~key ~tag msg));
+    Alcotest.test_case "hkdf rfc5869 case 1" `Quick (fun () ->
+        let okm =
+          Hkdf.derive
+            ~salt:(hex "000102030405060708090a0b0c")
+            ~info:(hex "f0f1f2f3f4f5f6f7f8f9") ~len:42
+            (String.make 22 '\x0b')
+        in
+        check_hex "okm"
+          "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+          okm);
+    qtest "hmac tamper detection" ~count:100
+      QCheck2.Gen.(triple (string_size (int_range 1 32)) (string_size (int_range 0 64)) (int_range 0 1000))
+      (fun (key, msg, salt) ->
+        let tag = Hmac.Sha256.mac ~key msg in
+        let msg' = msg ^ string_of_int salt in
+        not (Hmac.Sha256.verify ~key ~tag msg'));
+    Alcotest.test_case "drbg deterministic" `Quick (fun () ->
+        let a = Drbg.create ~seed:"seed" and b = Drbg.create ~seed:"seed" in
+        Alcotest.(check string) "same stream" (Drbg.generate a 64) (Drbg.generate b 64));
+    Alcotest.test_case "drbg seed sensitivity" `Quick (fun () ->
+        let a = Drbg.create ~seed:"seed1" and b = Drbg.create ~seed:"seed2" in
+        Alcotest.(check bool) "different" false (Drbg.generate a 32 = Drbg.generate b 32));
+    Alcotest.test_case "drbg split independence" `Quick (fun () ->
+        let root = Drbg.create ~seed:"root" in
+        let a = Drbg.split root "a" and b = Drbg.split root "b" in
+        Alcotest.(check bool) "different" false (Drbg.generate a 32 = Drbg.generate b 32));
+    qtest "drbg uniform in range" ~count:200 QCheck2.Gen.(int_range 1 10_000)
+      (fun n ->
+        let rng = Drbg.create ~seed:(string_of_int n) in
+        let v = Drbg.uniform rng n in
+        0 <= v && v < n);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* AES *)
+
+let aes_tests =
+  [
+    Alcotest.test_case "fips-197 aes-128" `Quick (fun () ->
+        let key = Aes.expand (hex "000102030405060708090a0b0c0d0e0f") in
+        check_hex "ct" "69c4e0d86a7b0430d8cdb78070b4c55a"
+          (Aes.encrypt_block key (hex "00112233445566778899aabbccddeeff")));
+    Alcotest.test_case "fips-197 aes-256" `Quick (fun () ->
+        let key =
+          Aes.expand (hex "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f")
+        in
+        check_hex "ct" "8ea2b7ca516745bfeafc49904b496089"
+          (Aes.encrypt_block key (hex "00112233445566778899aabbccddeeff")));
+    Alcotest.test_case "sp800-38a ctr-aes128 block 1" `Quick (fun () ->
+        let key = Aes.expand (hex "2b7e151628aed2a6abf7158809cf4f3c") in
+        check_hex "ct" "874d6191b620e3261bef6864990db6ce"
+          (Aes.Ctr.crypt ~key ~nonce:(hex "f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff")
+             (hex "6bc1bee22e409f96e93d7e117393172a")));
+    Alcotest.test_case "bad key size rejected" `Quick (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Aes.expand: 10-byte key")
+          (fun () -> ignore (Aes.expand "0123456789")));
+    qtest "decrypt inverts encrypt (128)" ~count:200
+      QCheck2.Gen.(pair (string_size (return 16)) (string_size (return 16)))
+      (fun (k, block) ->
+        let key = Aes.expand k in
+        Aes.decrypt_block key (Aes.encrypt_block key block) = block);
+    qtest "decrypt inverts encrypt (256)" ~count:100
+      QCheck2.Gen.(pair (string_size (return 32)) (string_size (return 16)))
+      (fun (k, block) ->
+        let key = Aes.expand k in
+        Aes.decrypt_block key (Aes.encrypt_block key block) = block);
+    qtest "ctr roundtrip any length" ~count:200
+      QCheck2.Gen.(triple (string_size (return 16)) (string_size (return 16))
+                     (string_size (int_range 0 200)))
+      (fun (k, nonce, data) ->
+        let key = Aes.expand k in
+        Aes.Ctr.crypt ~key ~nonce (Aes.Ctr.crypt ~key ~nonce data) = data);
+    Alcotest.test_case "ctr counter wraps across blocks" `Quick (fun () ->
+        let key = Aes.expand (String.make 16 'k') in
+        let nonce = String.make 12 '\000' ^ "\xff\xff\xff\xff" in
+        (* Keystream must not repeat when the 4 counter bytes wrap. *)
+        let ks = Aes.Ctr.keystream ~key ~nonce 48 in
+        Alcotest.(check bool) "blocks differ" true
+          (String.sub ks 0 16 <> String.sub ks 16 16
+          && String.sub ks 16 16 <> String.sub ks 32 16));
+    Alcotest.test_case "cbc-mac rejects empty and ragged input" `Quick (fun () ->
+        let key = Aes.expand (String.make 16 'k') in
+        List.iter
+          (fun data ->
+            match Aes.Cbc_mac.mac ~key data with
+            | _ -> Alcotest.fail "expected Invalid_argument"
+            | exception Invalid_argument _ -> ())
+          [ ""; "0123456789abcde"; String.make 17 'x' ]);
+    qtest "cbc-mac distinct on distinct blocks" ~count:100
+      QCheck2.Gen.(pair (string_size (return 16)) (string_size (return 16)))
+      (fun (a, b) ->
+        let key = Aes.expand (String.make 16 'k') in
+        a = b || Aes.Cbc_mac.mac ~key a <> Aes.Cbc_mac.mac ~key b);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* AES-GCM (NIST SP 800-38D / the GCM spec's test cases) *)
+
+let gcm_tests =
+  let zero_key = Aes.expand (String.make 16 '\000') in
+  let zero_iv = String.make 12 '\000' in
+  [
+    Alcotest.test_case "gcm spec test case 1 (empty)" `Quick (fun () ->
+        let ct, tag = Gcm.encrypt ~key:zero_key ~iv:zero_iv "" in
+        Alcotest.(check string) "ciphertext" "" ct;
+        check_hex "tag" "58e2fccefa7e3061367f1d57a4e7455a" tag);
+    Alcotest.test_case "gcm spec test case 2 (one zero block)" `Quick (fun () ->
+        let ct, tag = Gcm.encrypt ~key:zero_key ~iv:zero_iv (String.make 16 '\000') in
+        check_hex "ciphertext" "0388dace60b6a392f328c2b971b2fe78" ct;
+        (* Tag = E_K(J0) xor GHASH: the two spec intermediates below pin
+           both halves; their xor ends ...bddf. *)
+        check_hex "tag" "ab6e47d42cec13bdf53a67b21257bddf" tag);
+    Alcotest.test_case "gcm spec intermediates (H and GHASH)" `Quick (fun () ->
+        let h = Aes.encrypt_block zero_key (String.make 16 '\000') in
+        check_hex "H = E_K(0)" "66e94bd4ef8a2c3b884cfa59ca342b2e" h;
+        let c = hex "0388dace60b6a392f328c2b971b2fe78" in
+        let lens = hex "00000000000000000000000000000080" in
+        check_hex "GHASH(H, C || len)" "f38cbb1ad69223dcc3457ae5b6b0f885"
+          (Gcm.ghash ~h (c ^ lens)));
+    Alcotest.test_case "ghash of zero input is zero" `Quick (fun () ->
+        let h = Aes.encrypt_block zero_key (String.make 16 '\000') in
+        check_hex "ghash" (String.make 32 '0') (Gcm.ghash ~h (String.make 16 '\000')));
+    Alcotest.test_case "ghash multiplicative identity" `Quick (fun () ->
+        (* In GCM's reflected representation the field's 1 is 0x80 0^15. *)
+        let one = "\x80" ^ String.make 15 '\000' in
+        let c = hex "0388dace60b6a392f328c2b971b2fe78" in
+        check_hex "C * 1 = C" "0388dace60b6a392f328c2b971b2fe78"
+          (Gcm.ghash ~h:one c));
+    qtest "gcm roundtrip with aad" ~count:150
+      QCheck2.Gen.(
+        triple (string_size (return 16)) (string_size (int_range 0 200))
+          (string_size (int_range 0 40)))
+      (fun (k, plaintext, aad) ->
+        let key = Aes.expand k in
+        let iv = String.make 12 'i' in
+        let ct, tag = Gcm.encrypt ~key ~iv ~aad plaintext in
+        Gcm.decrypt ~key ~iv ~aad ~tag ct = Ok plaintext);
+    qtest "gcm tamper rejected" ~count:100
+      QCheck2.Gen.(pair (string_size (int_range 1 100)) (int_range 0 1_000_000))
+      (fun (plaintext, r) ->
+        let key = Aes.expand (String.make 16 'k') in
+        let iv = String.make 12 'i' in
+        let ct, tag = Gcm.encrypt ~key ~iv plaintext in
+        let pos = r mod String.length ct in
+        let b = Bytes.of_string ct in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 1));
+        Result.is_error
+          (Gcm.decrypt ~key ~iv ~tag (Bytes.unsafe_to_string b)));
+    Alcotest.test_case "gcm wrong aad rejected" `Quick (fun () ->
+        let key = Aes.expand (String.make 16 'k') in
+        let iv = String.make 12 'i' in
+        let ct, tag = Gcm.encrypt ~key ~iv ~aad:"header" "payload" in
+        Alcotest.(check bool) "rejected" true
+          (Result.is_error (Gcm.decrypt ~key ~iv ~aad:"other" ~tag ct)));
+    qtest "aead gcm scheme roundtrip" ~count:100
+      QCheck2.Gen.(pair (string_size (int_range 0 200)) (string_size (int_range 0 32)))
+      (fun (plaintext, aad) ->
+        let key = Aead.of_secret ~scheme:Aead.Gcm (String.make 32 'G') in
+        let nonce = String.make 16 'N' in
+        Aead.open_ ~key ~nonce ~aad (Aead.seal ~key ~nonce ~aad plaintext)
+        = Ok plaintext);
+    Alcotest.test_case "aead schemes are incompatible by design" `Quick
+      (fun () ->
+        let ikm = String.make 32 'S' in
+        let etm = Aead.of_secret ikm in
+        let gcm = Aead.of_secret ~scheme:Aead.Gcm ikm in
+        let nonce = String.make 16 'N' in
+        Alcotest.(check bool) "gcm cannot open etm" true
+          (Result.is_error (Aead.open_ ~key:gcm ~nonce (Aead.seal ~key:etm ~nonce "x")));
+        Alcotest.(check bool) "etm cannot open gcm" true
+          (Result.is_error (Aead.open_ ~key:etm ~nonce (Aead.seal ~key:gcm ~nonce "x"))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* X25519 *)
+
+let x25519_tests =
+  [
+    Alcotest.test_case "rfc7748 vector 1" `Quick (fun () ->
+        check_hex "out"
+          "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+          (X25519.scalar_mult
+             ~scalar:(hex "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4")
+             ~point:(hex "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c")));
+    Alcotest.test_case "rfc7748 alice public" `Quick (fun () ->
+        check_hex "pub"
+          "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+          (X25519.public_of_secret
+             (hex "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a")));
+    Alcotest.test_case "rfc7748 bob public" `Quick (fun () ->
+        check_hex "pub"
+          "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+          (X25519.public_of_secret
+             (hex "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb")));
+    Alcotest.test_case "rfc7748 shared secret" `Quick (fun () ->
+        let alice = hex "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a" in
+        let bob_pub = hex "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f" in
+        match X25519.shared_secret ~secret:alice ~peer:bob_pub with
+        | Ok s ->
+            check_hex "shared"
+              "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742" s
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "zero point rejected" `Quick (fun () ->
+        match X25519.shared_secret ~secret:(String.make 32 'x') ~peer:(String.make 32 '\000') with
+        | Ok _ -> Alcotest.fail "low-order point accepted"
+        | Error _ -> ());
+    qtest "dh agreement" ~count:10 QCheck2.Gen.(pair (string_size (return 32)) (string_size (return 32)))
+      (fun (sa, sb) ->
+        let pa = X25519.public_of_secret sa and pb = X25519.public_of_secret sb in
+        X25519.scalar_mult ~scalar:sa ~point:pb = X25519.scalar_mult ~scalar:sb ~point:pa);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Field arithmetic mod 2^255 - 19 *)
+
+let arb_fe =
+  QCheck2.Gen.(
+    let* s = string_size ~gen:char (return 32) in
+    return (Fe25519.of_bytes s))
+
+let fe_tests =
+  [
+    qtest "mul commutes" ~count:100 QCheck2.Gen.(pair arb_fe arb_fe)
+      (fun (a, b) -> Fe25519.equal (Fe25519.mul a b) (Fe25519.mul b a));
+    qtest "mul associates" ~count:100 QCheck2.Gen.(triple arb_fe arb_fe arb_fe)
+      (fun (a, b, c) ->
+        Fe25519.equal
+          (Fe25519.mul a (Fe25519.mul b c))
+          (Fe25519.mul (Fe25519.mul a b) c));
+    qtest "distributivity" ~count:100 QCheck2.Gen.(triple arb_fe arb_fe arb_fe)
+      (fun (a, b, c) ->
+        Fe25519.equal
+          (Fe25519.mul a (Fe25519.add b c))
+          (Fe25519.add (Fe25519.mul a b) (Fe25519.mul a c)));
+    qtest "sq equals mul self" ~count:100 arb_fe (fun a ->
+        Fe25519.equal (Fe25519.sq a) (Fe25519.mul a a));
+    qtest "add/sub inverse" ~count:100 QCheck2.Gen.(pair arb_fe arb_fe)
+      (fun (a, b) -> Fe25519.equal (Fe25519.sub (Fe25519.add a b) b) a);
+    qtest "neg is additive inverse" ~count:100 arb_fe (fun a ->
+        Fe25519.is_zero (Fe25519.add a (Fe25519.neg a)));
+    qtest "addition-chain inversion matches generic" ~count:50 arb_fe (fun a ->
+        Fe25519.is_zero a
+        || Fe25519.equal (Fe25519.invert a) (Fe25519.generic_invert a));
+    qtest "invert is multiplicative inverse" ~count:50 arb_fe (fun a ->
+        Fe25519.is_zero a
+        || Fe25519.equal (Fe25519.mul a (Fe25519.invert a)) (Fe25519.one ()));
+    qtest "sqrt squares back" ~count:50 arb_fe (fun a ->
+        (* a^2 is always a square; its root must square to a^2. *)
+        let a2 = Fe25519.sq a in
+        match Fe25519.sqrt a2 with
+        | Some r -> Fe25519.equal (Fe25519.sq r) a2
+        | None -> false);
+    qtest "bytes roundtrip" ~count:100 arb_fe (fun a ->
+        Fe25519.equal a (Fe25519.of_bytes (Fe25519.to_bytes a)));
+    Alcotest.test_case "canonical encoding reduces mod p" `Quick (fun () ->
+        (* p itself encodes as zero. *)
+        let p_bytes =
+          Apna_util.Hex.decode_exn
+            "edffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff7f"
+        in
+        Alcotest.(check bool) "p = 0" true (Fe25519.is_zero (Fe25519.of_bytes p_bytes)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Ed25519 *)
+
+let ed25519_tests =
+  [
+    Alcotest.test_case "rfc8032 test 1 (empty message)" `Quick (fun () ->
+        let kp = Ed25519.keypair_of_seed
+            (hex "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60")
+        in
+        check_hex "pub" "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a"
+          (Ed25519.public_key kp);
+        check_hex "sig"
+          "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e065224901555fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"
+          (Ed25519.sign kp ""));
+    Alcotest.test_case "rfc8032 test 2 (one byte)" `Quick (fun () ->
+        let kp = Ed25519.keypair_of_seed
+            (hex "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb")
+        in
+        check_hex "pub" "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c"
+          (Ed25519.public_key kp);
+        check_hex "sig"
+          "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"
+          (Ed25519.sign kp (hex "72")));
+    Alcotest.test_case "rfc8032 test 3 (two bytes)" `Quick (fun () ->
+        let kp = Ed25519.keypair_of_seed
+            (hex "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7")
+        in
+        check_hex "pub" "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025"
+          (Ed25519.public_key kp);
+        check_hex "sig"
+          "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"
+          (Ed25519.sign kp (hex "af82")));
+    Alcotest.test_case "verify accepts own signatures" `Quick (fun () ->
+        let kp = Ed25519.keypair_of_seed (String.make 32 's') in
+        let msg = "attributable packet" in
+        Alcotest.(check bool) "ok" true
+          (Ed25519.verify ~pub:(Ed25519.public_key kp) ~msg
+             ~signature:(Ed25519.sign kp msg)));
+    Alcotest.test_case "verify rejects tampered message" `Quick (fun () ->
+        let kp = Ed25519.keypair_of_seed (String.make 32 's') in
+        let signature = Ed25519.sign kp "original" in
+        Alcotest.(check bool) "rejected" false
+          (Ed25519.verify ~pub:(Ed25519.public_key kp) ~msg:"tampered" ~signature));
+    Alcotest.test_case "verify rejects wrong key" `Quick (fun () ->
+        let kp = Ed25519.keypair_of_seed (String.make 32 's') in
+        let kp' = Ed25519.keypair_of_seed (String.make 32 't') in
+        let signature = Ed25519.sign kp "msg" in
+        Alcotest.(check bool) "rejected" false
+          (Ed25519.verify ~pub:(Ed25519.public_key kp') ~msg:"msg" ~signature));
+    Alcotest.test_case "verify rejects malformed inputs" `Quick (fun () ->
+        let kp = Ed25519.keypair_of_seed (String.make 32 's') in
+        Alcotest.(check bool) "short sig" false
+          (Ed25519.verify ~pub:(Ed25519.public_key kp) ~msg:"m" ~signature:"short");
+        Alcotest.(check bool) "bad pub" false
+          (Ed25519.verify ~pub:(String.make 32 '\255') ~msg:"m"
+             ~signature:(Ed25519.sign kp "m")));
+    qtest "sign/verify roundtrip" ~count:5
+      QCheck2.Gen.(pair (string_size (return 32)) (string_size (int_range 0 100)))
+      (fun (seed, msg) ->
+        let kp = Ed25519.keypair_of_seed seed in
+        Ed25519.verify ~pub:(Ed25519.public_key kp) ~msg ~signature:(Ed25519.sign kp msg));
+    qtest "bit flip anywhere in signature rejected" ~count:5
+      QCheck2.Gen.(pair (string_size (return 32)) (int_range 0 511))
+      (fun (seed, bit) ->
+        let kp = Ed25519.keypair_of_seed seed in
+        let msg = "flip test" in
+        let s = Bytes.of_string (Ed25519.sign kp msg) in
+        Bytes.set s (bit / 8)
+          (Char.chr (Char.code (Bytes.get s (bit / 8)) lxor (1 lsl (bit mod 8))));
+        not
+          (Ed25519.verify ~pub:(Ed25519.public_key kp) ~msg
+             ~signature:(Bytes.unsafe_to_string s)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* AEAD *)
+
+let aead_tests =
+  let key = Aead.of_secret (String.make 32 'K') in
+  let nonce = String.make 16 'N' in
+  [
+    qtest "seal/open roundtrip" ~count:200
+      QCheck2.Gen.(pair (string_size (int_range 0 300)) (string_size (int_range 0 32)))
+      (fun (plaintext, aad) ->
+        match Aead.open_ ~key ~nonce ~aad (Aead.seal ~key ~nonce ~aad plaintext) with
+        | Ok p -> p = plaintext
+        | Error _ -> false);
+    qtest "ciphertext tamper rejected" ~count:100
+      QCheck2.Gen.(pair (string_size (int_range 1 100)) (int_range 0 1_000_000))
+      (fun (plaintext, r) ->
+        let sealed = Aead.seal ~key ~nonce plaintext in
+        let pos = r mod String.length sealed in
+        let b = Bytes.of_string sealed in
+        Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 1));
+        Result.is_error (Aead.open_ ~key ~nonce (Bytes.unsafe_to_string b)));
+    Alcotest.test_case "wrong aad rejected" `Quick (fun () ->
+        let sealed = Aead.seal ~key ~nonce ~aad:"header" "payload" in
+        Alcotest.(check bool) "rejected" true
+          (Result.is_error (Aead.open_ ~key ~nonce ~aad:"other" sealed)));
+    Alcotest.test_case "wrong nonce rejected" `Quick (fun () ->
+        let sealed = Aead.seal ~key ~nonce "payload" in
+        Alcotest.(check bool) "rejected" true
+          (Result.is_error (Aead.open_ ~key ~nonce:(String.make 16 'M') sealed)));
+    Alcotest.test_case "wrong key rejected" `Quick (fun () ->
+        let sealed = Aead.seal ~key ~nonce "payload" in
+        let key' = Aead.of_secret (String.make 32 'L') in
+        Alcotest.(check bool) "rejected" true
+          (Result.is_error (Aead.open_ ~key:key' ~nonce sealed)));
+    Alcotest.test_case "truncated input rejected" `Quick (fun () ->
+        Alcotest.(check bool) "rejected" true
+          (Result.is_error (Aead.open_ ~key ~nonce "tiny")));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Hex / Ct utility coverage lives here too: they are crypto-adjacent. *)
+
+let util_tests =
+  [
+    qtest "hex roundtrip" ~count:200 QCheck2.Gen.(string_size (int_range 0 64))
+      (fun s -> Apna_util.Hex.decode (Apna_util.Hex.encode s) = Ok s);
+    Alcotest.test_case "hex rejects odd length" `Quick (fun () ->
+        Alcotest.(check bool) "error" true (Result.is_error (Apna_util.Hex.decode "abc")));
+    Alcotest.test_case "hex rejects non-hex" `Quick (fun () ->
+        Alcotest.(check bool) "error" true (Result.is_error (Apna_util.Hex.decode "zz")));
+    qtest "ct equal agrees with (=)" ~count:300
+      QCheck2.Gen.(pair (string_size (int_range 0 32)) (string_size (int_range 0 32)))
+      (fun (a, b) -> Apna_util.Ct.equal a b = (a = b));
+    qtest "ct xor involutive" ~count:200 QCheck2.Gen.(pair (string_size (return 24)) (string_size (return 24)))
+      (fun (a, b) -> Apna_util.Ct.xor (Apna_util.Ct.xor a b) b = a);
+  ]
+
+let () =
+  Alcotest.run "apna_crypto"
+    [
+      ("util", util_tests);
+      ("bigint", bigint_tests);
+      ("sha2", sha2_tests);
+      ("kdf", kdf_tests);
+      ("aes", aes_tests);
+      ("gcm", gcm_tests);
+      ("x25519", x25519_tests);
+      ("fe25519", fe_tests);
+      ("ed25519", ed25519_tests);
+      ("aead", aead_tests);
+    ]

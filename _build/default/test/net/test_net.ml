@@ -1,0 +1,340 @@
+(* Wire formats, topology/routing and the baseline router. *)
+
+open Apna_net
+
+let qtest ?(count = 200) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let aid = Addr.aid_of_int
+let hid = Addr.hid_of_int
+
+let addr_tests =
+  [
+    qtest "aid bytes roundtrip" QCheck2.Gen.(int_range 0 0xffffffff) (fun n ->
+        Addr.aid_of_bytes (Addr.aid_to_bytes (aid n)) = Ok (aid n));
+    qtest "hid bytes roundtrip" QCheck2.Gen.(int_range 0 0xffffffff) (fun n ->
+        Addr.hid_of_bytes (Addr.hid_to_bytes (hid n)) = Ok (hid n));
+    Alcotest.test_case "out-of-range rejected" `Quick (fun () ->
+        Alcotest.check_raises "negative" (Invalid_argument "Addr.aid_of_int: not a u32")
+          (fun () -> ignore (aid (-1)));
+        Alcotest.check_raises "too big" (Invalid_argument "Addr.hid_of_int: not a u32")
+          (fun () -> ignore (hid 0x1_0000_0000)));
+    Alcotest.test_case "short bytes rejected" `Quick (fun () ->
+        Alcotest.(check bool) "error" true (Result.is_error (Addr.aid_of_bytes "abc")));
+    Alcotest.test_case "hid renders dotted quad" `Quick (fun () ->
+        Alcotest.(check string) "render" "10.0.0.1"
+          (Format.asprintf "%a" Addr.pp_hid (hid 0x0a000001)));
+  ]
+
+let gen_ephid = QCheck2.Gen.(string_size ~gen:char (return 16))
+
+let gen_header =
+  QCheck2.Gen.(
+    let* src_aid = int_range 0 0xffffffff in
+    let* dst_aid = int_range 0 0xffffffff in
+    let* src_ephid = gen_ephid in
+    let* dst_ephid = gen_ephid in
+    let* mac = string_size ~gen:char (return 8) in
+    return
+      (Apna_header.make ~src_aid:(aid src_aid) ~src_ephid ~dst_aid:(aid dst_aid)
+         ~dst_ephid ~mac ()))
+
+let header_tests =
+  [
+    Alcotest.test_case "size is 48 bytes (Fig. 7)" `Quick (fun () ->
+        Alcotest.(check int) "size" 48 Apna_header.size);
+    qtest "roundtrip" gen_header (fun h ->
+        Apna_header.of_bytes (Apna_header.to_bytes h) = Ok h);
+    qtest "truncation rejected" gen_header (fun h ->
+        let b = Apna_header.to_bytes h in
+        Result.is_error (Apna_header.of_bytes (String.sub b 0 47)));
+    qtest "trailing bytes rejected" gen_header (fun h ->
+        Result.is_error (Apna_header.of_bytes (Apna_header.to_bytes h ^ "x")));
+    Alcotest.test_case "bad field sizes rejected" `Quick (fun () ->
+        match
+          Apna_header.make ~src_aid:(aid 1) ~src_ephid:"short" ~dst_aid:(aid 2)
+            ~dst_ephid:(String.make 16 'e') ()
+        with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+    qtest "reverse swaps endpoints and clears mac" gen_header (fun h ->
+        let r = Apna_header.reverse h in
+        r.src_aid = h.dst_aid && r.dst_aid = h.src_aid
+        && r.src_ephid = h.dst_ephid && r.dst_ephid = h.src_ephid
+        && r.mac = String.make 8 '\000');
+    qtest "bytes_for_mac zeroes only the mac" gen_header (fun h ->
+        let a = Apna_header.bytes_for_mac h in
+        let b = Apna_header.to_bytes { h with mac = String.make 8 '\000' } in
+        a = b);
+  ]
+
+let packet_tests =
+  [
+    qtest "packet roundtrip"
+      QCheck2.Gen.(pair gen_header (string_size (int_range 0 100)))
+      (fun (header, payload) ->
+        let pkt = Packet.make ~header ~proto:Packet.Data ~payload in
+        Packet.of_bytes (Packet.to_bytes pkt) = Ok pkt);
+    Alcotest.test_case "unknown protocol rejected" `Quick (fun () ->
+        let h =
+          Apna_header.make ~src_aid:(aid 1) ~src_ephid:(String.make 16 'a')
+            ~dst_aid:(aid 2) ~dst_ephid:(String.make 16 'b') ()
+        in
+        let bytes = Apna_header.to_bytes h ^ "\x09payload" in
+        Alcotest.(check bool) "error" true (Result.is_error (Packet.of_bytes bytes)));
+    Alcotest.test_case "wire size accounts header and shim" `Quick (fun () ->
+        let h =
+          Apna_header.make ~src_aid:(aid 1) ~src_ephid:(String.make 16 'a')
+            ~dst_aid:(aid 2) ~dst_ephid:(String.make 16 'b') ()
+        in
+        let pkt = Packet.make ~header:h ~proto:Packet.Icmp ~payload:"12345" in
+        Alcotest.(check int) "size" (48 + 1 + 5) (Packet.wire_size pkt));
+  ]
+
+let ipv4_tests =
+  [
+    qtest "roundtrip"
+      QCheck2.Gen.(
+        let* ttl = int_range 1 255 in
+        let* protocol = int_range 0 255 in
+        let* src = int_range 0 0xffffffff in
+        let* dst = int_range 0 0xffffffff in
+        let* len = int_range 0 1000 in
+        return (ttl, protocol, src, dst, len))
+      (fun (ttl, protocol, src, dst, payload_len) ->
+        let h =
+          Ipv4_header.make ~ttl ~protocol ~src:(hid src) ~dst:(hid dst)
+            ~payload_len ()
+        in
+        Ipv4_header.of_bytes (Ipv4_header.to_bytes h) = Ok h);
+    Alcotest.test_case "checksum corruption detected" `Quick (fun () ->
+        let h =
+          Ipv4_header.make ~protocol:6 ~src:(hid 1) ~dst:(hid 2) ~payload_len:10 ()
+        in
+        let b = Bytes.of_string (Ipv4_header.to_bytes h) in
+        Bytes.set b 8 (Char.chr (Char.code (Bytes.get b 8) lxor 0x40));
+        Alcotest.(check bool) "rejected" true
+          (Result.is_error (Ipv4_header.of_bytes (Bytes.unsafe_to_string b))));
+    Alcotest.test_case "rfc1071 checksum check" `Quick (fun () ->
+        (* Textbook example: checksum of the example header equals 0 when
+           verified over the full header. *)
+        let h = Ipv4_header.make ~protocol:17 ~src:(hid 0xc0a80001) ~dst:(hid 0xc0a800c7) ~payload_len:0 () in
+        Alcotest.(check int) "verifies to zero" 0
+          (Ipv4_header.checksum (Ipv4_header.to_bytes h)));
+    Alcotest.test_case "oversize payload rejected" `Quick (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Ipv4_header.make: payload length") (fun () ->
+            ignore
+              (Ipv4_header.make ~protocol:6 ~src:(hid 1) ~dst:(hid 2)
+                 ~payload_len:70_000 ())));
+  ]
+
+let gre_tests =
+  [
+    qtest "roundtrip"
+      QCheck2.Gen.(pair (int_range 0 0xffff) (string_size (int_range 0 200)))
+      (fun (protocol, payload) ->
+        Gre.decapsulate (Gre.encapsulate ~protocol payload) = Ok (protocol, payload));
+    Alcotest.test_case "nonzero flags rejected" `Quick (fun () ->
+        Alcotest.(check bool) "error" true
+          (Result.is_error (Gre.decapsulate "\x80\x00\x08\x00payload")));
+    Alcotest.test_case "apna protocol number" `Quick (fun () ->
+        Alcotest.(check int) "0x0A9A" 0x0A9A Gre.protocol_apna);
+  ]
+
+let topology_tests =
+  [
+    Alcotest.test_case "next hop on a line" `Quick (fun () ->
+        let t = Topology.create () in
+        Topology.connect t (aid 1) (aid 2) (Link.make ());
+        Topology.connect t (aid 2) (aid 3) (Link.make ());
+        Alcotest.(check (option int)) "1->3 via 2" (Some 2)
+          (Option.map Addr.aid_to_int (Topology.next_hop t ~src:(aid 1) ~dst:(aid 3)));
+        Alcotest.(check (option int)) "3->1 via 2" (Some 2)
+          (Option.map Addr.aid_to_int (Topology.next_hop t ~src:(aid 3) ~dst:(aid 1))));
+    Alcotest.test_case "shortest path preferred" `Quick (fun () ->
+        let t = Topology.create () in
+        (* Square with diagonal: 1-2-3, 1-4-3 and 1-3 direct. *)
+        List.iter
+          (fun (a, b) -> Topology.connect t (aid a) (aid b) (Link.make ()))
+          [ (1, 2); (2, 3); (1, 4); (4, 3); (1, 3) ];
+        Alcotest.(check (option (list int))) "direct" (Some [ 1; 3 ])
+          (Option.map (List.map Addr.aid_to_int) (Topology.path t ~src:(aid 1) ~dst:(aid 3))));
+    Alcotest.test_case "unreachable destinations" `Quick (fun () ->
+        let t = Topology.create () in
+        Topology.connect t (aid 1) (aid 2) (Link.make ());
+        Topology.add_as t (aid 9);
+        Alcotest.(check bool) "no hop" true
+          (Topology.next_hop t ~src:(aid 1) ~dst:(aid 9) = None);
+        Alcotest.(check bool) "no path" true
+          (Topology.path t ~src:(aid 1) ~dst:(aid 9) = None));
+    Alcotest.test_case "routes recomputed after mutation" `Quick (fun () ->
+        let t = Topology.create () in
+        Topology.connect t (aid 1) (aid 2) (Link.make ());
+        Alcotest.(check bool) "unreachable" true
+          (Topology.next_hop t ~src:(aid 1) ~dst:(aid 3) = None);
+        Topology.connect t (aid 2) (aid 3) (Link.make ());
+        Alcotest.(check (option int)) "now via 2" (Some 2)
+          (Option.map Addr.aid_to_int (Topology.next_hop t ~src:(aid 1) ~dst:(aid 3))));
+    Alcotest.test_case "self link rejected" `Quick (fun () ->
+        let t = Topology.create () in
+        Alcotest.check_raises "raises" (Invalid_argument "Topology.connect: self-link")
+          (fun () -> Topology.connect t (aid 1) (aid 1) (Link.make ())));
+    Alcotest.test_case "path delay accumulates links" `Quick (fun () ->
+        let t = Topology.create () in
+        let link = Link.make ~capacity_gbps:1.0 ~propagation_ms:10.0 () in
+        Topology.connect t (aid 1) (aid 2) link;
+        Topology.connect t (aid 2) (aid 3) link;
+        match Topology.path_delay t ~src:(aid 1) ~dst:(aid 3) ~bytes:125 with
+        | Some d ->
+            (* 2 x (10 ms + 1000 bits / 1 Gbps) = 20 ms + 2 us *)
+            Alcotest.(check (float 1e-9)) "delay" 0.020002 d
+        | None -> Alcotest.fail "no path");
+    qtest "random graphs: next_hop leads to destination" ~count:50
+      QCheck2.Gen.(list_size (int_range 1 40) (pair (int_range 1 15) (int_range 1 15)))
+      (fun edges ->
+        let t = Topology.create () in
+        List.iter
+          (fun (a, b) ->
+            if a <> b then Topology.connect t (aid a) (aid b) (Link.make ()))
+          edges;
+        (* For every connected pair, walking next_hop terminates at dst. *)
+        List.for_all
+          (fun (a, _) ->
+            List.for_all
+              (fun (_, b) ->
+                if a = b then true
+                else
+                  match Topology.path t ~src:(aid a) ~dst:(aid b) with
+                  | None -> true
+                  | Some p -> List.rev p |> List.hd |> Addr.aid_to_int = b)
+              edges)
+          edges);
+  ]
+
+let lpm_tests =
+  let open Apna_baseline in
+  [
+    Alcotest.test_case "longest prefix wins" `Quick (fun () ->
+        let t = Lpm.create () in
+        Lpm.add t ~prefix:0x0a000000 ~len:8 "ten-slash-8";
+        Lpm.add t ~prefix:0x0a010000 ~len:16 "ten-one-slash-16";
+        Alcotest.(check (option string)) "specific" (Some "ten-one-slash-16")
+          (Lpm.lookup t 0x0a010101);
+        Alcotest.(check (option string)) "general" (Some "ten-slash-8")
+          (Lpm.lookup t 0x0a020202);
+        Alcotest.(check (option string)) "none" None (Lpm.lookup t 0x0b000000));
+    Alcotest.test_case "default route" `Quick (fun () ->
+        let t = Lpm.create () in
+        Lpm.add t ~prefix:0 ~len:0 "default";
+        Alcotest.(check (option string)) "matches all" (Some "default")
+          (Lpm.lookup t 0xdeadbeef));
+    Alcotest.test_case "remove" `Quick (fun () ->
+        let t = Lpm.create () in
+        Lpm.add t ~prefix:0x0a000000 ~len:8 "r";
+        Lpm.remove t ~prefix:0x0a000000 ~len:8;
+        Alcotest.(check (option string)) "gone" None (Lpm.lookup t 0x0a000001);
+        Alcotest.(check int) "size" 0 (Lpm.size t));
+    qtest "agrees with naive scan" ~count:100
+      QCheck2.Gen.(
+        pair
+          (list_size (int_range 0 30) (pair (int_range 0 0xffffffff) (int_range 0 32)))
+          (int_range 0 0xffffffff))
+      (fun (routes, addr) ->
+        let t = Lpm.create () in
+        let canon =
+          List.map
+            (fun (p, len) ->
+              let p = if len = 0 then 0 else p land lnot ((1 lsl (32 - len)) - 1) in
+              (p, len))
+            routes
+        in
+        List.iter (fun (p, len) -> Lpm.add t ~prefix:p ~len (p, len)) canon;
+        let matches (p, len) =
+          len = 0 || (addr lxor p) lsr (32 - len) = 0
+        in
+        let best =
+          List.fold_left
+            (fun acc r ->
+              if matches r then
+                match acc with
+                | Some (_, blen) when blen >= snd r -> acc
+                | _ -> Some r
+              else acc)
+            None canon
+        in
+        (* Compare prefix lengths (several routes may share a prefix). *)
+        Option.map snd (Lpm.lookup t addr) = Option.map snd best);
+  ]
+
+let router_tests =
+  let open Apna_baseline in
+  let make_packet ?(ttl = 64) ~dst () =
+    Ipv4_header.to_bytes
+      (Ipv4_header.make ~ttl ~protocol:17 ~src:(hid 0x0a000001) ~dst:(hid dst)
+         ~payload_len:4 ())
+    ^ "data"
+  in
+  [
+    Alcotest.test_case "forwards with ttl decrement" `Quick (fun () ->
+        let r = Ipv4_router.create () in
+        Ipv4_router.add_route r ~prefix:0x08000000 ~len:8 ~next_hop:7;
+        match Ipv4_router.forward r (make_packet ~dst:0x08080808 ()) with
+        | Ipv4_router.Forwarded { next_hop; packet } ->
+            Alcotest.(check int) "hop" 7 next_hop;
+            (match Ipv4_header.of_bytes packet with
+            | Ok h -> Alcotest.(check int) "ttl" 63 h.ttl
+            | Error e -> Alcotest.fail e)
+        | Ipv4_router.Dropped e -> Alcotest.fail e);
+    Alcotest.test_case "ttl exceeded dropped" `Quick (fun () ->
+        let r = Ipv4_router.create () in
+        Ipv4_router.add_route r ~prefix:0 ~len:0 ~next_hop:1;
+        match Ipv4_router.forward r (make_packet ~ttl:1 ~dst:0x08080808 ()) with
+        | Ipv4_router.Dropped "ttl exceeded" -> ()
+        | _ -> Alcotest.fail "expected ttl drop");
+    Alcotest.test_case "no route dropped" `Quick (fun () ->
+        let r = Ipv4_router.create () in
+        match Ipv4_router.forward r (make_packet ~dst:0x08080808 ()) with
+        | Ipv4_router.Dropped "no route" -> ()
+        | _ -> Alcotest.fail "expected no-route drop");
+    Alcotest.test_case "synthetic table populates" `Quick (fun () ->
+        let r = Ipv4_router.create () in
+        Ipv4_router.synthetic_table r ~seed:3L ~routes:1000;
+        Alcotest.(check bool) "mostly there" true (Ipv4_router.route_count r > 900));
+  ]
+
+let apip_tests =
+  let open Apna_baseline in
+  [
+    Alcotest.test_case "brief then verify" `Quick (fun () ->
+        let d = Apip_sketch.create () in
+        Apip_sketch.brief d ~sender:1 ~packet:"pkt-a";
+        Alcotest.(check bool) "vouched" true (Apip_sketch.verify d ~packet:"pkt-a");
+        Alcotest.(check bool) "unknown" false (Apip_sketch.verify d ~packet:"pkt-b"));
+    Alcotest.test_case "whitelist tracking" `Quick (fun () ->
+        let d = Apip_sketch.create () in
+        Apip_sketch.whitelist d ~flow:42;
+        Alcotest.(check bool) "listed" true (Apip_sketch.is_whitelisted d ~flow:42);
+        Alcotest.(check bool) "not listed" false (Apip_sketch.is_whitelisted d ~flow:43));
+    Alcotest.test_case "storage grows with briefs" `Quick (fun () ->
+        let d = Apip_sketch.create () in
+        for i = 1 to 100 do
+          Apip_sketch.brief d ~sender:1 ~packet:(string_of_int i)
+        done;
+        Alcotest.(check int) "count" 100 (Apip_sketch.briefs_stored d);
+        Alcotest.(check int) "bytes" 2000 (Apip_sketch.brief_bytes d));
+  ]
+
+let () =
+  Alcotest.run "apna_net"
+    [
+      ("addr", addr_tests);
+      ("header", header_tests);
+      ("packet", packet_tests);
+      ("ipv4", ipv4_tests);
+      ("gre", gre_tests);
+      ("topology", topology_tests);
+      ("lpm", lpm_tests);
+      ("ipv4_router", router_tests);
+      ("apip", apip_tests);
+    ]

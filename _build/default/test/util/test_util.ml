@@ -1,0 +1,89 @@
+(* Byte reader/writer codecs and the small utility modules. *)
+
+open Apna_util
+
+let qtest ?(count = 300) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let rw_tests =
+  [
+    qtest "u8/u16/u32/u64 roundtrip"
+      QCheck2.Gen.(
+        let* a = int_range 0 255 in
+        let* b = int_range 0 0xffff in
+        let* c = int_range 0 0xffffffff in
+        let* d = int_range 0 max_int in
+        return (a, b, c, d))
+      (fun (a, b, c, d) ->
+        let w = Rw.Writer.create () in
+        Rw.Writer.u8 w a;
+        Rw.Writer.u16 w b;
+        Rw.Writer.u32_of_int w c;
+        Rw.Writer.u64 w (Int64.of_int d);
+        let r = Rw.Reader.of_string (Rw.Writer.contents w) in
+        let open Rw in
+        (let* a' = Reader.u8 r in
+         let* b' = Reader.u16 r in
+         let* c' = Reader.u32_to_int r in
+         let* d' = Reader.u64 r in
+         let* () = Reader.expect_end r in
+         Ok (a' = a && b' = b && c' = c && d' = Int64.of_int d))
+        = Ok true);
+    qtest "bytes roundtrip with remaining bookkeeping"
+      QCheck2.Gen.(pair (string_size (int_range 0 64)) (string_size (int_range 0 64)))
+      (fun (x, y) ->
+        let w = Rw.Writer.create () in
+        Rw.Writer.u16 w (String.length x);
+        Rw.Writer.bytes w x;
+        Rw.Writer.bytes w y;
+        let r = Rw.Reader.of_string (Rw.Writer.contents w) in
+        let open Rw in
+        (let* n = Reader.u16 r in
+         let* x' = Reader.bytes r n in
+         Ok (x' = x && Reader.rest r = y))
+        = Ok true);
+    Alcotest.test_case "short reads are errors, not exceptions" `Quick (fun () ->
+        let r = Rw.Reader.of_string "ab" in
+        Alcotest.(check bool) "u32 fails" true (Result.is_error (Rw.Reader.u32 r));
+        (* The failed read consumed nothing usable; u16 still works. *)
+        Alcotest.(check bool) "u16 ok" true (Rw.Reader.u16 r = Ok 0x6162));
+    Alcotest.test_case "expect_end rejects trailing bytes" `Quick (fun () ->
+        let r = Rw.Reader.of_string "x" in
+        Alcotest.(check bool) "error" true (Result.is_error (Rw.Reader.expect_end r));
+        ignore (Rw.Reader.u8 r);
+        Alcotest.(check bool) "ok after consuming" true
+          (Rw.Reader.expect_end r = Ok ()));
+    Alcotest.test_case "big-endian layout on the wire" `Quick (fun () ->
+        let w = Rw.Writer.create () in
+        Rw.Writer.u16 w 0x0102;
+        Rw.Writer.u32_of_int w 0x03040506;
+        Alcotest.(check string) "network byte order" "\x01\x02\x03\x04\x05\x06"
+          (Rw.Writer.contents w));
+    Alcotest.test_case "writer length tracks content" `Quick (fun () ->
+        let w = Rw.Writer.create () in
+        Rw.Writer.u64 w 1L;
+        Rw.Writer.bytes w "abc";
+        Alcotest.(check int) "length" 11 (Rw.Writer.length w));
+  ]
+
+let misc_tests =
+  [
+    Alcotest.test_case "ct xor length mismatch rejected" `Quick (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Ct.xor: length")
+          (fun () -> ignore (Ct.xor "ab" "abc")));
+    Alcotest.test_case "zeroize wipes the buffer" `Quick (fun () ->
+        let b = Bytes.of_string "secret" in
+        Ct.zeroize b;
+        Alcotest.(check string) "zeroed" (String.make 6 '\000')
+          (Bytes.to_string b));
+    qtest "hex encode length doubles" QCheck2.Gen.(string_size (int_range 0 64))
+      (fun s -> String.length (Hex.encode s) = 2 * String.length s);
+    Alcotest.test_case "hex decode accepts uppercase" `Quick (fun () ->
+        Alcotest.(check bool) "ok" true (Hex.decode "DEADBEEF" = Ok "\xde\xad\xbe\xef"));
+    Alcotest.test_case "hex pp prints lowercase" `Quick (fun () ->
+        Alcotest.(check string) "pp" "00ff"
+          (Format.asprintf "%a" Hex.pp "\x00\xff"));
+  ]
+
+let () =
+  Alcotest.run "apna_util" [ ("rw", rw_tests); ("misc", misc_tests) ]

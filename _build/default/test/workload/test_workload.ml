@@ -1,0 +1,114 @@
+(* The synthetic trace must reproduce the aggregates the paper reports for
+   its 24-hour capture (§V-A3) and the flow-duration statistics it cites
+   (§VIII-G1). *)
+
+open Apna_workload
+
+let qtest ?(count = 100) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+let flow_model_tests =
+  [
+    Alcotest.test_case "45% of flows are dragonflies (< 2 s)" `Quick (fun () ->
+        let rng = Apna_sim.Rng.create 1L in
+        let f =
+          Flow_model.fraction_below Flow_model.default rng ~threshold:2.0
+            ~samples:50_000
+        in
+        Alcotest.(check bool) "within 2pp of 0.45" true (abs_float (f -. 0.45) < 0.02));
+    Alcotest.test_case "98% of flows last under 15 minutes" `Quick (fun () ->
+        (* The statistic the paper uses to justify 15-minute EphIDs. *)
+        let rng = Apna_sim.Rng.create 2L in
+        let f =
+          Flow_model.fraction_below Flow_model.default rng ~threshold:900.0
+            ~samples:50_000
+        in
+        Alcotest.(check bool) "within 1pp of 0.98" true (abs_float (f -. 0.98) < 0.01));
+    qtest "durations are positive" QCheck2.Gen.(int_range 0 10_000) (fun s ->
+        let rng = Apna_sim.Rng.create (Int64.of_int s) in
+        Flow_model.sample_duration Flow_model.default rng > 0.0);
+    Alcotest.test_case "tortoise tail exists" `Quick (fun () ->
+        let rng = Apna_sim.Rng.create 3L in
+        let long = ref 0 in
+        for _ = 1 to 20_000 do
+          if Flow_model.sample_duration Flow_model.default rng > 3600.0 then incr long
+        done;
+        Alcotest.(check bool) "some hour-long flows" true (!long > 10));
+  ]
+
+let trace_tests =
+  [
+    Alcotest.test_case "paper aggregates" `Quick (fun () ->
+        let cfg = Trace.paper_config in
+        Alcotest.(check int) "hosts" 1_266_598 cfg.hosts;
+        Alcotest.(check (float 0.1)) "peak" 3_888.0 cfg.peak_rate);
+    Alcotest.test_case "rate peaks at the configured hour" `Quick (fun () ->
+        let cfg = Trace.paper_config in
+        let at_peak = Trace.rate_at cfg cfg.peak_at_s in
+        let off_peak = Trace.rate_at cfg (cfg.peak_at_s +. 43_200.0) in
+        Alcotest.(check (float 1.0)) "peak value" cfg.peak_rate at_peak;
+        Alcotest.(check (float 1.0)) "trough value"
+          (cfg.trough_ratio *. cfg.peak_rate) off_peak);
+    Alcotest.test_case "measured peak matches configured peak" `Quick (fun () ->
+        let rng = Apna_sim.Rng.create 7L in
+        let measured = Trace.peak_rate_measured rng Trace.paper_config ~bucket_s:1.0 in
+        (* Poisson noise on ~3,900 arrivals/s is about +/-2 sigma = 125. *)
+        Alcotest.(check bool) "close" true
+          (abs_float (measured -. 3_888.0) < 300.0));
+    Alcotest.test_case "flows fall inside the window and are sorted" `Quick
+      (fun () ->
+        let rng = Apna_sim.Rng.create 9L in
+        let window = (1000.0, 1010.0) in
+        let last = ref neg_infinity in
+        let ok = ref true in
+        Trace.iter ~window rng Trace.paper_config (fun f ->
+            if f.start < 1000.0 || f.start >= 1010.0 then ok := false;
+            if f.start < !last then ok := false;
+            last := f.start;
+            if f.host < 0 || f.host >= Trace.paper_config.hosts then ok := false);
+        Alcotest.(check bool) "in window, ordered, hosts valid" true !ok);
+    Alcotest.test_case "window count scales with rate" `Quick (fun () ->
+        let cfg = Trace.paper_config in
+        let rng1 = Apna_sim.Rng.create 11L and rng2 = Apna_sim.Rng.create 11L in
+        let at_peak =
+          Trace.count ~window:(cfg.peak_at_s, cfg.peak_at_s +. 30.0) rng1 cfg
+        in
+        let off_peak_t = cfg.peak_at_s +. 43_200.0 -. 30.0 in
+        let off_peak = Trace.count ~window:(off_peak_t, off_peak_t +. 30.0) rng2 cfg in
+        Alcotest.(check bool) "peak busier" true
+          (float_of_int at_peak > 2.0 *. float_of_int off_peak));
+  ]
+
+let packet_mix_tests =
+  [
+    Alcotest.test_case "paper sweep sizes" `Quick (fun () ->
+        Alcotest.(check (list int)) "sizes" [ 128; 256; 512; 1024; 1518 ]
+          Packet_mix.paper_sizes);
+    qtest "fixed mix is constant" QCheck2.Gen.(int_range 64 1518) (fun n ->
+        let rng = Apna_sim.Rng.create 1L in
+        Packet_mix.sample (Packet_mix.Fixed n) rng = n);
+    Alcotest.test_case "imix mean matches weights" `Quick (fun () ->
+        let rng = Apna_sim.Rng.create 2L in
+        let n = 100_000 in
+        let sum = ref 0 in
+        for _ = 1 to n do
+          sum := !sum + Packet_mix.sample Packet_mix.Imix rng
+        done;
+        let mean = float_of_int !sum /. float_of_int n in
+        Alcotest.(check bool) "near analytic mean" true
+          (abs_float (mean -. Packet_mix.mean_size Packet_mix.Imix) < 5.0));
+    Alcotest.test_case "imix draws only the three sizes" `Quick (fun () ->
+        let rng = Apna_sim.Rng.create 3L in
+        for _ = 1 to 1000 do
+          let s = Packet_mix.sample Packet_mix.Imix rng in
+          Alcotest.(check bool) "valid size" true (List.mem s [ 64; 570; 1518 ])
+        done);
+  ]
+
+let () =
+  Alcotest.run "apna_workload"
+    [
+      ("flow_model", flow_model_tests);
+      ("trace", trace_tests);
+      ("packet_mix", packet_mix_tests);
+    ]
