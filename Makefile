@@ -1,0 +1,29 @@
+# Convenience targets; dune does the real work.
+
+.PHONY: all build test bench check clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# CI gate: full build, every test suite, and a smoke run of the benchmark
+# harness that must produce a parseable BENCH_results.json (the harness
+# re-parses the file itself and fails loudly if it is invalid).
+check:
+	dune build @all
+	dune runtest
+	rm -f BENCH_results.json
+	dune exec bench/main.exe -- --quick
+	test -s BENCH_results.json
+	@echo "check: OK (BENCH_results.json written and validated)"
+
+clean:
+	dune clean
+	rm -f BENCH_results.json

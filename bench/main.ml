@@ -14,13 +14,32 @@
    Absolute numbers are not expected to match the paper (pure OCaml vs
    AES-NI + DPDK); the shapes are. See EXPERIMENTS.md.
 
+   Every run also emits a machine-readable BENCH_results.json next to the
+   tables (schema in docs/OBSERVABILITY.md): per-frame-size throughput,
+   per-stage latency percentiles, the observability-overhead check, and a
+   dump of the default metrics registry.
+
    Run all:        dune exec bench/main.exe
-   Run a subset:   dune exec bench/main.exe -- E1 E2 *)
+   Run a subset:   dune exec bench/main.exe -- E1 E2
+   Smoke run:      dune exec bench/main.exe -- --quick *)
 
 open Apna
 open Apna_crypto
+module J = Apna_obs.Json
+module M = Apna_obs.Metrics
+module Span = Apna_obs.Span
 
 let line fmt = Printf.printf (fmt ^^ "\n%!")
+
+(* --quick: reduced iteration counts and only the experiments that feed the
+   JSON export — the CI smoke target. *)
+let quick = ref false
+let iters n = if !quick then max 20 (n / 20) else n
+
+(* Sections accumulated by experiments as they run; flushed to
+   BENCH_results.json at exit. *)
+let json_sections : (string * J.t) list ref = ref []
+let add_json name section = json_sections := (name, section) :: !json_sections
 
 let banner id title paper_ref =
   line "";
@@ -52,6 +71,9 @@ type br_fixture = {
   br : Border_router.t;
   host_kha : Keys.host_as;
   host_ephid : Ephid.t;
+  host_info : Host_info.t;
+  hid : Apna_net.Addr.hid;
+  topology : Apna_net.Topology.t;
 }
 
 let make_br_fixture () =
@@ -66,7 +88,7 @@ let make_br_fixture () =
   Host_info.register host_info hid host_kha;
   let host_ephid = Ephid.issue_random keys rng ~hid ~expiry:(now0 + 86_400) in
   let br = Border_router.create ~keys ~host_info ~revoked ~topology () in
-  { keys; br; host_kha; host_ephid }
+  { keys; br; host_kha; host_ephid; host_info; hid; topology }
 
 (* A data packet whose wire size is exactly [frame] bytes, with a valid
    host MAC — what the egress pipeline sees. *)
@@ -163,6 +185,66 @@ let e1 () =
 (* ------------------------------------------------------------------ *)
 (* E2: border router forwarding (Fig. 8) *)
 
+(* Per-op latency samples: batches timed with the monotonic clock, so the
+   distribution (not just the mean) is visible. One sample = mean ns over
+   [batch] back-to-back calls. *)
+let latency_samples ~samples ~batch f =
+  for _ = 1 to 3 do
+    f ()
+  done;
+  Array.init samples (fun _ ->
+      let t0 = Monotonic_clock.now () in
+      for _ = 1 to batch do
+        f ()
+      done;
+      let t1 = Monotonic_clock.now () in
+      Int64.to_float (Int64.sub t1 t0) /. float_of_int batch)
+
+(* Summarize samples through an observability histogram registered as
+   apna_bench_stage_ns{stage=...} — the same machinery `apnad stats`
+   scrapes — and return the JSON fields. *)
+let stage_summary_json name samples =
+  let hi = 1.25 *. Array.fold_left Float.max 1.0 samples in
+  let h =
+    M.Histogram.register M.default
+      ~labels:[ ("stage", name) ]
+      ~help:"Per-stage single-packet latency sampled by the bench harness"
+      ~buckets:512 ~lo:0.0 ~hi "apna_bench_stage_ns"
+  in
+  let was = M.enabled M.default in
+  M.set_enabled M.default true;
+  Array.iter (M.Histogram.observe h) samples;
+  M.set_enabled M.default was;
+  J.Obj
+    [
+      ("count", J.Int (M.Histogram.count h));
+      ("mean_ns", J.Float (M.Histogram.mean h));
+      ("p50_ns", J.Float (M.Histogram.percentile h 0.5));
+      ("p90_ns", J.Float (M.Histogram.percentile h 0.9));
+      ("p99_ns", J.Float (M.Histogram.percentile h 0.99));
+    ]
+
+(* The egress pipeline stages of Fig. 4, timed in isolation plus end to
+   end: 1 EphID decrypt, host-info + route lookups, 1 MAC verify. *)
+let pipeline_stages fx pkt =
+  let raw = Ephid.to_bytes fx.host_ephid in
+  [
+    ( "ephid_parse",
+      fun () ->
+        match Ephid.of_bytes raw with
+        | Ok e -> ignore (Ephid.parse fx.keys e)
+        | Error _ -> () );
+    ("host_lookup", fun () -> ignore (Host_info.find fx.host_info fx.hid));
+    ( "mac_verify",
+      fun () -> ignore (Pkt_auth.verify ~auth_key:fx.host_kha.auth pkt) );
+    ( "route_lookup",
+      fun () ->
+        ignore
+          (Apna_net.Topology.next_hop fx.topology ~src:fx.keys.aid
+             ~dst:(Apna_net.Addr.aid_of_int 64501)) );
+    ("egress_total", fun () -> ignore (Border_router.egress_check fx.br ~now:now0 pkt));
+  ]
+
 let e2 () =
   banner "E2" "BR-FORWARDING" "Fig. 8(a) packet-rate / Fig. 8(b) bit-rate";
   let fx = make_br_fixture () in
@@ -183,7 +265,7 @@ let e2 () =
       (fun size ->
         let pkt = make_packet fx ~frame:size in
         let apna_ns =
-          time_per_op ~iters:20_000 (fun () ->
+          time_per_op ~iters:(iters 20_000) (fun () ->
               match Border_router.egress_check fx.br ~now:now0 pkt with
               | Ok _ -> ()
               | Error e -> failwith (Error.to_string e))
@@ -199,7 +281,7 @@ let e2 () =
           ^ String.make (size - Apna_net.Ipv4_header.size) 'x'
         in
         let ipv4_ns =
-          time_per_op ~iters:100_000 (fun () ->
+          time_per_op ~iters:(iters 100_000) (fun () ->
               match Apna_baseline.Ipv4_router.forward baseline ip_pkt with
               | Apna_baseline.Ipv4_router.Forwarded _ -> ()
               | Apna_baseline.Ipv4_router.Dropped e -> failwith e)
@@ -214,13 +296,13 @@ let e2 () =
         in
         line "%5dB | %11.0f %11.0f | %9.2f %9.2f %9.2f | %9.1f %9.1f" size
           apna_ns ipv4_ns apna_mpps ipv4_mpps line_mpps apna_gbps line_gbps;
-        (size, apna_ns, apna_mpps, apna_gbps))
+        (size, apna_ns, ipv4_ns, apna_mpps, apna_gbps))
       Apna_workload.Packet_mix.paper_sizes
   in
   line "";
   line "shape check (paper): pps falls as size grows; bit-rate rises with size";
-  let _, _, mpps_first, gbps_first = List.hd results in
-  let _, _, mpps_last, gbps_last = List.nth results (List.length results - 1) in
+  let _, _, _, mpps_first, gbps_first = List.hd results in
+  let _, _, _, mpps_last, gbps_last = List.nth results (List.length results - 1) in
   line "  Mpps monotone decreasing: %b   Gbps increasing: %b"
     (mpps_first > mpps_last) (gbps_last > gbps_first);
   (* Substrate-scaled line rate: at what aggregate capacity would this
@@ -228,13 +310,77 @@ let e2 () =
      hardware does at 120 Gbps? *)
   let min_gbps_capacity =
     List.fold_left
-      (fun acc (size, apna_ns, _, _) ->
+      (fun acc (size, apna_ns, _, _, _) ->
         Float.min acc (cores /. apna_ns *. 8.0 *. float_of_int size))
       infinity results
   in
   line "substrate-scaled line rate: with <= %.1f Gbps provisioned, this OCaml"
     min_gbps_capacity;
-  line "router is line-rate at every packet size (the paper's Fig. 8 regime)."
+  line "router is line-rate at every packet size (the paper's Fig. 8 regime).";
+
+  (* Per-stage latency percentiles (the paper's 1 decrypt + 2 lookups +
+     1 MAC decomposition), via the observability histograms. *)
+  let pkt = make_packet fx ~frame:512 in
+  let samples = if !quick then 100 else 500 in
+  line "";
+  line "per-stage latency (512B packet, %d samples of 32-op batches):" samples;
+  line "%-14s %10s %10s %10s %10s" "stage" "mean ns" "p50 ns" "p90 ns" "p99 ns";
+  let stages_json =
+    List.map
+      (fun (name, f) ->
+        let s = latency_samples ~samples ~batch:32 f in
+        let j = stage_summary_json name s in
+        let get k = match J.member k j with Some v -> Option.get (J.number v) | None -> nan in
+        line "%-14s %10.0f %10.0f %10.0f %10.0f" name (get "mean_ns")
+          (get "p50_ns") (get "p90_ns") (get "p99_ns");
+        (name, j))
+      (pipeline_stages fx pkt)
+  in
+
+  (* Acceptance check for the observability layer itself: with the default
+     registry and span sink off (the default), the instrumented egress path
+     must cost the same as before instrumentation; with both on, the delta
+     is the price of full observability. *)
+  let egress () =
+    match Border_router.egress_check fx.br ~now:now0 pkt with
+    | Ok _ -> ()
+    | Error e -> failwith (Error.to_string e)
+  in
+  let off_ns = time_per_op ~iters:(iters 20_000) egress *. 1e9 in
+  M.set_enabled M.default true;
+  Span.set_enabled Span.default true;
+  let on_ns = time_per_op ~iters:(iters 20_000) egress *. 1e9 in
+  Span.set_enabled Span.default false;
+  M.set_enabled M.default false;
+  line "";
+  line "observability overhead on egress: disabled %.0f ns/pkt, enabled %.0f"
+    off_ns on_ns;
+  line "ns/pkt (metrics + spans): %+.1f%%" ((on_ns -. off_ns) /. off_ns *. 100.0);
+
+  add_json "br_forwarding"
+    (J.Obj
+       [
+         ( "frames",
+           J.List
+             (List.map
+                (fun (size, apna_ns, ipv4_ns, apna_mpps, apna_gbps) ->
+                  J.Obj
+                    [
+                      ("size_bytes", J.Int size);
+                      ("apna_ns_per_pkt", J.Float apna_ns);
+                      ("ipv4_ns_per_pkt", J.Float ipv4_ns);
+                      ("apna_mpps", J.Float apna_mpps);
+                      ("apna_gbps", J.Float apna_gbps);
+                    ])
+                results) );
+         ("stages_ns", J.Obj stages_json);
+         ( "obs_overhead",
+           J.Obj
+             [
+               ("egress_ns_disabled", J.Float off_ns);
+               ("egress_ns_enabled", J.Float on_ns);
+             ] );
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* E3: header overhead (Fig. 7) *)
@@ -903,12 +1049,50 @@ let experiments =
     ("E12", e12);
   ]
 
+let json_path = "BENCH_results.json"
+
+let write_json selected =
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "apna-bench/1");
+        ("quick", J.Bool !quick);
+        ("experiments_run", J.List (List.map (fun id -> J.Str id) selected));
+        ("experiments", J.Obj (List.rev !json_sections));
+        ("metrics", M.to_json M.default);
+      ]
+  in
+  let text = J.to_string ~pretty:true doc in
+  let oc = open_out json_path in
+  output_string oc text;
+  output_char oc '\n';
+  close_out oc;
+  (* Self-check: the file we just wrote must parse back. *)
+  let ic = open_in_bin json_path in
+  let read_back = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (match J.parse read_back with
+  | Ok _ -> ()
+  | Error e -> failwith (Printf.sprintf "%s does not parse: %s" json_path e));
+  line "";
+  line "wrote %s (%d bytes, parse-checked)" json_path (String.length read_back)
+
 let () =
   Logs.set_level (Some Logs.Error);
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--quick" then begin
+          quick := true;
+          false
+        end
+        else true)
+      (List.tl (Array.to_list Sys.argv))
+  in
   let selected =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as ids) -> ids
-    | _ -> List.map fst experiments
+    match args with
+    | _ :: _ -> args
+    | [] -> if !quick then [ "E2" ] else List.map fst experiments
   in
   line "APNA benchmark harness (one section per paper table/figure)";
   List.iter
@@ -916,4 +1100,5 @@ let () =
       match List.assoc_opt id experiments with
       | Some f -> f ()
       | None -> line "unknown experiment %s" id)
-    selected
+    selected;
+  write_json selected

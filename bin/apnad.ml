@@ -5,6 +5,7 @@
      ephid     construct and dissect an EphID (Fig. 6) with throwaway keys
      trace     summarize the synthetic workload trace (§V-A3)
      shutoff   run the DDoS + shutoff escalation scenario (§IV-E, §VIII-G2)
+     stats     run a workload with observability on; dump metrics + spans
 
    Try: dune exec bin/apnad.exe -- demo --hosts 4 --flows 6 *)
 
@@ -209,9 +210,91 @@ let shutoff_cmd =
     (Cmd.info "shutoff" ~doc:"DDoS-and-shutoff escalation scenario (\xc2\xa7IV-E).")
     Term.(const run $ verbose $ seed $ waves)
 
+(* ------------------------------------------------------------------ *)
+(* stats *)
+
+let stats_cmd =
+  let module M = Apna_obs.Metrics in
+  let module Span = Apna_obs.Span in
+  let flows =
+    Arg.(value & opt int 5 & info [ "flows" ] ~docv:"N" ~doc:"Flows to open.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the registry as JSON.")
+  in
+  let run verbose seed flows json =
+    setup_logs verbose;
+    (* Observability on before the network exists, so creation-time series
+       and every packet's spans are captured. *)
+    M.set_enabled M.default true;
+    Span.set_enabled Span.default true;
+    let net = Network.create ~seed () in
+    let _ = Network.add_as net 64500 () in
+    let _ = Network.add_as net 64501 () in
+    let _ = Network.add_as net 64502 () in
+    Network.connect_as net 64500 64501 ();
+    Network.connect_as net 64501 64502 ();
+    let alice =
+      Network.add_host net ~as_number:64500 ~name:"alice" ~credential:"a" ()
+    in
+    let bob =
+      Network.add_host net ~as_number:64502 ~name:"bob" ~credential:"b" ()
+    in
+    List.iter
+      (fun h ->
+        match Host.bootstrap h with
+        | Ok () -> ()
+        | Error e -> failwith (Error.to_string e))
+      [ alice; bob ];
+    let ep = ref None in
+    Host.request_ephid bob (fun e -> ep := Some e);
+    Network.run net;
+    let ep = Option.get !ep in
+    Host.on_data bob (fun ~session ~data ->
+        if String.length data < 24 then ignore (Host.send bob session (data ^ "-ack")));
+    for flow = 1 to flows do
+      Host.connect alice ~remote:ep.cert ~data0:(Printf.sprintf "flow-%d" flow)
+        (fun _ -> ())
+    done;
+    Network.run net;
+    if json then
+      print_endline
+        (Apna_obs.Json.to_string ~pretty:true (M.to_json M.default))
+    else begin
+      print_string (M.render_text M.default);
+      print_newline ();
+      Printf.printf "# trace spans (%d recorded, %d retained)\n"
+        (Span.recorded Span.default)
+        (List.length (Span.to_list Span.default));
+      Printf.printf "%-14s %8s %14s\n" "stage" "spans" "mean (sim s)";
+      List.iter
+        (fun (stage, n, mean) -> Printf.printf "%-14s %8d %14.6f\n" stage n mean)
+        (Span.stage_summary Span.default);
+      (* Reconstruct one packet's path through the network: every span
+         sharing the key derived from its MAC, in finish order. *)
+      match Span.to_list Span.default with
+      | [] -> ()
+      | spans ->
+          let last = List.nth spans (List.length spans - 1) in
+          Printf.printf "\n# path of packet %Lx (span key)\n" last.Span.key;
+          List.iter
+            (fun (r : Span.record) ->
+              Printf.printf "  %.6f -> %.6f  %s\n" r.t0 r.t1 r.stage)
+            (Span.by_key Span.default last.Span.key)
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a small workload with observability enabled and dump the \
+          metrics registry (scrape text or JSON) plus per-stage trace spans.")
+    Term.(const run $ verbose $ seed $ flows $ json)
+
 let () =
   let info =
     Cmd.info "apnad" ~version:"1.0.0"
       ~doc:"APNA (Accountable and Private Network Architecture) simulator"
   in
-  exit (Cmd.eval (Cmd.group info [ demo_cmd; ephid_cmd; trace_cmd; shutoff_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ demo_cmd; ephid_cmd; trace_cmd; shutoff_cmd; stats_cmd ]))

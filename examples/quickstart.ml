@@ -14,6 +14,7 @@ let section fmt = Printf.printf ("\n== " ^^ fmt ^^ " ==\n")
 let () =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some Logs.Warning);
+  Apna_obs.Metrics.(set_enabled default true);
 
   section "Topology: AS64500 -- AS64501 -- AS64502";
   let net = Network.create ~seed:"quickstart" () in
@@ -61,4 +62,5 @@ let () =
     c.ingress_forwarded;
   Printf.printf "alice sent %d packets, all carrying her AS-verifiable MAC\n"
     (Host.packets_sent alice);
+  Printf.printf "metrics: %s\n" Apna_obs.Metrics.(summary_line default);
   print_endline "done."

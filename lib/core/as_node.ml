@@ -1,5 +1,7 @@
 open Apna_crypto
 open Apna_net
+module M = Apna_obs.Metrics
+module Span = Apna_obs.Span
 
 let ms_hid = Addr.hid_of_int 1
 let dns_hid = Addr.hid_of_int 2
@@ -7,6 +9,14 @@ let aa_hid = Addr.hid_of_int 3
 let br_hid = Addr.hid_of_int 4
 let first_customer_hid = 0x0a000001
 let service_lifetime_s = 30 * 86_400
+
+(* Per-AS service counters in the default registry, labeled by AID. *)
+type obs = {
+  m_ms : M.Counter.m;
+  m_dns : M.Counter.m;
+  m_shutoff : M.Counter.m;
+  m_icmp : M.Counter.m;
+}
 
 type t = {
   aid : Addr.aid;
@@ -34,6 +44,7 @@ type t = {
   hid_of_device : (string, Addr.hid) Hashtbl.t;
   mutable attached_hosts : Host.t list;
   mutable emit : next:Addr.aid -> Packet.t -> unit;
+  obs : obs;
 }
 
 let service_kha rng = Keys.derive_host_as ~shared_secret:(Drbg.generate rng 32)
@@ -118,6 +129,26 @@ let create ~rng ~aid ~trust ~topology ~now ~now_f ?dns_zone
     emit =
       (fun ~next:_ _ ->
         Logs.err (fun m -> m "AS %a: emit not wired" Addr.pp_aid aid));
+    obs =
+      (let labels = [ ("aid", string_of_int (Addr.aid_to_int aid)) ] in
+       {
+         m_ms =
+           M.Counter.register M.default ~labels
+             ~help:"Requests dispatched to the management service"
+             "apna_as_ms_requests_total";
+         m_dns =
+           M.Counter.register M.default ~labels
+             ~help:"Queries dispatched to the DNS service"
+             "apna_as_dns_queries_total";
+         m_shutoff =
+           M.Counter.register M.default ~labels
+             ~help:"Shutoff requests handled by the accountability agent"
+             "apna_as_shutoff_requests_total";
+         m_icmp =
+           M.Counter.register M.default ~labels
+             ~help:"ICMP feedback packets sent to sources"
+             "apna_as_icmp_sent_total";
+       });
   }
 
 let aid t = t.aid
@@ -187,20 +218,23 @@ and observe_certs t (pkt : Packet.t) =
       end
 
 and deliver_local t hid (pkt : Packet.t) =
+  let sp = Span.start_for Span.default ~id:pkt.header.mac ~stage:"as.deliver" in
   observe_certs t pkt;
-  if Addr.hid_equal hid ms_hid then dispatch_ms t pkt
-  else if Addr.hid_equal hid dns_hid then dispatch_dns t pkt
-  else if Addr.hid_equal hid aa_hid then dispatch_aa t pkt
-  else if Addr.hid_equal hid br_hid then ()
-  else begin
-    match Addr.Hid_tbl.find_opt t.deliver_by_hid hid with
-    | Some deliver -> deliver pkt
-    | None ->
-        Logs.debug (fun m ->
-            m "AS %a: no attached host for %a" Addr.pp_aid t.aid Addr.pp_hid hid)
-  end
+  (if Addr.hid_equal hid ms_hid then dispatch_ms t pkt
+   else if Addr.hid_equal hid dns_hid then dispatch_dns t pkt
+   else if Addr.hid_equal hid aa_hid then dispatch_aa t pkt
+   else if Addr.hid_equal hid br_hid then ()
+   else begin
+     match Addr.Hid_tbl.find_opt t.deliver_by_hid hid with
+     | Some deliver -> deliver pkt
+     | None ->
+         Logs.debug (fun m ->
+             m "AS %a: no attached host for %a" Addr.pp_aid t.aid Addr.pp_hid hid)
+   end);
+  Span.finish Span.default sp
 
 and dispatch_ms t (pkt : Packet.t) =
+  M.Counter.incr t.obs.m_ms;
   match Msgs.of_bytes pkt.payload with
   | Error e -> Logs.debug (fun m -> m "MS: %a" Error.pp e)
   | Ok (Msgs.Ephid_release _ as msg) -> begin
@@ -225,6 +259,7 @@ and dispatch_ms t (pkt : Packet.t) =
     end
 
 and dispatch_dns t (pkt : Packet.t) =
+  M.Counter.incr t.obs.m_dns;
   match t.dns with
   | None -> Logs.debug (fun m -> m "AS %a: no DNS service" Addr.pp_aid t.aid)
   | Some dns -> begin
@@ -243,6 +278,7 @@ and dispatch_dns t (pkt : Packet.t) =
     end
 
 and dispatch_aa t (pkt : Packet.t) =
+  M.Counter.incr t.obs.m_shutoff;
   match Msgs.of_bytes pkt.payload with
   | Error e -> Logs.debug (fun m -> m "AA: %a" Error.pp e)
   | Ok msg -> begin
@@ -296,6 +332,7 @@ and icmp_to_source t (pkt : Packet.t) msg =
         end
       | None -> Icmp.to_bytes msg
     in
+    M.Counter.incr t.obs.m_icmp;
     route t
       (service_packet t ~src_ephid:t.br_ephid ~dst_aid:pkt.header.src_aid
          ~dst_ephid:pkt.header.src_ephid ~proto:Packet.Icmp ~payload)

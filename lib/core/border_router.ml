@@ -1,10 +1,20 @@
 open Apna_net
+module M = Apna_obs.Metrics
+module Span = Apna_obs.Span
 
 type counters = {
   mutable egress_ok : int;
   mutable ingress_delivered : int;
   mutable ingress_forwarded : int;
   mutable dropped : int;
+}
+
+(* Per-router series in the default registry, labeled by AID. *)
+type obs = {
+  aid_label : (string * string) list;
+  m_egress_ok : M.Counter.m;
+  m_delivered : M.Counter.m;
+  m_forwarded : M.Counter.m;
 }
 
 type t = {
@@ -15,9 +25,11 @@ type t = {
   stats : counters;
   drops_by_reason : (string, int) Hashtbl.t;
   audit : Audit.t option;
+  obs : obs;
 }
 
-let create ~keys ~host_info ~revoked ~topology ?audit () =
+let create ~(keys : Keys.as_keys) ~host_info ~revoked ~topology ?audit () =
+  let aid_label = [ ("aid", string_of_int (Addr.aid_to_int keys.aid)) ] in
   {
     keys;
     host_info;
@@ -26,6 +38,22 @@ let create ~keys ~host_info ~revoked ~topology ?audit () =
     stats = { egress_ok = 0; ingress_delivered = 0; ingress_forwarded = 0; dropped = 0 };
     drops_by_reason = Hashtbl.create 8;
     audit;
+    obs =
+      {
+        aid_label;
+        m_egress_ok =
+          M.Counter.register M.default ~labels:aid_label
+            ~help:"Egress packets that passed the Fig. 4 pipeline"
+            "apna_br_egress_ok_total";
+        m_delivered =
+          M.Counter.register M.default ~labels:aid_label
+            ~help:"Ingress packets delivered to a local host"
+            "apna_br_ingress_delivered_total";
+        m_forwarded =
+          M.Counter.register M.default ~labels:aid_label
+            ~help:"Transit packets forwarded to the next AS"
+            "apna_br_ingress_forwarded_total";
+      };
   }
 
 let counters t = t.stats
@@ -36,6 +64,14 @@ let drop t e =
   let label = Error.kind_label e in
   Hashtbl.replace t.drops_by_reason label
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.drops_by_reason label));
+  (* Reason-labeled series registered on demand; the registry lookup is
+     skipped entirely while observability is off. *)
+  if M.enabled M.default then
+    M.Counter.incr
+      (M.Counter.register M.default
+         ~labels:(("reason", label) :: t.obs.aid_label)
+         ~help:"Packets dropped by the border router, by reason"
+         "apna_br_drops_total");
   Error e
 
 let drop_reasons t =
@@ -61,7 +97,7 @@ let check_ephid t ~now raw =
           end
     end
 
-let egress_check t ~now (pkt : Packet.t) =
+let egress_pipeline t ~now (pkt : Packet.t) =
   if not (Addr.aid_equal pkt.header.src_aid t.keys.aid) then
     drop t (Error.Malformed "egress: foreign source AID")
   else begin
@@ -70,6 +106,7 @@ let egress_check t ~now (pkt : Packet.t) =
     | Ok (info, entry) ->
         if Pkt_auth.verify ~auth_key:entry.kha.auth pkt then begin
           t.stats.egress_ok <- t.stats.egress_ok + 1;
+          M.Counter.incr t.obs.m_egress_ok;
           (* Data retention (§VIII-H): the packet's MAC doubles as its
              digest — unique per authenticated packet. *)
           Option.iter
@@ -84,14 +121,21 @@ let egress_check t ~now (pkt : Packet.t) =
         else drop t Error.Bad_mac
   end
 
+let egress_check t ~now (pkt : Packet.t) =
+  let sp = Span.start_for Span.default ~id:pkt.header.mac ~stage:"br.egress" in
+  let r = egress_pipeline t ~now pkt in
+  Span.finish Span.default sp;
+  r
+
 type ingress_decision = Deliver of Addr.hid | Forward of Addr.aid
 
-let ingress_check t ~now (pkt : Packet.t) =
+let ingress_pipeline t ~now (pkt : Packet.t) =
   if Addr.aid_equal pkt.header.dst_aid t.keys.aid then begin
     match check_ephid t ~now pkt.header.dst_ephid with
     | Error e -> drop t e
     | Ok (info, _entry) ->
         t.stats.ingress_delivered <- t.stats.ingress_delivered + 1;
+        M.Counter.incr t.obs.m_delivered;
         Ok (Deliver info.hid)
   end
   else begin
@@ -100,6 +144,13 @@ let ingress_check t ~now (pkt : Packet.t) =
     with
     | Some hop ->
         t.stats.ingress_forwarded <- t.stats.ingress_forwarded + 1;
+        M.Counter.incr t.obs.m_forwarded;
         Ok (Forward hop)
     | None -> drop t Error.No_route
   end
+
+let ingress_check t ~now (pkt : Packet.t) =
+  let sp = Span.start_for Span.default ~id:pkt.header.mac ~stage:"br.ingress" in
+  let r = ingress_pipeline t ~now pkt in
+  Span.finish Span.default sp;
+  r

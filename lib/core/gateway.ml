@@ -1,4 +1,5 @@
 open Apna_net
+module M = Apna_obs.Metrics
 
 let ethertype_ipv4 = 0x0800
 let virtual_pool_base = 0x0ac80001 (* 10.200.0.1 *)
@@ -16,8 +17,16 @@ module I64_tbl = Hashtbl.Make (struct
   let hash = Hashtbl.hash
 end)
 
+(* Per-gateway series in the default registry, labeled by gateway name. *)
+type obs = {
+  m_flows : M.Counter.m;
+  m_tunnel_rx : M.Counter.m;
+  m_tunnel_tx : M.Counter.m;
+}
+
 type t = {
   gw_name : string;
+  obs : obs;
   host : Host.t;
   (* Client side: server IPv4 -> APNA destination. *)
   dst_map : Dns_service.Record.t Addr.Hid_tbl.t;
@@ -35,9 +44,25 @@ type t = {
 }
 
 let rec create ~name ~rng =
+  let labels = [ ("gateway", name) ] in
   let t =
     {
       gw_name = name;
+      obs =
+        {
+          m_flows =
+            M.Counter.register M.default ~labels
+              ~help:"Legacy IPv4 flows mapped onto APNA sessions"
+              "apna_gw_flows_opened_total";
+          m_tunnel_rx =
+            M.Counter.register M.default ~labels
+              ~help:"GRE frames decapsulated from the APNA tunnel"
+              "apna_gw_tunnel_frames_rx_total";
+          m_tunnel_tx =
+            M.Counter.register M.default ~labels
+              ~help:"GRE frames encapsulated into the APNA tunnel"
+              "apna_gw_tunnel_frames_tx_total";
+        };
       host = Host.create ~name ~rng ();
       dst_map = Addr.Hid_tbl.create 8;
       flows = Hashtbl.create 8;
@@ -78,6 +103,7 @@ and handle_tunnel_data t session data =
   match decode_tunnel data with
   | Error e -> Logs.debug (fun m -> m "%s: %s" t.gw_name e)
   | Ok inner -> begin
+      M.Counter.incr t.obs.m_tunnel_rx;
       match Ipv4_header.of_bytes inner with
       | Error e -> Logs.debug (fun m -> m "%s: inner ipv4: %s" t.gw_name e)
       | Ok header -> begin
@@ -164,6 +190,7 @@ and server_side_input t bytes (header : Ipv4_header.t) =
           with
           | Error e -> Logs.debug (fun m -> m "%s: rewrite: %s" t.gw_name e)
           | Ok rewritten -> begin
+              M.Counter.incr t.obs.m_tunnel_tx;
               match Host.send t.host session (encode_tunnel rewritten) with
               | Ok () -> ()
               | Error e -> Logs.debug (fun m -> m "%s: send: %a" t.gw_name Error.pp e)
@@ -174,6 +201,7 @@ and server_side_input t bytes (header : Ipv4_header.t) =
 and client_side_input t bytes (header : Ipv4_header.t) =
   let key = (Addr.hid_to_int header.src, Addr.hid_to_int header.dst) in
   let tunnel = encode_tunnel bytes in
+  M.Counter.incr t.obs.m_tunnel_tx;
   match Hashtbl.find_opt t.flows key with
   | Some flow -> flow_send t flow tunnel
   | None -> begin
@@ -186,6 +214,7 @@ and client_side_input t bytes (header : Ipv4_header.t) =
              Host default) and 0-RTT carry of the first packet. *)
           let flow = { session = None; backlog = Queue.create () } in
           Hashtbl.replace t.flows key flow;
+          M.Counter.incr t.obs.m_flows;
           Host.connect t.host ~remote:record.cert ~data0:tunnel
             ~expect_accept:record.receive_only (fun session ->
               flow.session <- Some session;

@@ -49,8 +49,14 @@ type t = {
 
 let create ?(seed = "apna-network") ?(epoch = 1_750_000_000)
     ?(transport = Native) () =
+  let engine = Apna_sim.Engine.create () in
+  (* Trace spans recorded inside this simulation should carry simulated
+     time, not wall time. Last network created wins, like the engine
+     gauges — one live simulation per process is the norm. *)
+  Apna_obs.Span.set_clock Apna_obs.Span.default (fun () ->
+      Apna_sim.Engine.now engine);
   {
-    engine = Apna_sim.Engine.create ();
+    engine;
     topology = Topology.create ();
     trust = Trust.create ();
     rng = Apna_crypto.Drbg.create ~seed;
@@ -129,6 +135,7 @@ let add_as t as_number ?dns_zone ?retention ?icmp_encryption () =
                  })
           end
           else begin
+            Link.observe_transit ~bytes:wire_bytes;
             let serialization =
               float_of_int (8 * wire_bytes) /. link.Link.capacity_bps
             in

@@ -1,8 +1,22 @@
 open Apna_crypto
+module M = Apna_obs.Metrics
+
+let m_built =
+  M.Counter.register M.default "apna_shutoff_requests_built_total"
+    ~help:"Shutoff requests constructed by victims"
+
+let m_parsed =
+  M.Counter.register M.default "apna_shutoff_requests_parsed_total"
+    ~help:"Shutoff requests successfully parsed by an accountability agent"
+
+let m_rejected =
+  M.Counter.register M.default "apna_shutoff_parse_errors_total"
+    ~help:"Malformed shutoff requests rejected at parse time"
 
 let make_request ~packet ~(dst_cert : Cert.t) ~(dst_keys : Keys.ephid_keys) =
   if dst_cert.sig_pub <> Ed25519.public_key dst_keys.sig_keypair then
     invalid_arg "Shutoff.make_request: certificate/key mismatch";
+  M.Counter.incr m_built;
   let packet_bytes = Apna_net.Packet.to_bytes packet in
   Msgs.Shutoff_request
     {
@@ -17,14 +31,21 @@ type parsed = {
   cert : Cert.t;
 }
 
-let parse_request = function
-  | Msgs.Shutoff_request { packet; signature; cert } -> begin
-      match Apna_net.Packet.of_bytes packet with
-      | Error e -> Error (Error.Malformed ("shutoff packet: " ^ e))
-      | Ok pkt -> begin
-          match Cert.of_bytes cert with
-          | Error e -> Error e
-          | Ok cert -> Ok { packet = pkt; signature; cert }
-        end
-    end
-  | _ -> Error (Error.Malformed "expected a shutoff request")
+let parse_request msg =
+  let r =
+    match msg with
+    | Msgs.Shutoff_request { packet; signature; cert } -> begin
+        match Apna_net.Packet.of_bytes packet with
+        | Error e -> Error (Error.Malformed ("shutoff packet: " ^ e))
+        | Ok pkt -> begin
+            match Cert.of_bytes cert with
+            | Error e -> Error e
+            | Ok cert -> Ok { packet = pkt; signature; cert }
+          end
+      end
+    | _ -> Error (Error.Malformed "expected a shutoff request")
+  in
+  (match r with
+  | Ok _ -> M.Counter.incr m_parsed
+  | Error _ -> M.Counter.incr m_rejected);
+  r

@@ -1,3 +1,13 @@
+module M = Apna_obs.Metrics
+
+let m_transits =
+  M.Counter.register M.default "apna_net_link_transits_total"
+    ~help:"Frames placed on inter-AS links"
+
+let m_bytes =
+  M.Counter.register M.default "apna_net_link_bytes_total"
+    ~help:"Wire bytes placed on inter-AS links"
+
 type t = { capacity_bps : float; propagation_s : float; mtu : int }
 
 let make ?(capacity_gbps = 10.0) ?(propagation_ms = 5.0) ?(mtu = 1500) () =
@@ -11,3 +21,9 @@ let make ?(capacity_gbps = 10.0) ?(propagation_ms = 5.0) ?(mtu = 1500) () =
 
 let transit_delay t ~bytes =
   t.propagation_s +. (float_of_int (8 * bytes) /. t.capacity_bps)
+
+(* Called once per frame by the network layer when it commits a frame to a
+   link — not from [transit_delay], which path estimators call repeatedly. *)
+let observe_transit ~bytes =
+  M.Counter.incr m_transits;
+  M.Counter.incr ~by:bytes m_bytes

@@ -7,3 +7,9 @@ val make : ?capacity_gbps:float -> ?propagation_ms:float -> ?mtu:int -> unit -> 
 
 val transit_delay : t -> bytes:int -> float
 (** Serialization plus propagation delay for a frame of [bytes] bytes. *)
+
+val observe_transit : bytes:int -> unit
+(** Count one committed frame in the default metrics registry
+    ([apna_net_link_transits_total] / [apna_net_link_bytes_total]); the
+    network layer calls this when it actually schedules a frame. No-op
+    while observability is disabled. *)

@@ -1,0 +1,52 @@
+(** Online statistical accumulators shared by the simulator and the
+    observability layer: counters, mean/variance accumulators (Welford),
+    and fixed-bucket histograms with percentile estimates.
+
+    These used to live in [Apna_sim.Stats]; that module now re-exports
+    them unchanged, so simulator code keeps its API while [Apna_obs]
+    builds the metrics registry on the same primitives. *)
+
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val total : t -> float
+  val mean : t -> float
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+end
+
+module Hist : sig
+  type t
+
+  val create : ?buckets:int -> lo:float -> hi:float -> unit -> t
+  (** Linear-bucket histogram over [\[lo, hi\]]; out-of-range samples clamp
+      to the edge buckets. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+
+  val sum : t -> float
+  (** Sum of the raw (unclamped) samples. *)
+
+  val mean : t -> float
+  (** Mean of the raw samples; [nan] when empty. *)
+
+  val lo : t -> float
+  val hi : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t 0.99] estimates the p99 by linear interpolation within
+      the bucket. Returns [nan] when empty. *)
+end
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : ?by:int -> t -> unit
+  val value : t -> int
+end

@@ -1,0 +1,31 @@
+(** Minimal JSON document model with a renderer and a strict parser.
+
+    The container ships no JSON library, so the observability exports
+    ([Metrics.to_json], [BENCH_results.json]) carry their own codec. Floats
+    that have no JSON representation (nan, infinities) render as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Render. [pretty] (default false) adds newlines and two-space indents. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete document; trailing non-whitespace is an
+    error. Numbers with a fraction, exponent, or out-of-[int]-range
+    magnitude become [Float]. *)
+
+(* Accessors, for tests and smoke checks. *)
+
+val member : string -> t -> t option
+(** [member k (Obj _)] is the value bound to the first [k]; [None]
+    otherwise. *)
+
+val number : t -> float option
+(** [Int] or [Float] payload as a float. *)

@@ -1,0 +1,88 @@
+(** Metrics registry: named counters, gauges and histograms with labels.
+
+    A registry starts {e disabled}: every recording call is a single mutable
+    load and branch, so instrumented hot paths (border router, simulation
+    engine) pay near-zero cost until someone turns observability on with
+    [set_enabled]. Registration is independent of the enabled state —
+    handles are cheap and permanent.
+
+    Metric identity is the pair (name, sorted label set). Registering the
+    same identity twice returns the same underlying metric, so independent
+    modules can share a series. Naming follows the scrape-format
+    conventions: [apna_<component>_<what>_total] for counters,
+    [apna_<component>_<what>] for gauges, unit-suffixed histogram names
+    ([..._ns], [..._seconds]). See docs/OBSERVABILITY.md for the catalog. *)
+
+type t
+(** A registry. *)
+
+val create : ?enabled:bool -> unit -> t
+(** Fresh registry; [enabled] defaults to [false]. *)
+
+val default : t
+(** Process-wide registry all built-in instrumentation records into.
+    Disabled until [set_enabled default true]. *)
+
+val set_enabled : t -> bool -> unit
+val enabled : t -> bool
+
+type labels = (string * string) list
+(** Label pairs; order is irrelevant (they are sorted on registration). *)
+
+module Counter : sig
+  type m
+
+  val register : t -> ?help:string -> ?labels:labels -> string -> m
+  val incr : ?by:int -> m -> unit
+  (** No-op while the owning registry is disabled. *)
+
+  val value : m -> int
+end
+
+module Gauge : sig
+  type m
+
+  val register : t -> ?help:string -> ?labels:labels -> string -> m
+  val set : m -> float -> unit
+  val add : m -> float -> unit
+  (** Both no-ops while the owning registry is disabled. *)
+
+  val value : m -> float
+end
+
+module Histogram : sig
+  type m
+
+  val register :
+    t ->
+    ?help:string ->
+    ?labels:labels ->
+    ?buckets:int ->
+    lo:float ->
+    hi:float ->
+    string ->
+    m
+  (** Linear buckets over [\[lo, hi\]] (see {!Accum.Hist}); samples outside
+      clamp to the edges but still count toward sum and count. *)
+
+  val observe : m -> float -> unit
+  (** No-op while the owning registry is disabled. *)
+
+  val count : m -> int
+  val mean : m -> float
+  val percentile : m -> float -> float
+end
+
+val render_text : t -> string
+(** Scrape-style exposition: [# HELP]/[# TYPE] comments, one
+    [name{label="v",...} value] line per series; histograms render as
+    summaries with p50/p90/p99 quantile lines plus [_sum]/[_count]. *)
+
+val to_json : t -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {...}}], keyed by
+    [name{label="v",...}]; histograms carry count/mean/min-percentile
+    fields. NaN (empty histogram) renders as [null]. *)
+
+val summary_line : t -> string
+(** One human line: series counts and total counter events — what
+    examples print at exit. *)

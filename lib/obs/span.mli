@@ -1,0 +1,71 @@
+(** Lightweight trace spans with a ring-buffer sink.
+
+    A span is a (key, stage, t0, t1) record: [key] identifies the packet or
+    flow being traced (hash a packet MAC or a connection id with
+    {!key_of_string}), [stage] names the pipeline step ("host.encrypt",
+    "br.egress", "as.deliver", ...). Finished spans land in a fixed-capacity
+    ring buffer, so a single packet's path through the system can be
+    reconstructed with {!by_key} and per-stage timing summarized with
+    {!stage_summary} — without unbounded memory.
+
+    Like {!Metrics}, a sink starts disabled; [start]/[finish]/[record] are
+    then a load-and-branch, [start] returns {!none} without reading the
+    clock, and nothing is stored. The sink's clock defaults to [Sys.time];
+    the simulator points it at simulated time. *)
+
+type sink
+
+val create_sink : ?capacity:int -> ?enabled:bool -> unit -> sink
+(** Ring capacity defaults to 4096 finished spans; [enabled] to false. *)
+
+val default : sink
+(** Process-wide sink the built-in instrumentation uses. *)
+
+val set_enabled : sink -> bool -> unit
+val enabled : sink -> bool
+
+val set_clock : sink -> (unit -> float) -> unit
+(** Clock used by [start]/[finish]. Only consulted while enabled. *)
+
+type record = {
+  key : int64;
+  stage : string;
+  t0 : float;
+  t1 : float;
+  seq : int;  (** Global finish order, for deterministic reconstruction. *)
+}
+
+type span
+(** An open span. *)
+
+val none : span
+(** Inert span; finishing it is a no-op. [start] returns it when the sink
+    is disabled. *)
+
+val start : sink -> key:int64 -> stage:string -> span
+val start_for : sink -> id:string -> stage:string -> span
+(** [start_for] hashes [id] with {!key_of_string} — but only when the sink
+    is enabled, so hot paths pay nothing while tracing is off. *)
+
+val finish : sink -> span -> unit
+
+val record : sink -> key:int64 -> stage:string -> t0:float -> t1:float -> unit
+(** Directly append a finished span (explicit timestamps). *)
+
+val key_of_string : string -> int64
+(** FNV-1a 64-bit hash, for deriving span keys from packet MACs or names. *)
+
+val recorded : sink -> int
+(** Total spans ever finished into the sink (may exceed capacity). *)
+
+val to_list : sink -> record list
+(** Retained spans, oldest first (at most [capacity]). *)
+
+val by_key : sink -> int64 -> record list
+(** Retained spans for one key, in finish order — a packet's path. *)
+
+val stage_summary : sink -> (string * int * float) list
+(** Per-stage (name, span count, mean duration) over retained spans,
+    sorted by name. *)
+
+val clear : sink -> unit

@@ -1,3 +1,21 @@
+(* Engine-level observability: shared series in the default registry (an
+   engine has no stable identity to label by; with several engines the
+   gauges are last-writer-wins, the counter aggregates). Recording is a
+   load-and-branch while the registry is disabled. *)
+module M = Apna_obs.Metrics
+
+let m_events =
+  M.Counter.register M.default "apna_sim_events_total"
+    ~help:"Events processed by the discrete-event engine"
+
+let m_queue =
+  M.Gauge.register M.default "apna_sim_queue_depth"
+    ~help:"Pending events in the engine heap"
+
+let m_clock =
+  M.Gauge.register M.default "apna_sim_clock_seconds"
+    ~help:"Current simulated time"
+
 type event = { time : float; seq : int; action : unit -> unit }
 
 (* Binary min-heap on (time, seq). *)
@@ -70,6 +88,9 @@ let step t =
   else begin
     let ev = pop t in
     t.clock <- ev.time;
+    M.Counter.incr m_events;
+    M.Gauge.set m_queue (float_of_int t.size);
+    M.Gauge.set m_clock ev.time;
     ev.action ();
     true
   end

@@ -1,85 +1,7 @@
-module Acc = struct
-  type t = {
-    mutable n : int;
-    mutable mean : float;
-    mutable m2 : float;
-    mutable total : float;
-    mutable min_v : float;
-    mutable max_v : float;
-  }
+(* The accumulators moved to [Apna_obs.Accum] so the observability layer
+   (metrics registry, bench export) can build on the same primitives without
+   depending on the simulator; this module keeps the historical API. *)
 
-  let create () =
-    { n = 0; mean = 0.0; m2 = 0.0; total = 0.0; min_v = infinity; max_v = neg_infinity }
-
-  let add t x =
-    t.n <- t.n + 1;
-    t.total <- t.total +. x;
-    let delta = x -. t.mean in
-    t.mean <- t.mean +. (delta /. float_of_int t.n);
-    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
-    if x < t.min_v then t.min_v <- x;
-    if x > t.max_v then t.max_v <- x
-
-  let count t = t.n
-  let total t = t.total
-  let mean t = if t.n = 0 then nan else t.mean
-  let stddev t = if t.n < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.n - 1))
-  let min t = t.min_v
-  let max t = t.max_v
-end
-
-module Hist = struct
-  type t = {
-    lo : float;
-    hi : float;
-    buckets : int array;
-    mutable n : int;
-  }
-
-  let create ?(buckets = 256) ~lo ~hi () =
-    if hi <= lo then invalid_arg "Hist.create: empty range";
-    { lo; hi; buckets = Array.make buckets 0; n = 0 }
-
-  let bucket_of t x =
-    let k = Array.length t.buckets in
-    let i = int_of_float (float_of_int k *. ((x -. t.lo) /. (t.hi -. t.lo))) in
-    if i < 0 then 0 else if i >= k then k - 1 else i
-
-  let add t x =
-    let i = bucket_of t x in
-    t.buckets.(i) <- t.buckets.(i) + 1;
-    t.n <- t.n + 1
-
-  let count t = t.n
-
-  let percentile t p =
-    if t.n = 0 then nan
-    else begin
-      let target = p *. float_of_int t.n in
-      let k = Array.length t.buckets in
-      let width = (t.hi -. t.lo) /. float_of_int k in
-      let rec scan i acc =
-        if i >= k then t.hi
-        else begin
-          let acc' = acc +. float_of_int t.buckets.(i) in
-          if acc' >= target then begin
-            let frac =
-              if t.buckets.(i) = 0 then 0.0
-              else (target -. acc) /. float_of_int t.buckets.(i)
-            in
-            t.lo +. (width *. (float_of_int i +. frac))
-          end
-          else scan (i + 1) acc'
-        end
-      in
-      scan 0 0.0
-    end
-end
-
-module Counter = struct
-  type t = { mutable v : int }
-
-  let create () = { v = 0 }
-  let incr ?(by = 1) t = t.v <- t.v + by
-  let value t = t.v
-end
+module Acc = Apna_obs.Accum.Acc
+module Hist = Apna_obs.Accum.Hist
+module Counter = Apna_obs.Accum.Counter

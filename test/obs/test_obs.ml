@@ -1,0 +1,240 @@
+(* Tests for the observability subsystem: metrics registry, JSON codec and
+   trace-span ring buffer. Everything here uses private registries/sinks so
+   the default instances other suites may touch stay untouched. *)
+
+open Apna_obs
+
+let qtest ?(count = 200) name gen f =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen f)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let metrics_tests =
+  [
+    Alcotest.test_case "counters record only while enabled" `Quick (fun () ->
+        let r = Metrics.create () in
+        let c = Metrics.Counter.register r "t_total" in
+        Metrics.Counter.incr c;
+        Alcotest.(check int) "disabled: dropped" 0 (Metrics.Counter.value c);
+        Metrics.set_enabled r true;
+        Metrics.Counter.incr c;
+        Metrics.Counter.incr ~by:5 c;
+        Alcotest.(check int) "enabled: counted" 6 (Metrics.Counter.value c);
+        Metrics.set_enabled r false;
+        Metrics.Counter.incr c;
+        Alcotest.(check int) "re-disabled: dropped" 6 (Metrics.Counter.value c));
+    Alcotest.test_case "gauges set and add" `Quick (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        let g = Metrics.Gauge.register r "t_depth" in
+        Metrics.Gauge.set g 3.0;
+        Metrics.Gauge.add g 1.5;
+        Alcotest.(check (float 1e-9)) "value" 4.5 (Metrics.Gauge.value g));
+    Alcotest.test_case "same (name, labels) shares the series" `Quick (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        let a =
+          Metrics.Counter.register r ~labels:[ ("x", "1"); ("y", "2") ] "t_total"
+        in
+        (* Label order must not matter. *)
+        let b =
+          Metrics.Counter.register r ~labels:[ ("y", "2"); ("x", "1") ] "t_total"
+        in
+        Metrics.Counter.incr a;
+        Metrics.Counter.incr b;
+        Alcotest.(check int) "shared" 2 (Metrics.Counter.value a));
+    Alcotest.test_case "different labels are distinct series" `Quick (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        let a = Metrics.Counter.register r ~labels:[ ("x", "1") ] "t_total" in
+        let b = Metrics.Counter.register r ~labels:[ ("x", "2") ] "t_total" in
+        Metrics.Counter.incr a;
+        Alcotest.(check int) "a" 1 (Metrics.Counter.value a);
+        Alcotest.(check int) "b" 0 (Metrics.Counter.value b));
+    Alcotest.test_case "histogram summarizes samples" `Quick (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        let h = Metrics.Histogram.register r ~lo:0.0 ~hi:100.0 "t_ns" in
+        for i = 1 to 100 do
+          Metrics.Histogram.observe h (float_of_int i)
+        done;
+        Alcotest.(check int) "count" 100 (Metrics.Histogram.count h);
+        Alcotest.(check (float 1e-6)) "mean" 50.5 (Metrics.Histogram.mean h);
+        let p50 = Metrics.Histogram.percentile h 0.5 in
+        Alcotest.(check bool) "p50 near 50" true (abs_float (p50 -. 50.0) < 2.0));
+    Alcotest.test_case "render_text carries HELP, TYPE and labels" `Quick
+      (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        let c =
+          Metrics.Counter.register r ~help:"What it counts"
+            ~labels:[ ("aid", "64500") ]
+            "apna_t_total"
+        in
+        Metrics.Counter.incr c;
+        let text = Metrics.render_text r in
+        let has needle =
+          let nl = String.length needle and tl = String.length text in
+          let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "help" true (has "# HELP apna_t_total What it counts");
+        Alcotest.(check bool) "type" true (has "# TYPE apna_t_total counter");
+        Alcotest.(check bool) "series" true (has "apna_t_total{aid=\"64500\"} 1"));
+    Alcotest.test_case "to_json round-trips through the parser" `Quick (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        Metrics.Counter.incr
+          (Metrics.Counter.register r ~labels:[ ("k", "v") ] "t_total");
+        Metrics.Gauge.set (Metrics.Gauge.register r "t_depth") 2.5;
+        let h = Metrics.Histogram.register r ~lo:0.0 ~hi:10.0 "t_ns" in
+        Metrics.Histogram.observe h 3.0;
+        let text = Json.to_string ~pretty:true (Metrics.to_json r) in
+        match Json.parse text with
+        | Error e -> Alcotest.failf "parse: %s" e
+        | Ok doc ->
+            let counters = Option.get (Json.member "counters" doc) in
+            (match Json.member "t_total{k=\"v\"}" counters with
+            | Some (Json.Int 1) -> ()
+            | _ -> Alcotest.fail "counter value lost");
+            let hists = Option.get (Json.member "histograms" doc) in
+            let hj = Option.get (Json.member "t_ns" hists) in
+            Alcotest.(check (float 1e-9))
+              "hist count" 1.0
+              (Option.get (Json.number (Option.get (Json.member "count" hj)))));
+    Alcotest.test_case "empty-histogram JSON renders nan as null" `Quick
+      (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        ignore (Metrics.Histogram.register r ~lo:0.0 ~hi:1.0 "t_ns");
+        match Json.parse (Json.to_string (Metrics.to_json r)) with
+        | Error e -> Alcotest.failf "parse: %s" e
+        | Ok _ -> ());
+    Alcotest.test_case "summary_line mentions series and events" `Quick
+      (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        Metrics.Counter.incr ~by:7 (Metrics.Counter.register r "t_total");
+        let line = Metrics.summary_line r in
+        Alcotest.(check bool) "non-empty" true (String.length line > 0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec *)
+
+let json_tests =
+  [
+    Alcotest.test_case "renders atoms" `Quick (fun () ->
+        Alcotest.(check string) "null" "null" (Json.to_string Json.Null);
+        Alcotest.(check string) "true" "true" (Json.to_string (Json.Bool true));
+        Alcotest.(check string) "int" "-42" (Json.to_string (Json.Int (-42)));
+        Alcotest.(check string) "nan is null" "null"
+          (Json.to_string (Json.Float nan));
+        Alcotest.(check string) "inf is null" "null"
+          (Json.to_string (Json.Float infinity));
+        Alcotest.(check string) "escapes" "\"a\\\"b\\n\""
+          (Json.to_string (Json.Str "a\"b\n")));
+    Alcotest.test_case "parses documents" `Quick (fun () ->
+        match Json.parse " {\"a\": [1, 2.5, \"x\", null, true], \"b\": {}} " with
+        | Error e -> Alcotest.failf "parse: %s" e
+        | Ok doc -> begin
+            match Json.member "a" doc with
+            | Some (Json.List [ Json.Int 1; Json.Float f; Json.Str "x"; Json.Null; Json.Bool true ]) ->
+                Alcotest.(check (float 1e-9)) "2.5" 2.5 f
+            | _ -> Alcotest.fail "wrong shape"
+          end);
+    Alcotest.test_case "parses escapes and unicode" `Quick (fun () ->
+        match Json.parse {|"é\t\\"|} with
+        | Ok (Json.Str s) -> Alcotest.(check string) "utf8" "\xc3\xa9\t\\" s
+        | Ok _ -> Alcotest.fail "not a string"
+        | Error e -> Alcotest.failf "parse: %s" e);
+    Alcotest.test_case "rejects malformed documents" `Quick (fun () ->
+        List.iter
+          (fun input ->
+            match Json.parse input with
+            | Ok _ -> Alcotest.failf "accepted %S" input
+            | Error _ -> ())
+          [ ""; "{"; "[1,]"; "{\"a\" 1}"; "tru"; "1 2"; "\"unterminated"; "nan" ]);
+    qtest "int round trip" QCheck2.Gen.int (fun i ->
+        Json.parse (Json.to_string (Json.Int i)) = Ok (Json.Int i));
+    qtest "string round trip" QCheck2.Gen.string (fun s ->
+        Json.parse (Json.to_string (Json.Str s)) = Ok (Json.Str s));
+    qtest "finite float round trip" ~count:500
+      QCheck2.Gen.(float_range (-1e15) 1e15)
+      (fun f ->
+        match Json.parse (Json.to_string (Json.Float f)) with
+        | Ok (Json.Float g) -> g = f
+        | Ok (Json.Int n) -> float_of_int n = f
+        | _ -> false);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+let span_tests =
+  [
+    Alcotest.test_case "records a packet's path in order" `Quick (fun () ->
+        let s = Span.create_sink ~enabled:true () in
+        let t = ref 0.0 in
+        Span.set_clock s (fun () -> !t);
+        let key = Span.key_of_string "mac-bytes" in
+        List.iter
+          (fun stage ->
+            let sp = Span.start s ~key ~stage in
+            t := !t +. 1.0;
+            Span.finish s sp)
+          [ "host.encrypt"; "br.egress"; "br.ingress"; "as.deliver" ];
+        (* An unrelated packet interleaved in the ring. *)
+        Span.record s ~key:(Span.key_of_string "other") ~stage:"br.egress"
+          ~t0:0.0 ~t1:0.1;
+        let path = Span.by_key s key in
+        Alcotest.(check (list string))
+          "stages in finish order"
+          [ "host.encrypt"; "br.egress"; "br.ingress"; "as.deliver" ]
+          (List.map (fun (r : Span.record) -> r.stage) path);
+        List.iter
+          (fun (r : Span.record) ->
+            Alcotest.(check (float 1e-9)) "duration" 1.0 (r.t1 -. r.t0))
+          path);
+    Alcotest.test_case "disabled sink stores nothing, reads no clock" `Quick
+      (fun () ->
+        let s = Span.create_sink () in
+        Span.set_clock s (fun () -> Alcotest.fail "clock read while disabled");
+        let sp = Span.start s ~key:1L ~stage:"x" in
+        Span.finish s sp;
+        Span.record s ~key:1L ~stage:"x" ~t0:0.0 ~t1:1.0;
+        Alcotest.(check int) "empty" 0 (Span.recorded s);
+        Alcotest.(check bool) "start is none" true (sp == Span.none));
+    Alcotest.test_case "ring keeps only the newest spans" `Quick (fun () ->
+        let s = Span.create_sink ~capacity:4 ~enabled:true () in
+        for i = 1 to 10 do
+          Span.record s ~key:(Int64.of_int i) ~stage:"st" ~t0:0.0 ~t1:1.0
+        done;
+        Alcotest.(check int) "all recorded" 10 (Span.recorded s);
+        let kept = Span.to_list s in
+        Alcotest.(check int) "capacity retained" 4 (List.length kept);
+        Alcotest.(check (list int))
+          "newest, oldest first" [ 7; 8; 9; 10 ]
+          (List.map (fun (r : Span.record) -> Int64.to_int r.key) kept));
+    Alcotest.test_case "stage_summary aggregates by stage" `Quick (fun () ->
+        let s = Span.create_sink ~enabled:true () in
+        Span.record s ~key:1L ~stage:"b" ~t0:0.0 ~t1:2.0;
+        Span.record s ~key:2L ~stage:"b" ~t0:0.0 ~t1:4.0;
+        Span.record s ~key:3L ~stage:"a" ~t0:0.0 ~t1:1.0;
+        match Span.stage_summary s with
+        | [ ("a", 1, m_a); ("b", 2, m_b) ] ->
+            Alcotest.(check (float 1e-9)) "a mean" 1.0 m_a;
+            Alcotest.(check (float 1e-9)) "b mean" 3.0 m_b
+        | other -> Alcotest.failf "unexpected summary (%d stages)" (List.length other));
+    Alcotest.test_case "clear resets retention, not identity" `Quick (fun () ->
+        let s = Span.create_sink ~enabled:true () in
+        Span.record s ~key:1L ~stage:"x" ~t0:0.0 ~t1:1.0;
+        Span.clear s;
+        Alcotest.(check int) "nothing retained" 0 (List.length (Span.to_list s)));
+    Alcotest.test_case "key_of_string is deterministic and spreads" `Quick
+      (fun () ->
+        Alcotest.(check bool) "equal inputs" true
+          (Span.key_of_string "abc" = Span.key_of_string "abc");
+        Alcotest.(check bool) "distinct inputs" false
+          (Span.key_of_string "abc" = Span.key_of_string "abd");
+        (* FNV-1a of the empty string is the offset basis. *)
+        Alcotest.(check int64) "offset basis" 0xcbf29ce484222325L
+          (Span.key_of_string ""));
+  ]
+
+let () =
+  Alcotest.run "apna_obs"
+    [ ("metrics", metrics_tests); ("json", json_tests); ("spans", span_tests) ]

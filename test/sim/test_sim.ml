@@ -70,6 +70,20 @@ let engine_tests =
         Engine.run e;
         let fired = List.rev !fired in
         List.sort compare times = fired);
+    Alcotest.test_case "schedule at exactly now is accepted" `Quick (fun () ->
+        let e = Engine.create () in
+        let log = ref [] in
+        Engine.schedule e ~at:2.0 (fun () ->
+            (* From inside an event at t=2, t=2 is not "the past": a packet
+               may trigger a same-instant follow-up. Ties still fire in
+               scheduling order after the current event. *)
+            Engine.schedule e ~at:(Engine.now e) (fun () -> log := "b" :: !log);
+            Engine.schedule e ~at:(Engine.now e) (fun () -> log := "c" :: !log);
+            log := "a" :: !log);
+        Engine.run e;
+        Alcotest.(check (list string)) "same-instant fifo" [ "a"; "b"; "c" ]
+          (List.rev !log);
+        Alcotest.(check (float 1e-9)) "clock unmoved" 2.0 (Engine.now e));
     Alcotest.test_case "pending counts queued events" `Quick (fun () ->
         let e = Engine.create () in
         Engine.schedule e ~at:1.0 ignore;
@@ -152,6 +166,36 @@ let stats_tests =
     Alcotest.test_case "empty histogram percentile is nan" `Quick (fun () ->
         let h = Stats.Hist.create ~lo:0.0 ~hi:1.0 () in
         Alcotest.(check bool) "nan" true (Float.is_nan (Stats.Hist.percentile h 0.5)));
+    Alcotest.test_case "single-sample percentiles" `Quick (fun () ->
+        let h = Stats.Hist.create ~buckets:10 ~lo:0.0 ~hi:10.0 () in
+        Stats.Hist.add h 4.0;
+        List.iter
+          (fun p ->
+            let v = Stats.Hist.percentile h p in
+            Alcotest.(check bool)
+              (Printf.sprintf "p%.0f in sample's bucket" (p *. 100.0))
+              true
+              (4.0 <= v && v <= 5.0))
+          [ 0.01; 0.5; 1.0 ]);
+    Alcotest.test_case "clamped samples pin percentiles to the edges" `Quick
+      (fun () ->
+        let h = Stats.Hist.create ~buckets:10 ~lo:0.0 ~hi:10.0 () in
+        Stats.Hist.add h (-100.0);
+        Stats.Hist.add h 1000.0;
+        let p0 = Stats.Hist.percentile h 0.01 in
+        let p99 = Stats.Hist.percentile h 0.99 in
+        Alcotest.(check bool) "low edge" true (0.0 <= p0 && p0 <= 1.0);
+        Alcotest.(check bool) "high edge" true (9.0 <= p99 && p99 <= 10.0));
+    qtest "percentiles are monotone in p" ~count:200
+      QCheck2.Gen.(
+        pair
+          (list_size (int_range 1 50) (float_range (-5.0) 15.0))
+          (pair (float_range 0.0 1.0) (float_range 0.0 1.0)))
+      (fun (samples, (p1, p2)) ->
+        let h = Stats.Hist.create ~buckets:16 ~lo:0.0 ~hi:10.0 () in
+        List.iter (Stats.Hist.add h) samples;
+        let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+        Stats.Hist.percentile h lo <= Stats.Hist.percentile h hi);
     Alcotest.test_case "counter" `Quick (fun () ->
         let c = Stats.Counter.create () in
         Stats.Counter.incr c;
