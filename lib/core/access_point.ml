@@ -92,22 +92,18 @@ let handle_internal_ms t (pkt : Packet.t) =
     | Error e, _, _ | _, Error e, _ -> Error e
     | _, _, Error e -> Error e
     | Ok domain, Ok id, Ok (Msgs.Ephid_request { nonce; sealed }) -> begin
-        match Ephid.of_bytes pkt.header.src_ephid with
-        | Error e -> Error (Error.Malformed e)
-        | Ok ctrl -> begin
-            match Ephid.parse domain.keys ctrl with
+        match Ephid.parse_bytes domain.keys pkt.header.src_ephid with
+        | Error e -> Error e
+        | Ok (_, info) -> begin
+            match Host_info.find domain.host_info info.hid with
             | Error e -> Error e
-            | Ok info -> begin
-                match Host_info.find domain.host_info info.hid with
-                | Error e -> Error e
-                | Ok entry -> begin
-                    match Aead.open_ ~key:entry.kha.ctrl ~nonce sealed with
-                    | Error e -> Error (Error.Crypto e)
-                    | Ok body_bytes -> begin
-                        match Msgs.Request_body.of_bytes body_bytes with
-                        | Error e -> Error e
-                        | Ok body -> Ok (id, info.hid, entry.kha, body)
-                      end
+            | Ok entry -> begin
+                match Aead.open_ ~key:entry.kha.ctrl ~nonce sealed with
+                | Error e -> Error (Error.Crypto e)
+                | Ok body_bytes -> begin
+                    match Msgs.Request_body.of_bytes body_bytes with
+                    | Error e -> Error e
+                    | Ok body -> Ok (id, info.hid, entry.kha, body)
                   end
               end
           end

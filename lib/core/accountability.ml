@@ -75,24 +75,20 @@ let handle_shutoff t ~now msg =
         else begin
           (* 3. The accused source is one of ours and really sent this
              packet: decrypt the EphID and re-verify the per-packet MAC. *)
-          match Ephid.of_bytes header.src_ephid with
-          | Error e -> Error (Error.Malformed e)
-          | Ok src_ephid -> begin
-              match Ephid.parse t.keys src_ephid with
-              | Error e -> Error e
-              | Ok info ->
-                  if Ephid.expired info ~now then Error (Error.Expired "source EphID")
-                  else begin
-                    match Host_info.find t.host_info info.hid with
-                    | Error e -> Error e
-                    | Ok entry ->
-                        if not (Pkt_auth.verify ~auth_key:entry.kha.auth packet)
-                        then Error Error.Bad_mac
-                        else
-                          execute_revocation t ~hid:info.hid ~ephid:src_ephid
-                            ~expiry:info.expiry
-                  end
-            end
+          match Ephid.parse_bytes t.keys header.src_ephid with
+          | Error e -> Error e
+          | Ok (src_ephid, info) ->
+              if Ephid.expired info ~now then Error (Error.Expired "source EphID")
+              else begin
+                match Host_info.find t.host_info info.hid with
+                | Error e -> Error e
+                | Ok entry ->
+                    if not (Pkt_auth.verify ~auth_key:entry.kha.auth packet)
+                    then Error Error.Bad_mac
+                    else
+                      execute_revocation t ~hid:info.hid ~ephid:src_ephid
+                        ~expiry:info.expiry
+              end
         end
       in
       (match check_cert with Error e -> Error e | Ok () -> continue_after_cert ())

@@ -9,12 +9,44 @@ type counters = {
   mutable dropped : int;
 }
 
+type cache_stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+}
+
 (* Per-router series in the default registry, labeled by AID. *)
 type obs = {
   aid_label : (string * string) list;
   m_egress_ok : M.Counter.m;
   m_delivered : M.Counter.m;
   m_forwarded : M.Counter.m;
+  m_cache_hits : M.Counter.m;
+  m_cache_misses : M.Counter.m;
+  m_cache_invalidations : M.Counter.m;
+}
+
+(* Validated-EphID fast path, keyed on the raw 16-byte token. A hit skips
+   the AES-CTR decrypt and CBC-MAC verify of Fig. 4 and goes straight to
+   packet-MAC verification. Correctness knobs, all re-checked on hit:
+   - expiry against ~now (wall time moves under the cache);
+   - generation counters recorded at insert time: Revocation.revoke/gc and
+     Host_info re-key/revoke bump their source's counter, so a stale
+     generation forces the entry back through the slow path;
+   - entry.revoked, because the cached Host_info.entry is the live record. *)
+module Ephid_lru = Apna_util.Lru.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = Hashtbl.hash
+end)
+
+type cache_entry = {
+  ephid : Ephid.t;
+  info : Ephid.info;
+  entry : Host_info.entry;
+  rev_gen : int;
+  host_gen : int;
 }
 
 type t = {
@@ -25,10 +57,15 @@ type t = {
   stats : counters;
   drops_by_reason : (string, int) Hashtbl.t;
   audit : Audit.t option;
+  cache : cache_entry Ephid_lru.t option;
+  cache_stats : cache_stats;
   obs : obs;
 }
 
-let create ~(keys : Keys.as_keys) ~host_info ~revoked ~topology ?audit () =
+let default_cache_capacity = 8192
+
+let create ~(keys : Keys.as_keys) ~host_info ~revoked ~topology ?audit
+    ?(ephid_cache = default_cache_capacity) () =
   let aid_label = [ ("aid", string_of_int (Addr.aid_to_int keys.aid)) ] in
   {
     keys;
@@ -38,6 +75,10 @@ let create ~(keys : Keys.as_keys) ~host_info ~revoked ~topology ?audit () =
     stats = { egress_ok = 0; ingress_delivered = 0; ingress_forwarded = 0; dropped = 0 };
     drops_by_reason = Hashtbl.create 8;
     audit;
+    cache =
+      (if ephid_cache <= 0 then None
+       else Some (Ephid_lru.create ~capacity:ephid_cache));
+    cache_stats = { hits = 0; misses = 0; invalidations = 0 };
     obs =
       {
         aid_label;
@@ -53,10 +94,26 @@ let create ~(keys : Keys.as_keys) ~host_info ~revoked ~topology ?audit () =
           M.Counter.register M.default ~labels:aid_label
             ~help:"Transit packets forwarded to the next AS"
             "apna_br_ingress_forwarded_total";
+        m_cache_hits =
+          M.Counter.register M.default ~labels:aid_label
+            ~help:"Validated-EphID cache hits (decrypt + CBC-MAC skipped)"
+            "apna_br_ephid_cache_hits_total";
+        m_cache_misses =
+          M.Counter.register M.default ~labels:aid_label
+            ~help:"Validated-EphID cache misses (full Fig. 4 pipeline)"
+            "apna_br_ephid_cache_misses_total";
+        m_cache_invalidations =
+          M.Counter.register M.default ~labels:aid_label
+            ~help:
+              "Validated-EphID cache entries rejected on hit (expired or \
+               stale generation)"
+            "apna_br_ephid_cache_invalidations_total";
       };
   }
 
 let counters t = t.stats
+let ephid_cache_stats t = t.cache_stats
+let ephid_cache_size t = match t.cache with None -> 0 | Some c -> Ephid_lru.size c
 let revoked t = t.revoked
 
 let drop t e =
@@ -80,21 +137,67 @@ let drop_reasons t =
 
 (* The common EphID validity pipeline of Fig. 4: authenticity (tag), expiry,
    revocation list, HID registration. *)
+let check_ephid_slow t ~now raw =
+  match Ephid.parse_bytes t.keys raw with
+  | Error e -> Error e
+  | Ok (ephid, info) ->
+      if Ephid.expired info ~now then Error (Error.Expired "EphID")
+      else if Revocation.is_revoked t.revoked ephid then
+        Error (Error.Revoked "EphID")
+      else begin
+        match Host_info.find t.host_info info.hid with
+        | Error e -> Error e
+        | Ok entry -> Ok (ephid, info, entry)
+      end
+
 let check_ephid t ~now raw =
-  match Ephid.of_bytes raw with
-  | Error e -> Error (Error.Malformed e)
-  | Ok ephid -> begin
-      match Ephid.parse t.keys ephid with
-      | Error e -> Error e
-      | Ok info ->
-          if Ephid.expired info ~now then Error (Error.Expired "EphID")
-          else if Revocation.is_revoked t.revoked ephid then
-            Error (Error.Revoked "EphID")
-          else begin
-            match Host_info.find t.host_info info.hid with
-            | Error e -> Error e
-            | Ok entry -> Ok (info, entry)
+  match t.cache with
+  | None -> check_ephid_slow t ~now raw
+  | Some cache -> begin
+      let revalidate () =
+        match check_ephid_slow t ~now raw with
+        | Ok (ephid, info, entry) as ok ->
+            Ephid_lru.set cache raw
+              {
+                ephid;
+                info;
+                entry;
+                rev_gen = Revocation.generation t.revoked;
+                host_gen = Host_info.generation t.host_info;
+              }
+            ;
+            ok
+        | Error _ as err -> err
+      in
+      match Ephid_lru.find cache raw with
+      | Some e
+        when e.rev_gen = Revocation.generation t.revoked
+             && e.host_gen = Host_info.generation t.host_info
+             && not e.entry.revoked ->
+          if Ephid.expired e.info ~now then begin
+            (* Expiry is absolute; the entry can never become valid again. *)
+            Ephid_lru.remove cache raw;
+            t.cache_stats.invalidations <- t.cache_stats.invalidations + 1;
+            M.Counter.incr t.obs.m_cache_invalidations;
+            Error (Error.Expired "EphID")
           end
+          else begin
+            t.cache_stats.hits <- t.cache_stats.hits + 1;
+            M.Counter.incr t.obs.m_cache_hits;
+            Ok (e.ephid, e.info, e.entry)
+          end
+      | Some _ ->
+          (* Revocation list or host_info moved since this entry was
+             validated: force the full pipeline, which re-inserts with the
+             current generations on success. *)
+          Ephid_lru.remove cache raw;
+          t.cache_stats.invalidations <- t.cache_stats.invalidations + 1;
+          M.Counter.incr t.obs.m_cache_invalidations;
+          revalidate ()
+      | None ->
+          t.cache_stats.misses <- t.cache_stats.misses + 1;
+          M.Counter.incr t.obs.m_cache_misses;
+          revalidate ()
     end
 
 let egress_pipeline t ~now (pkt : Packet.t) =
@@ -103,18 +206,15 @@ let egress_pipeline t ~now (pkt : Packet.t) =
   else begin
     match check_ephid t ~now pkt.header.src_ephid with
     | Error e -> drop t e
-    | Ok (info, entry) ->
+    | Ok (ephid, info, entry) ->
         if Pkt_auth.verify ~auth_key:entry.kha.auth pkt then begin
           t.stats.egress_ok <- t.stats.egress_ok + 1;
           M.Counter.incr t.obs.m_egress_ok;
           (* Data retention (§VIII-H): the packet's MAC doubles as its
-             digest — unique per authenticated packet. *)
+             digest — unique per authenticated packet. The EphID was
+             validated above; no re-parse. *)
           Option.iter
-            (fun a ->
-              match Ephid.of_bytes pkt.header.src_ephid with
-              | Ok ephid ->
-                  Audit.record_egress a ~now ~ephid ~digest:pkt.header.mac
-              | Error _ -> ())
+            (fun a -> Audit.record_egress a ~now ~ephid ~digest:pkt.header.mac)
             t.audit;
           Ok info.hid
         end
@@ -133,7 +233,7 @@ let ingress_pipeline t ~now (pkt : Packet.t) =
   if Addr.aid_equal pkt.header.dst_aid t.keys.aid then begin
     match check_ephid t ~now pkt.header.dst_ephid with
     | Error e -> drop t e
-    | Ok (info, _entry) ->
+    | Ok (_ephid, info, _entry) ->
         t.stats.ingress_delivered <- t.stats.ingress_delivered + 1;
         M.Counter.incr t.obs.m_delivered;
         Ok (Deliver info.hid)

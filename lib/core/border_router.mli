@@ -12,7 +12,15 @@
     Only symmetric cryptography runs here — one AES-CTR decryption, one
     CBC-MAC over a single block, two table lookups and one HMAC
     verification per packet — which is the design point the Fig. 8
-    forwarding benchmark measures. *)
+    forwarding benchmark measures.
+
+    Since EphIDs are per-flow tokens, consecutive packets of a flow repeat
+    identical decrypt + CBC-MAC work; a bounded LRU of validated EphIDs
+    (raw 16-byte token -> HID, expiry, kHA entry) amortizes it. A hit
+    still checks expiry against [~now] and the {!Revocation.generation} /
+    {!Host_info.generation} counters recorded at insert time, so revoking
+    an EphID or HID, GC'ing the revocation list, or re-keying a host
+    forces the full pipeline again (see DESIGN.md, "EphID cache"). *)
 
 type t
 
@@ -23,12 +31,30 @@ type counters = {
   mutable dropped : int;
 }
 
+type cache_stats = {
+  mutable hits : int;  (** fast path taken: decrypt + CBC-MAC skipped *)
+  mutable misses : int;  (** token not cached: full pipeline *)
+  mutable invalidations : int;
+      (** cached entry rejected: expired, or a generation counter moved *)
+}
+
 val create :
   keys:Keys.as_keys -> host_info:Host_info.t -> revoked:Revocation.t ->
-  topology:Apna_net.Topology.t -> ?audit:Audit.t -> unit -> t
-(** [audit] enables data retention of egress packet digests (§VIII-H). *)
+  topology:Apna_net.Topology.t -> ?audit:Audit.t -> ?ephid_cache:int ->
+  unit -> t
+(** [audit] enables data retention of egress packet digests (§VIII-H).
+    [ephid_cache] is the validated-EphID cache capacity in entries
+    (default 8192); [0] disables the cache entirely (every packet runs the
+    full Fig. 4 pipeline — the configuration the uncached benchmark rows
+    measure). *)
 
 val counters : t -> counters
+
+val ephid_cache_stats : t -> cache_stats
+(** All-zero when the cache is disabled. *)
+
+val ephid_cache_size : t -> int
+(** Entries currently cached (0 when disabled). *)
 
 val drop_reasons : t -> (string * int) list
 (** Drops broken down by {!Error.kind_label}, sorted by label — the

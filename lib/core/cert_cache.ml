@@ -1,70 +1,18 @@
-(* LRU over an intrusive doubly-linked list plus a hash table: O(1)
-   observe/find/evict. *)
+(* Thin instantiation of the shared LRU (Apna_util.Lru) keyed by EphID;
+   the border router's validated-EphID cache rides the same functor. *)
 
-type node = {
-  key : Ephid.t;
-  mutable cert : Cert.t;
-  mutable prev : node option;
-  mutable next : node option;
-}
+module L = Apna_util.Lru.Make (struct
+  type t = Ephid.t
 
-type t = {
-  capacity : int;
-  table : node Ephid.Tbl.t;
-  mutable head : node option; (* most recent *)
-  mutable tail : node option; (* least recent *)
-  mutable evicted : int;
-}
+  let equal = Ephid.equal
+  let hash e = Hashtbl.hash (Ephid.to_bytes e)
+end)
 
-let create ~capacity =
-  if capacity < 1 then invalid_arg "Cert_cache.create: capacity";
-  { capacity; table = Ephid.Tbl.create capacity; head = None; tail = None; evicted = 0 }
+type t = Cert.t L.t
 
-let unlink t node =
-  (match node.prev with
-  | Some p -> p.next <- node.next
-  | None -> t.head <- node.next);
-  (match node.next with
-  | Some n -> n.prev <- node.prev
-  | None -> t.tail <- node.prev);
-  node.prev <- None;
-  node.next <- None
-
-let push_front t node =
-  node.next <- t.head;
-  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
-  t.head <- Some node
-
-let touch t node =
-  unlink t node;
-  push_front t node
-
-let evict_lru t =
-  match t.tail with
-  | None -> ()
-  | Some node ->
-      unlink t node;
-      Ephid.Tbl.remove t.table node.key;
-      t.evicted <- t.evicted + 1
-
-let observe t (cert : Cert.t) =
-  match Ephid.Tbl.find_opt t.table cert.ephid with
-  | Some node ->
-      node.cert <- cert;
-      touch t node
-  | None ->
-      if Ephid.Tbl.length t.table >= t.capacity then evict_lru t;
-      let node = { key = cert.ephid; cert; prev = None; next = None } in
-      Ephid.Tbl.replace t.table cert.ephid node;
-      push_front t node
-
-let find t ephid =
-  match Ephid.Tbl.find_opt t.table ephid with
-  | Some node ->
-      touch t node;
-      Some node.cert
-  | None -> None
-
-let size t = Ephid.Tbl.length t.table
-let evictions t = t.evicted
+let create ~capacity = L.create ~capacity
+let observe t (cert : Cert.t) = L.set t cert.ephid cert
+let find = L.find
+let size = L.size
+let evictions = L.evictions
 let memory_bytes t = Cert.size * size t

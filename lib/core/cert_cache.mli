@@ -5,7 +5,10 @@
     about the storage overhead. This cache bounds that overhead: an entity
     (border router, host) remembers the certificates it saw in Init/Accept
     frames, evicting least-recently-used entries at capacity. The E13
-    benchmark quantifies the memory/hit-rate trade-off. *)
+    benchmark quantifies the memory/hit-rate trade-off.
+
+    Built on the shared {!Apna_util.Lru} functor (also behind the border
+    router's validated-EphID cache). *)
 
 type t
 

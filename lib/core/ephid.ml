@@ -30,7 +30,7 @@ let issue (keys : Keys.as_keys) ~hid ~expiry ~iv =
 let issue_random keys rng ~hid ~expiry =
   issue keys ~hid ~expiry ~iv:(Drbg.generate rng iv_size)
 
-let parse (keys : Keys.as_keys) e =
+let parse_checked (keys : Keys.as_keys) e =
   let iv = String.sub e 0 iv_size in
   let ciphertext = String.sub e iv_size ct_size in
   let tag = String.sub e (iv_size + ct_size) tag_size in
@@ -55,6 +55,15 @@ let parse (keys : Keys.as_keys) e =
         Ok { hid; expiry }
   end
 
+let parse (keys : Keys.as_keys) e =
+  (* Total on any byte string: wire-derived input must never raise, even
+     though well-typed callers go through [of_bytes] first. *)
+  if String.length e <> size then
+    Error
+      (Error.Malformed
+         (Printf.sprintf "ephid: need %d bytes, got %d" size (String.length e)))
+  else parse_checked keys e
+
 let expired info ~now = info.expiry < now
 
 let to_bytes e = e
@@ -62,6 +71,14 @@ let to_bytes e = e
 let of_bytes s =
   if String.length s = size then Ok s
   else Error (Printf.sprintf "ephid: need %d bytes, got %d" size (String.length s))
+
+let parse_bytes keys s =
+  match of_bytes s with
+  | Error e -> Error (Error.Malformed e)
+  | Ok ephid -> (
+      match parse keys ephid with
+      | Error e -> Error e
+      | Ok info -> Ok (ephid, info))
 
 let equal = String.equal
 let compare = String.compare

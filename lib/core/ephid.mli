@@ -37,7 +37,14 @@ val parse : Keys.as_keys -> t -> (info, Error.t) result
 (** [parse keys e] verifies the tag and decrypts — the issuing-AS-only
     operation border routers run on every packet (Fig. 4). Returns
     [Error (Malformed _)] when the tag does not verify, i.e. the token was
-    not produced by this AS. Expiry is {e not} checked here. *)
+    not produced by this AS. Expiry is {e not} checked here. Total: never
+    raises, whatever the input length. *)
+
+val parse_bytes : Keys.as_keys -> string -> (t * info, Error.t) result
+(** [parse_bytes keys s] is [of_bytes] followed by [parse] — the pattern
+    every wire-facing caller (MS, AA, AP, border router) runs on untrusted
+    bytes. Total; a truncated or oversized field is
+    [Error (Malformed _)], never an exception. *)
 
 val expired : info -> now:int -> bool
 

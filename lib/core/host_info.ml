@@ -1,13 +1,17 @@
 type entry = { kha : Keys.host_as; mutable revoked : bool }
-type t = entry Apna_net.Addr.Hid_tbl.t
+type t = { table : entry Apna_net.Addr.Hid_tbl.t; mutable generation : int }
 
-let create () = Apna_net.Addr.Hid_tbl.create 64
+let create () = { table = Apna_net.Addr.Hid_tbl.create 64; generation = 0 }
 
 let register t hid kha =
-  Apna_net.Addr.Hid_tbl.replace t hid { kha; revoked = false }
+  (* Re-registering an existing HID replaces its kHA keys, so any cached
+     (EphID -> entry) binding is stale; a first registration cannot be (an
+     unknown HID never validated), so don't flush caches for it. *)
+  if Apna_net.Addr.Hid_tbl.mem t.table hid then t.generation <- t.generation + 1;
+  Apna_net.Addr.Hid_tbl.replace t.table hid { kha; revoked = false }
 
 let find t hid =
-  match Apna_net.Addr.Hid_tbl.find_opt t hid with
+  match Apna_net.Addr.Hid_tbl.find_opt t.table hid with
   | None -> Error Error.Unknown_host
   | Some entry when entry.revoked -> Error (Error.Revoked "HID")
   | Some entry -> Ok entry
@@ -15,8 +19,11 @@ let find t hid =
 let mem_valid t hid = Result.is_ok (find t hid)
 
 let revoke_hid t hid =
-  match Apna_net.Addr.Hid_tbl.find_opt t hid with
-  | Some entry -> entry.revoked <- true
+  match Apna_net.Addr.Hid_tbl.find_opt t.table hid with
+  | Some entry ->
+      entry.revoked <- true;
+      t.generation <- t.generation + 1
   | None -> ()
 
-let count = Apna_net.Addr.Hid_tbl.length
+let generation t = t.generation
+let count t = Apna_net.Addr.Hid_tbl.length t.table

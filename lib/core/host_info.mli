@@ -19,3 +19,9 @@ val find : t -> Apna_net.Addr.hid -> (entry, Error.t) result
 val mem_valid : t -> Apna_net.Addr.hid -> bool
 val revoke_hid : t -> Apna_net.Addr.hid -> unit
 val count : t -> int
+
+val generation : t -> int
+(** Monotone counter bumped whenever an existing binding changes:
+    {!revoke_hid} on a known HID, or {!register} replacing one (re-key).
+    First-time registrations don't bump — an unknown HID can never have
+    produced a cached validation. See {!Revocation.generation}. *)

@@ -44,39 +44,36 @@ let issue_direct t ~now ~hid ~kx_pub ~sig_pub ~lifetime =
 let handle_request t ~now ~src_ephid msg =
   match msg with
   | Msgs.Ephid_request { nonce; sealed } -> begin
-      match Ephid.of_bytes src_ephid with
-      | Error e -> Error (Error.Malformed e)
-      | Ok ctrl -> begin
-          (* Fig. 3: decrypt the control EphID; check expiry; check HID. *)
-          match Ephid.parse t.keys ctrl with
+      (* Fig. 3: decrypt the control EphID; check expiry; check HID. *)
+      match Ephid.parse_bytes t.keys src_ephid with
+      | Error e -> Error e
+      | Ok (_, info) when Ephid.expired info ~now ->
+          Error (Error.Expired "control EphID")
+      | Ok (_, info) -> begin
+          match Host_info.find t.host_info info.hid with
           | Error e -> Error e
-          | Ok info when Ephid.expired info ~now -> Error (Error.Expired "control EphID")
-          | Ok info -> begin
-              match Host_info.find t.host_info info.hid with
-              | Error e -> Error e
-              | Ok entry -> begin
-                  match Aead.open_ ~key:entry.kha.ctrl ~nonce sealed with
-                  | Error e -> Error (Error.Crypto e)
-                  | Ok body_bytes -> begin
-                      match Msgs.Request_body.of_bytes body_bytes with
+          | Ok entry -> begin
+              match Aead.open_ ~key:entry.kha.ctrl ~nonce sealed with
+              | Error e -> Error (Error.Crypto e)
+              | Ok body_bytes -> begin
+                  match Msgs.Request_body.of_bytes body_bytes with
+                  | Error e -> Error e
+                  | Ok body -> begin
+                      match
+                        issue_direct t ~now ~hid:info.hid ~kx_pub:body.kx_pub
+                          ~sig_pub:body.sig_pub ~lifetime:body.lifetime
+                      with
                       | Error e -> Error e
-                      | Ok body -> begin
-                          match
-                            issue_direct t ~now ~hid:info.hid ~kx_pub:body.kx_pub
-                              ~sig_pub:body.sig_pub ~lifetime:body.lifetime
-                          with
-                          | Error e -> Error e
-                          | Ok cert ->
-                              (* The reply is encrypted so that an observer
-                                 cannot correlate issued EphIDs with the
-                                 requesting control EphID (§IV-C). *)
-                              let reply_nonce = Drbg.generate t.rng Aead.nonce_size in
-                              let sealed =
-                                Aead.seal ~key:entry.kha.ctrl ~nonce:reply_nonce
-                                  (Cert.to_bytes cert)
-                              in
-                              Ok (Msgs.Ephid_reply { nonce = reply_nonce; sealed })
-                        end
+                      | Ok cert ->
+                          (* The reply is encrypted so that an observer
+                             cannot correlate issued EphIDs with the
+                             requesting control EphID (§IV-C). *)
+                          let reply_nonce = Drbg.generate t.rng Aead.nonce_size in
+                          let sealed =
+                            Aead.seal ~key:entry.kha.ctrl ~nonce:reply_nonce
+                              (Cert.to_bytes cert)
+                          in
+                          Ok (Msgs.Ephid_reply { nonce = reply_nonce; sealed })
                     end
                 end
             end
@@ -90,20 +87,17 @@ let released_count t = t.released
 (* Validate the control EphID and open a kHA-ctrl-sealed body — shared by
    requests and releases. *)
 let open_from_host t ~now ~src_ephid ~nonce ~sealed =
-  match Ephid.of_bytes src_ephid with
-  | Error e -> Error (Error.Malformed e)
-  | Ok ctrl -> begin
-      match Ephid.parse t.keys ctrl with
+  match Ephid.parse_bytes t.keys src_ephid with
+  | Error e -> Error e
+  | Ok (_, info) when Ephid.expired info ~now ->
+      Error (Error.Expired "control EphID")
+  | Ok (_, info) -> begin
+      match Host_info.find t.host_info info.hid with
       | Error e -> Error e
-      | Ok info when Ephid.expired info ~now -> Error (Error.Expired "control EphID")
-      | Ok info -> begin
-          match Host_info.find t.host_info info.hid with
-          | Error e -> Error e
-          | Ok entry -> begin
-              match Aead.open_ ~key:entry.kha.ctrl ~nonce sealed with
-              | Error e -> Error (Error.Crypto e)
-              | Ok body -> Ok (info.hid, entry, body)
-            end
+      | Ok entry -> begin
+          match Aead.open_ ~key:entry.kha.ctrl ~nonce sealed with
+          | Error e -> Error (Error.Crypto e)
+          | Ok body -> Ok (info.hid, entry, body)
         end
     end
 
@@ -113,21 +107,17 @@ let handle_release t ~now ~src_ephid msg =
       match open_from_host t ~now ~src_ephid ~nonce ~sealed with
       | Error e -> Error e
       | Ok (hid, _entry, body) -> begin
-          match Ephid.of_bytes body with
-          | Error e -> Error (Error.Malformed e)
-          | Ok released -> begin
-              match Ephid.parse t.keys released with
-              | Error e -> Error e
-              | Ok info ->
-                  (* Only the owner may retire an EphID. *)
-                  if not (Apna_net.Addr.hid_equal info.hid hid) then
-                    Error (Error.Rejected "release of a foreign EphID")
-                  else begin
-                    Revocation.revoke t.revoked released ~expiry:info.expiry;
-                    t.released <- t.released + 1;
-                    Ok ()
-                  end
-            end
+          match Ephid.parse_bytes t.keys body with
+          | Error e -> Error e
+          | Ok (released, info) ->
+              (* Only the owner may retire an EphID. *)
+              if not (Apna_net.Addr.hid_equal info.hid hid) then
+                Error (Error.Rejected "release of a foreign EphID")
+              else begin
+                Revocation.revoke t.revoked released ~expiry:info.expiry;
+                t.released <- t.released + 1;
+                Ok ()
+              end
         end
     end
   | _ -> Error (Error.Malformed "MS: not a release")

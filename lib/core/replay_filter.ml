@@ -25,7 +25,18 @@ let create ?(bits_log2 = 20) ?(hashes = 4) ?(rotate_every_s = 10.0) () =
 type verdict = Fresh | Replayed
 
 let rotate t ~now =
-  if now -. t.last_rotation >= t.rotate_every_s then begin
+  let elapsed = now -. t.last_rotation in
+  if elapsed >= 2.0 *. t.rotate_every_s then begin
+    (* Two or more periods elapsed with no rotation: every recorded bit is
+       older than one period, so both generations are stale. A single swap
+       here would leave arbitrarily old bits alive in [previous] and
+       produce false Replayed verdicts after an idle gap. *)
+    Bytes.fill t.current 0 (Bytes.length t.current) '\000';
+    Bytes.fill t.previous 0 (Bytes.length t.previous) '\000';
+    t.last_rotation <- now;
+    t.inserted <- 0
+  end
+  else if elapsed >= t.rotate_every_s then begin
     (* Swap and clear: the old current becomes previous, keeping detection
        coverage over at least one full period. *)
     let old_previous = t.previous in

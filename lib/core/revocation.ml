@@ -1,13 +1,24 @@
-type t = int Ephid.Tbl.t
+type t = { table : int Ephid.Tbl.t; mutable generation : int }
 
-let create () = Ephid.Tbl.create 64
-let revoke t ephid ~expiry = Ephid.Tbl.replace t ephid expiry
-let is_revoked t ephid = Ephid.Tbl.mem t ephid
-let size t = Ephid.Tbl.length t
+let create () = { table = Ephid.Tbl.create 64; generation = 0 }
+
+let revoke t ephid ~expiry =
+  Ephid.Tbl.replace t.table ephid expiry;
+  (* Any cached "this EphID is valid" conclusion may now be wrong. *)
+  t.generation <- t.generation + 1
+
+let is_revoked t ephid = Ephid.Tbl.mem t.table ephid
+let size t = Ephid.Tbl.length t.table
+let generation t = t.generation
 
 let gc t ~now =
   let stale =
-    Ephid.Tbl.fold (fun e expiry acc -> if expiry < now then e :: acc else acc) t []
+    Ephid.Tbl.fold
+      (fun e expiry acc -> if expiry < now then e :: acc else acc)
+      t.table []
   in
-  List.iter (Ephid.Tbl.remove t) stale;
+  List.iter (Ephid.Tbl.remove t.table) stale;
+  (* Removal changes is_revoked answers; only bump when something moved so
+     an idle GC sweep does not flush downstream caches. *)
+  if stale <> [] then t.generation <- t.generation + 1;
   List.length stale

@@ -19,3 +19,9 @@ val size : t -> int
 val gc : t -> now:int -> int
 (** [gc t ~now] drops entries whose EphID has expired; returns how many
     were removed. *)
+
+val generation : t -> int
+(** Monotone counter bumped by every {!revoke} and by any {!gc} that
+    removed an entry. Consumers caching "not revoked" verdicts (the border
+    router's validated-EphID cache) record the generation at insert time
+    and fall back to the full check when it has moved. *)

@@ -1,0 +1,118 @@
+(* Intrusive doubly-linked list + hash table. The node both carries the
+   value and is the list link, so one table lookup reaches everything an
+   operation needs. *)
+
+module type S = sig
+  type key
+
+  type 'a t
+
+  val create : capacity:int -> 'a t
+  val set : 'a t -> key -> 'a -> unit
+  val find : 'a t -> key -> 'a option
+  val peek : 'a t -> key -> 'a option
+  val remove : 'a t -> key -> unit
+  val clear : 'a t -> unit
+  val size : 'a t -> int
+  val capacity : 'a t -> int
+  val evictions : 'a t -> int
+  val fold : (key -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+end
+
+module Make (Key : Hashtbl.HashedType) = struct
+  module Tbl = Hashtbl.Make (Key)
+
+  type key = Key.t
+
+  type 'a node = {
+    key : key;
+    mutable value : 'a;
+    mutable prev : 'a node option;
+    mutable next : 'a node option;
+  }
+
+  type 'a t = {
+    cap : int;
+    table : 'a node Tbl.t;
+    mutable head : 'a node option; (* most recent *)
+    mutable tail : 'a node option; (* least recent *)
+    mutable evicted : int;
+  }
+
+  let create ~capacity =
+    if capacity < 1 then invalid_arg "Lru.create: capacity";
+    { cap = capacity; table = Tbl.create capacity; head = None; tail = None; evicted = 0 }
+
+  let unlink t node =
+    (match node.prev with
+    | Some p -> p.next <- node.next
+    | None -> t.head <- node.next);
+    (match node.next with
+    | Some n -> n.prev <- node.prev
+    | None -> t.tail <- node.prev);
+    node.prev <- None;
+    node.next <- None
+
+  let push_front t node =
+    node.next <- t.head;
+    (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+    t.head <- Some node
+
+  let touch t node =
+    unlink t node;
+    push_front t node
+
+  let evict_lru t =
+    match t.tail with
+    | None -> ()
+    | Some node ->
+        unlink t node;
+        Tbl.remove t.table node.key;
+        t.evicted <- t.evicted + 1
+
+  let set t key value =
+    match Tbl.find_opt t.table key with
+    | Some node ->
+        node.value <- value;
+        touch t node
+    | None ->
+        if Tbl.length t.table >= t.cap then evict_lru t;
+        let node = { key; value; prev = None; next = None } in
+        Tbl.replace t.table key node;
+        push_front t node
+
+  let find t key =
+    match Tbl.find_opt t.table key with
+    | Some node ->
+        touch t node;
+        Some node.value
+    | None -> None
+
+  let peek t key =
+    match Tbl.find_opt t.table key with
+    | Some node -> Some node.value
+    | None -> None
+
+  let remove t key =
+    match Tbl.find_opt t.table key with
+    | Some node ->
+        unlink t node;
+        Tbl.remove t.table key
+    | None -> ()
+
+  let clear t =
+    Tbl.reset t.table;
+    t.head <- None;
+    t.tail <- None
+
+  let size t = Tbl.length t.table
+  let capacity t = t.cap
+  let evictions t = t.evicted
+
+  let fold f t acc =
+    let rec go acc = function
+      | None -> acc
+      | Some node -> go (f node.key node.value acc) node.next
+    in
+    go acc t.head
+end

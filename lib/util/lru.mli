@@ -1,0 +1,44 @@
+(** Bounded LRU map over an intrusive doubly-linked list plus a hash
+    table: O(1) find/set/remove/evict with no per-operation allocation
+    beyond the inserted node.
+
+    Extracted from the certificate cache so every bounded hot-path cache
+    (certificates, validated EphIDs) shares one audited implementation.
+    Recency is explicit: {!find} promotes the entry to most-recent;
+    {!peek} does not. *)
+
+module type S = sig
+  type key
+
+  type 'a t
+
+  val create : capacity:int -> 'a t
+  (** @raise Invalid_argument if [capacity < 1]. *)
+
+  val set : 'a t -> key -> 'a -> unit
+  (** Insert or refresh the value under [key] and mark it most-recently
+      used, evicting the least-recently-used entry at capacity. *)
+
+  val find : 'a t -> key -> 'a option
+  (** Lookup; refreshes recency on hit. *)
+
+  val peek : 'a t -> key -> 'a option
+  (** Lookup without touching recency. *)
+
+  val remove : 'a t -> key -> unit
+  (** Drop the entry if present; not counted as an eviction. *)
+
+  val clear : 'a t -> unit
+  (** Drop every entry; not counted as evictions. *)
+
+  val size : 'a t -> int
+  val capacity : 'a t -> int
+
+  val evictions : 'a t -> int
+  (** Entries displaced by capacity pressure since {!create}. *)
+
+  val fold : (key -> 'a -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+  (** Most-recent first. *)
+end
+
+module Make (Key : Hashtbl.HashedType) : S with type key = Key.t

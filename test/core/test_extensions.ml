@@ -108,6 +108,19 @@ let replay_filter_tests =
         ignore (Replay_filter.check_and_insert f2 ~now:22.0 "other2");
         Alcotest.(check bool) "aged out" true
           (Replay_filter.check_and_insert f2 ~now:22.1 "pkt" = Fresh));
+    Alcotest.test_case "long idle gap clears both generations" `Quick (fun () ->
+        (* Regression: a single swap after a >= 2-period gap used to carry
+           arbitrarily old bits into [previous], producing false Replayed
+           verdicts for traffic that resumed after an idle spell. *)
+        let f = Replay_filter.create ~rotate_every_s:10.0 () in
+        ignore (Replay_filter.check_and_insert f ~now:0.0 "pkt");
+        Alcotest.(check bool) "25s-old bits are forgotten" true
+          (Replay_filter.check_and_insert f ~now:25.0 "pkt" = Fresh);
+        (* And the filter still detects replays normally afterwards. *)
+        Alcotest.(check bool) "immediate replay caught" true
+          (Replay_filter.check_and_insert f ~now:25.5 "pkt" = Replayed);
+        Alcotest.(check bool) "across one rotation too" true
+          (Replay_filter.check_and_insert f ~now:36.0 "pkt" = Replayed));
     Alcotest.test_case "false-positive rate is near theory" `Quick (fun () ->
         (* 2^16 bits, 4 hashes, 5k inserted: (1-e^{-4*5000/65536})^4 ~ 0.5%.
            Probing also inserts, so keep the probe count small enough that

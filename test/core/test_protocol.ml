@@ -66,6 +66,24 @@ let ephid_tests =
         Alcotest.(check bool) "short" true (Result.is_error (Ephid.of_bytes "short"));
         Alcotest.(check bool) "ok" true
           (Result.is_ok (Ephid.of_bytes (String.make 16 'x'))));
+    qtest "parse_bytes is total on arbitrary wire bytes" ~count:500
+      (* Bias toward the 16-byte boundary where String.sub used to be able
+         to raise; a wrong length or a bad tag must both come back as
+         Error (Malformed _), never as an exception. *)
+      QCheck2.Gen.(
+        oneof
+          [
+            string_size (int_range 0 48);
+            string_size (return 15);
+            string_size (return 16);
+            string_size (return 17);
+          ])
+      (fun s ->
+        match Ephid.parse_bytes as_keys s with
+        | Ok (e, _) ->
+            String.length s = 16 && String.equal (Ephid.to_bytes e) s
+        | Error (Error.Malformed _) -> true
+        | Error _ -> false);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -579,6 +597,115 @@ let border_router_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Validated-EphID fast-path cache: a hit must never outlive expiry,
+   revocation, HID revocation, or a host re-key. *)
+
+let ephid_cache_tests =
+  [
+    Alcotest.test_case "repeat packets of a flow hit the cache" `Quick
+      (fun () ->
+        let br, _, _, h, kha = br_fixture () in
+        let e = Ephid.issue_random as_keys rng ~hid:h ~expiry:(now0 + 900) in
+        let pkt = packet_for ~src_ephid:e ~kha () in
+        Alcotest.(check bool) "first ok" true
+          (Result.is_ok (Border_router.egress_check br ~now:now0 pkt));
+        Alcotest.(check bool) "second ok" true
+          (Result.is_ok (Border_router.egress_check br ~now:now0 pkt));
+        let s = Border_router.ephid_cache_stats br in
+        Alcotest.(check int) "one miss" 1 s.misses;
+        Alcotest.(check int) "one hit" 1 s.hits;
+        Alcotest.(check int) "cached" 1 (Border_router.ephid_cache_size br));
+    Alcotest.test_case "cached EphID is rejected after expiry" `Quick (fun () ->
+        let br, _, _, h, kha = br_fixture () in
+        let e = Ephid.issue_random as_keys rng ~hid:h ~expiry:(now0 + 10) in
+        let pkt = packet_for ~src_ephid:e ~kha () in
+        Alcotest.(check bool) "valid while fresh" true
+          (Result.is_ok (Border_router.egress_check br ~now:now0 pkt));
+        check_err "expired on hit" (Error.Expired "EphID")
+          (Border_router.egress_check br ~now:(now0 + 11) pkt);
+        let s = Border_router.ephid_cache_stats br in
+        Alcotest.(check int) "invalidated" 1 s.invalidations;
+        Alcotest.(check int) "entry dropped" 0 (Border_router.ephid_cache_size br));
+    Alcotest.test_case "cached EphID is rejected after Revocation.revoke"
+      `Quick (fun () ->
+        let br, _, revoked, h, kha = br_fixture () in
+        let e = Ephid.issue_random as_keys rng ~hid:h ~expiry:(now0 + 900) in
+        let pkt = packet_for ~src_ephid:e ~kha () in
+        Alcotest.(check bool) "cached as valid" true
+          (Result.is_ok (Border_router.egress_check br ~now:now0 pkt));
+        Revocation.revoke revoked e ~expiry:(now0 + 900);
+        check_err "revoked despite cache" (Error.Revoked "EphID")
+          (Border_router.egress_check br ~now:now0 pkt);
+        Alcotest.(check int) "generation invalidation" 1
+          (Border_router.ephid_cache_stats br).invalidations);
+    Alcotest.test_case "cached EphID is rejected after Host_info.revoke_hid"
+      `Quick (fun () ->
+        let br, host_info, _, h, kha = br_fixture () in
+        let e = Ephid.issue_random as_keys rng ~hid:h ~expiry:(now0 + 900) in
+        let pkt = packet_for ~src_ephid:e ~kha () in
+        Alcotest.(check bool) "cached as valid" true
+          (Result.is_ok (Border_router.egress_check br ~now:now0 pkt));
+        Host_info.revoke_hid host_info h;
+        check_err "HID revoked despite cache" (Error.Revoked "HID")
+          (Border_router.egress_check br ~now:now0 pkt));
+    Alcotest.test_case "re-registering a HID drops the cached auth key" `Quick
+      (fun () ->
+        let br, host_info, _, h, kha = br_fixture () in
+        let e = Ephid.issue_random as_keys rng ~hid:h ~expiry:(now0 + 900) in
+        let pkt = packet_for ~src_ephid:e ~kha () in
+        Alcotest.(check bool) "cached as valid" true
+          (Result.is_ok (Border_router.egress_check br ~now:now0 pkt));
+        (* The host re-bootstraps: new kHA. Packets sealed under the old
+           auth key must fail the MAC even though the EphID is cached. *)
+        Host_info.register host_info h
+          (Keys.derive_host_as ~shared_secret:(Drbg.generate rng 32));
+        check_err "old MAC rejected" Error.Bad_mac
+          (Border_router.egress_check br ~now:now0 pkt));
+    Alcotest.test_case "revocation-list GC of another entry keeps validity"
+      `Quick (fun () ->
+        (* gc bumps the generation only when it removes entries; either way
+           a still-valid cached EphID must revalidate successfully. *)
+        let br, _, revoked, h, kha = br_fixture () in
+        let victim = Ephid.issue_random as_keys rng ~hid:h ~expiry:(now0 + 5) in
+        Revocation.revoke revoked victim ~expiry:(now0 + 5);
+        let e = Ephid.issue_random as_keys rng ~hid:h ~expiry:(now0 + 900) in
+        let pkt = packet_for ~src_ephid:e ~kha () in
+        Alcotest.(check bool) "cached as valid" true
+          (Result.is_ok (Border_router.egress_check br ~now:now0 pkt));
+        Alcotest.(check int) "gc removed the victim" 1
+          (Revocation.gc revoked ~now:(now0 + 6));
+        Alcotest.(check bool) "still valid after gc" true
+          (Result.is_ok (Border_router.egress_check br ~now:(now0 + 6) pkt)));
+    Alcotest.test_case "disabled cache still enforces the pipeline" `Quick
+      (fun () ->
+        let topology = Apna_net.Topology.create () in
+        Apna_net.Topology.connect topology (aid 64500) (aid 64501)
+          (Apna_net.Link.make ());
+        let host_info = Host_info.create () in
+        let h = hid 0x0a000001 in
+        let kha = Keys.derive_host_as ~shared_secret:(Drbg.generate rng 32) in
+        Host_info.register host_info h kha;
+        let revoked = Revocation.create () in
+        let br =
+          Border_router.create ~keys:as_keys ~host_info ~revoked ~topology
+            ~ephid_cache:0 ()
+        in
+        let e = Ephid.issue_random as_keys rng ~hid:h ~expiry:(now0 + 900) in
+        let pkt = packet_for ~src_ephid:e ~kha () in
+        Alcotest.(check bool) "ok" true
+          (Result.is_ok (Border_router.egress_check br ~now:now0 pkt));
+        Alcotest.(check bool) "ok again" true
+          (Result.is_ok (Border_router.egress_check br ~now:now0 pkt));
+        let s = Border_router.ephid_cache_stats br in
+        Alcotest.(check int) "no hits" 0 s.hits;
+        Alcotest.(check int) "no misses" 0 s.misses;
+        Alcotest.(check int) "nothing cached" 0 (Border_router.ephid_cache_size br);
+        Revocation.revoke revoked e ~expiry:(now0 + 900);
+        check_err "revoked" (Error.Revoked "EphID")
+          (Border_router.egress_check br ~now:now0 pkt));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Accountability (AA) quota escalation and revoke command *)
 
 let accountability_tests =
@@ -855,6 +982,7 @@ let () =
       ("registry", registry_tests);
       ("management", management_tests);
       ("border_router", border_router_tests);
+      ("ephid_cache", ephid_cache_tests);
       ("accountability", accountability_tests);
       ("revocation", revocation_tests);
       ("dns", dns_tests);
