@@ -13,16 +13,21 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# CI gate: full build, every test suite, and a smoke run of the benchmark
+# CI gate: full build, every test suite, the chaos smoke (control-plane
+# convergence under injected loss, E13), and a smoke run of the benchmark
 # harness that must produce a parseable BENCH_results.json (the harness
-# re-parses the file itself and fails loudly if it is invalid).
+# re-parses the file itself and fails loudly if it is invalid). The chaos
+# smoke runs first so the final BENCH_results.json is the regular one.
 check:
 	dune build @all
 	dune runtest
 	rm -f BENCH_results.json
+	dune exec bench/main.exe -- --faults --quick
+	test -s BENCH_results.json
+	rm -f BENCH_results.json
 	dune exec bench/main.exe -- --quick
 	test -s BENCH_results.json
-	@echo "check: OK (BENCH_results.json written and validated)"
+	@echo "check: OK (chaos smoke passed, BENCH_results.json written and validated)"
 
 clean:
 	dune clean

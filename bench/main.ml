@@ -34,6 +34,9 @@ let line fmt = Printf.printf (fmt ^^ "\n%!")
 (* --quick: reduced iteration counts and only the experiments that feed the
    JSON export — the CI smoke target. *)
 let quick = ref false
+
+(* --faults: run only the E13 chaos sweep — the CI chaos-smoke target. *)
+let faults_only = ref false
 let iters n = if !quick then max 20 (n / 20) else n
 
 (* Sections accumulated by experiments as they run; flushed to
@@ -152,7 +155,7 @@ let e1 () =
   let wrapped_requests = 5_000 in
   let ctrl = Ephid.issue_random keys rng ~hid ~expiry:(now0 + 86_400) in
   let request =
-    Management.Client.make_request ~rng ~kha ~keys:ephid_keys
+    Management.Client.make_request ~rng ~corr:1L ~kha ~keys:ephid_keys
       ~lifetime:Lifetime.Medium
   in
   let t0 = Sys.time () in
@@ -1100,6 +1103,122 @@ let e12 () =
   line "delivered encrypted data across a shared 10-AS core with zero drops."
 
 (* ------------------------------------------------------------------ *)
+(* E13: control-plane convergence under injected link faults *)
+
+let e13 () =
+  banner "E13" "FAULT-SWEEP"
+    "loss tolerance of the retransmitting control plane";
+  let open Apna_net in
+  let losses = [ 0.0; 0.02; 0.05; 0.10; 0.15; 0.20 ] in
+  let requests = if !quick then 10 else 40 in
+  line "";
+  line "%6s %5s %8s %8s %8s %9s %7s %10s" "loss" "conv" "ephid-ok" "ephid-to"
+    "retries" "timeouts" "lost" "dup/reord";
+  let rows =
+    List.map
+      (fun loss ->
+        let faults =
+          Link.make_faults ~loss ~duplicate:(loss /. 2.0) ~reorder:0.1
+            ~jitter_ms:1.0 ()
+        in
+        let net =
+          Network.create ~seed:(Printf.sprintf "e13-%.2f" loss) ()
+        in
+        ignore (Network.add_as net 100 ());
+        ignore (Network.add_as net 200 ());
+        ignore (Network.add_as net 300 ~dns_zone:"example.net" ());
+        Network.connect_as net 100 200 ~link:(Link.make ~faults ()) ();
+        Network.connect_as net 200 300 ~link:(Link.make ~faults ()) ();
+        if loss > 0.0 then
+          Network.set_host_faults net (Some (Link.make_faults ~loss ()));
+        let alice =
+          Network.add_host net ~as_number:100 ~name:"alice" ~credential:"a" ()
+        in
+        let bob =
+          Network.add_host net ~as_number:300 ~name:"bob" ~credential:"b" ()
+        in
+        (match (Host.bootstrap alice, Host.bootstrap bob) with
+        | Ok (), Ok () -> ()
+        | _ -> failwith "bootstrap");
+        Network.run net;
+        (* Server publish, client resolve, session establishment — the
+           acceptance flow — plus a batch of EphID issuances. *)
+        let published = ref false in
+        Host.publish bob ~name:"svc.example.net" (fun () -> published := true);
+        Network.run net;
+        let dns_cert =
+          Dns_service.cert (Option.get (As_node.dns (Network.node_exn net 300)))
+        in
+        let record = ref None in
+        Host.dns_lookup alice ~name:"svc.example.net" ~dns:dns_cert (fun r ->
+            record := r);
+        Network.run net;
+        (match !record with
+        | Some r ->
+            Host.connect alice ~remote:r.Dns_service.Record.cert
+              ~data0:"probe" ~expect_accept:true (fun _ -> ())
+        | None -> ());
+        let ok = ref 0 and timed_out = ref 0 in
+        for _ = 1 to requests do
+          Host.request_ephid_r alice (fun result ->
+              match result with
+              | Ok _ -> incr ok
+              | Error _ -> incr timed_out)
+        done;
+        Network.run net;
+        let established =
+          List.exists Session.established (Host.sessions alice)
+        in
+        let retries = Host.rpc_retries alice + Host.rpc_retries bob in
+        let timeouts = Host.rpc_timeouts alice + Host.rpc_timeouts bob in
+        let link_stats a b =
+          Option.get (Network.link_fault_stats net a b)
+        in
+        let sum f =
+          f (link_stats 100 200) + f (link_stats 200 300)
+          + f (Network.host_fault_stats net)
+        in
+        let lost = sum (fun s -> s.Link.lost) in
+        let duplicated = sum (fun s -> s.Link.duplicated) in
+        let reordered = sum (fun s -> s.Link.reordered) in
+        let converged =
+          !published
+          && !record <> None
+          && established
+          && !ok + !timed_out = requests
+          && Host.pending_rpc_count alice = 0
+          && Host.pending_rpc_count bob = 0
+        in
+        line "%5.0f%% %5s %8d %8d %8d %9d %7d %6d/%-3d" (loss *. 100.0)
+          (if converged then "yes" else "NO")
+          !ok !timed_out retries timeouts lost duplicated reordered;
+        ( loss,
+          J.Obj
+            [
+              ("loss", J.Float loss);
+              ("converged", J.Bool converged);
+              ("ephids_ok", J.Int !ok);
+              ("ephids_timeout", J.Int !timed_out);
+              ("rpc_retries", J.Int retries);
+              ("rpc_timeouts", J.Int timeouts);
+              ("frames_lost", J.Int lost);
+              ("frames_duplicated", J.Int duplicated);
+              ("frames_reordered", J.Int reordered);
+            ],
+          converged ))
+      losses
+  in
+  let converged_at p =
+    List.exists (fun (l, _, c) -> l = p && c) rows
+  in
+  line "";
+  if converged_at 0.10 then
+    line "acceptance: full control plane converges at 10%% loss via retries"
+  else line "ACCEPTANCE FAILURE: control plane did not converge at 10%% loss";
+  add_json "fault_sweep"
+    (J.List (List.map (fun (_, j, _) -> j) rows))
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1115,6 +1234,7 @@ let experiments =
     ("E10", e10);
     ("E11", e11);
     ("E12", e12);
+    ("E13", e13);
   ]
 
 let json_path = "BENCH_results.json"
@@ -1154,13 +1274,20 @@ let () =
           quick := true;
           false
         end
+        else if a = "--faults" then begin
+          faults_only := true;
+          false
+        end
         else true)
       (List.tl (Array.to_list Sys.argv))
   in
   let selected =
     match args with
     | _ :: _ -> args
-    | [] -> if !quick then [ "E2" ] else List.map fst experiments
+    | [] ->
+        if !faults_only then [ "E13" ]
+        else if !quick then [ "E2" ]
+        else List.map fst experiments
   in
   line "APNA benchmark harness (one section per paper table/figure)";
   List.iter

@@ -47,8 +47,8 @@ let () =
   let gw_s =
     Gateway.create ~name:"gw-server" ~rng:(Apna_crypto.Drbg.split (Network.rng net) "gws")
   in
-  As_node.add_host (Network.node_exn net 64500) (Gateway.host gw_c) ~credential:"gwc@isp";
-  As_node.add_host (Network.node_exn net 64502) (Gateway.host gw_s) ~credential:"gws@isp";
+  As_node.add_host (Network.node_exn net 64500) (Gateway.host gw_c) ~credential:"gwc@isp" ();
+  As_node.add_host (Network.node_exn net 64502) (Gateway.host gw_s) ~credential:"gws@isp" ();
   List.iter
     (fun gw ->
       match Host.bootstrap (Gateway.host gw) with

@@ -21,7 +21,16 @@ type internal_domain = {
   id_signing_rng : Drbg.t;
 }
 
-type relay = { host_name : string; host_kha : Keys.host_as }
+module I64_tbl = Hashtbl.Make (struct
+  type t = int64
+
+  let equal = Int64.equal
+  let hash = Hashtbl.hash
+end)
+
+(* One relayed MS request: who it is for and which correlation id the host
+   used, so the re-wrapped reply can echo it. *)
+type relay = { host_name : string; host_kha : Keys.host_as; host_corr : int64 }
 
 type t = {
   ap_name : string;
@@ -36,8 +45,10 @@ type t = {
   hid_to_host : string Addr.Hid_tbl.t;
   (* Real-AS EphIDs relayed to internal hosts: the AP's ephid_info list. *)
   ephid_info : string Ephid.Tbl.t;
-  (* FIFO of in-flight relayed MS requests awaiting the AS's reply. *)
-  pending_relays : relay Queue.t;
+  (* In-flight relayed MS requests awaiting the AS's reply, keyed by the
+     AP's own upstream correlation id. *)
+  pending_relays : relay I64_tbl.t;
+  mutable next_corr : int64;
   mutable relayed : int;
 }
 
@@ -54,7 +65,8 @@ let create ~name ~rng ~virtual_as =
     internal_hosts = Hashtbl.create 8;
     hid_to_host = Addr.Hid_tbl.create 8;
     ephid_info = Ephid.Tbl.create 16;
-    pending_relays = Queue.create ();
+    pending_relays = I64_tbl.create 8;
+    next_corr = 0L;
     relayed = 0;
   }
 
@@ -91,7 +103,7 @@ let handle_internal_ms t (pkt : Packet.t) =
     with
     | Error e, _, _ | _, Error e, _ -> Error e
     | _, _, Error e -> Error e
-    | Ok domain, Ok id, Ok (Msgs.Ephid_request { nonce; sealed }) -> begin
+    | Ok domain, Ok id, Ok (Msgs.Ephid_request { corr; nonce; sealed }) -> begin
         match Ephid.parse_bytes domain.keys pkt.header.src_ephid with
         | Error e -> Error e
         | Ok (_, info) -> begin
@@ -103,7 +115,7 @@ let handle_internal_ms t (pkt : Packet.t) =
                 | Ok body_bytes -> begin
                     match Msgs.Request_body.of_bytes body_bytes with
                     | Error e -> Error e
-                    | Ok body -> Ok (id, info.hid, entry.kha, body)
+                    | Ok body -> Ok (id, info.hid, entry.kha, corr, body)
                   end
               end
           end
@@ -112,17 +124,24 @@ let handle_internal_ms t (pkt : Packet.t) =
   in
   match open_request () with
   | Error e -> Logs.debug (fun m -> m "%s MS: %a" t.ap_name Error.pp e)
-  | Ok (id, hid, host_kha, body) -> begin
+  | Ok (id, hid, host_kha, host_corr, body) -> begin
       (* Relay with the AP's own credentials but the host's public keys:
          the AS certifies keys it cannot link to the internal host. *)
       match Addr.Hid_tbl.find_opt t.hid_to_host hid with
       | None -> Logs.debug (fun m -> m "%s MS: unknown internal host" t.ap_name)
       | Some host_name ->
+          (* The AP uses its own correlation id upstream (the host's ids
+             are not unique across internal hosts) and echoes the host's
+             downstream. *)
+          t.next_corr <- Int64.add t.next_corr 1L;
+          let ap_corr = t.next_corr in
           let relay_msg =
-            Management.Client.make_request_raw ~rng:t.rng ~kha:id.kha
-              ~kx_pub:body.kx_pub ~sig_pub:body.sig_pub ~lifetime:body.lifetime
+            Management.Client.make_request_raw ~rng:t.rng ~corr:ap_corr
+              ~kha:id.kha ~kx_pub:body.kx_pub ~sig_pub:body.sig_pub
+              ~lifetime:body.lifetime
           in
-          Queue.add { host_name; host_kha } t.pending_relays;
+          I64_tbl.replace t.pending_relays ap_corr
+            { host_name; host_kha; host_corr };
           t.relayed <- t.relayed + 1;
           (match
              submit_as_ap t
@@ -136,8 +155,18 @@ let handle_internal_ms t (pkt : Packet.t) =
     end
 
 let handle_relayed_reply t msg =
-  match (Queue.take_opt t.pending_relays, require "identity" t.identity, require "domain" t.domain) with
-  | None, _, _ -> Logs.warn (fun m -> m "%s: unexpected MS reply" t.ap_name)
+  let pending =
+    match Msgs.corr msg with
+    | None -> None
+    | Some ap_corr ->
+        let r = I64_tbl.find_opt t.pending_relays ap_corr in
+        if Option.is_some r then I64_tbl.remove t.pending_relays ap_corr;
+        r
+  in
+  match (pending, require "identity" t.identity, require "domain" t.domain) with
+  | None, _, _ ->
+      Logs.debug (fun m ->
+          m "%s: MS reply with no pending relay (duplicate?)" t.ap_name)
   | _, Error e, _ | _, _, Error e ->
       Logs.warn (fun m -> m "%s: %a" t.ap_name Error.pp e)
   | Some relay, Ok id, Ok domain -> begin
@@ -146,12 +175,13 @@ let handle_relayed_reply t msg =
       | Ok cert -> begin
           (* Record who is behind this EphID — the AP's accountability
              duty — and pass the certificate on, re-encrypted for the
-             host. *)
+             host with the host's own correlation id. *)
           Ephid.Tbl.replace t.ephid_info cert.ephid relay.host_name;
           let nonce = Drbg.generate t.rng Aead.nonce_size in
           let reply =
             Msgs.Ephid_reply
               {
+                corr = relay.host_corr;
                 nonce;
                 sealed =
                   Aead.seal ~key:relay.host_kha.ctrl ~nonce (Cert.to_bytes cert);
@@ -368,6 +398,7 @@ let attach_internal t host ~credential =
           now = att.now;
           now_f = att.now_f;
           submit = (fun pkt -> router_submit t pkt);
+          schedule = att.schedule;
           bootstrap_rpc;
           trust = att.trust;
         }

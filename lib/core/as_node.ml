@@ -39,6 +39,7 @@ type t = {
   br_ephid : Ephid.t;
   now : unit -> int;
   now_f : unit -> float;
+  schedule : (delay:float -> (unit -> unit) -> unit) option;
   rng : Drbg.t;
   deliver_by_hid : (Packet.t -> unit) Addr.Hid_tbl.t;
   hid_of_device : (string, Addr.hid) Hashtbl.t;
@@ -49,7 +50,7 @@ type t = {
 
 let service_kha rng = Keys.derive_host_as ~shared_secret:(Drbg.generate rng 32)
 
-let create ~rng ~aid ~trust ~topology ~now ~now_f ?dns_zone
+let create ~rng ~aid ~trust ~topology ~now ~now_f ?schedule ?dns_zone
     ?(lifetime_policy = Lifetime.default_policy) ?(retention = false)
     ?(icmp_encryption = false) () =
   let keys = Keys.make_as rng ~aid in
@@ -122,6 +123,7 @@ let create ~rng ~aid ~trust ~topology ~now ~now_f ?dns_zone
     br_ephid;
     now;
     now_f;
+    schedule;
     rng;
     deliver_by_hid = Addr.Hid_tbl.create 32;
     hid_of_device = Hashtbl.create 32;
@@ -363,15 +365,20 @@ let add_device t ~name ~credential ~deliver =
      now = t.now;
      now_f = t.now_f;
      submit = (fun pkt -> submit t pkt);
+     schedule = t.schedule;
      bootstrap_rpc;
      trust = t.trust;
    }
     : Host.attachment)
 
-let add_host t host ~credential =
+let add_host t host ?deliver ~credential () =
+  let deliver =
+    match deliver with
+    | Some f -> f
+    | None -> fun pkt -> Host.deliver host pkt
+  in
   let attachment =
-    add_device t ~name:(Host.name host) ~credential
-      ~deliver:(fun pkt -> Host.deliver host pkt)
+    add_device t ~name:(Host.name host) ~credential ~deliver
   in
   t.attached_hosts <- host :: t.attached_hosts;
   Host.attach host attachment

@@ -15,6 +15,7 @@ val create :
   topology:Apna_net.Topology.t ->
   now:(unit -> int) ->
   now_f:(unit -> float) ->
+  ?schedule:(delay:float -> (unit -> unit) -> unit) ->
   ?dns_zone:string ->
   ?lifetime_policy:Lifetime.policy ->
   ?retention:bool ->
@@ -49,9 +50,13 @@ val aa_ephid : t -> Ephid.t
 val set_emit : t -> (next:Apna_net.Addr.aid -> Apna_net.Packet.t -> unit) -> unit
 (** Wires the inter-domain output; installed by {!Network}. *)
 
-val add_host : t -> Host.t -> credential:string -> unit
+val add_host :
+  t -> Host.t -> ?deliver:(Apna_net.Packet.t -> unit) -> credential:string ->
+  unit -> unit
 (** Enrolls the subscriber at the RS and attaches the host: after this the
-    host can [bootstrap]. *)
+    host can [bootstrap]. [deliver] overrides the delivery path to the host
+    (default [Host.deliver]) — the network layer uses it to inject
+    access-link faults. *)
 
 val add_device : t ->
   name:string -> credential:string -> deliver:(Apna_net.Packet.t -> unit) ->

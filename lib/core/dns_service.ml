@@ -129,12 +129,14 @@ let handle t ~now msg =
           end
       end
   in
-  let reply key payload =
+  (* The requester's correlation id is echoed so the host can pair the
+     reply even after loss or reordering. *)
+  let reply ~corr key payload =
     let nonce = Drbg.generate t.rng Aead.nonce_size in
-    Msgs.Dns_reply { nonce; sealed = Aead.seal ~key ~nonce payload }
+    Msgs.Dns_reply { corr; nonce; sealed = Aead.seal ~key ~nonce payload }
   in
   match msg with
-  | Msgs.Dns_query { client_cert; nonce; sealed } -> begin
+  | Msgs.Dns_query { corr; client_cert; nonce; sealed } -> begin
       match open_sealed ~client_cert ~nonce ~sealed with
       | Error e -> Error e
       | Ok (_cert, key, name) ->
@@ -143,9 +145,9 @@ let handle t ~now msg =
             | Some record -> Record.to_bytes record
             | None -> ""
           in
-          Ok (reply key payload)
+          Ok (reply ~corr key payload)
     end
-  | Msgs.Dns_register { client_cert; nonce; sealed } -> begin
+  | Msgs.Dns_register { corr; client_cert; nonce; sealed } -> begin
       match open_sealed ~client_cert ~nonce ~sealed with
       | Error e -> Error e
       | Ok (_cert, key, body) -> begin
@@ -174,7 +176,7 @@ let handle t ~now msg =
               | Ok publish -> begin
                   match register t ~now ~name ~cert:publish ?ipv4 ~receive_only () with
                   | Error e -> Error e
-                  | Ok () -> Ok (reply key "ok")
+                  | Ok () -> Ok (reply ~corr key "ok")
                 end
             end
         end
@@ -187,7 +189,7 @@ module Client = struct
     exchange_key ~secret:client_keys.kx_secret ~peer_pub:dns_cert.kx_pub
       ~client_ephid:client_cert.ephid ~dns_ephid:dns_cert.ephid
 
-  let make_query ~rng ~client_cert ~client_keys ~dns_cert ~name =
+  let make_query ~rng ~corr ~client_cert ~client_keys ~dns_cert ~name =
     match client_key ~client_keys ~client_cert ~dns_cert with
     | Error e -> Error e
     | Ok key ->
@@ -195,6 +197,7 @@ module Client = struct
         Ok
           (Msgs.Dns_query
              {
+               corr;
                client_cert = Cert.to_bytes client_cert;
                nonce;
                sealed = Aead.seal ~key ~nonce name;
@@ -202,7 +205,7 @@ module Client = struct
 
   let read_reply ~client_keys ~client_cert ~dns_cert msg =
     match msg with
-    | Msgs.Dns_reply { nonce; sealed } -> begin
+    | Msgs.Dns_reply { nonce; sealed; _ } -> begin
         match client_key ~client_keys ~client_cert ~dns_cert with
         | Error e -> Error e
         | Ok key -> begin
@@ -214,8 +217,8 @@ module Client = struct
       end
     | _ -> Error (Error.Malformed "expected a DNS reply")
 
-  let make_register ~rng ~client_cert ~client_keys ~dns_cert ~name ~publish ?ipv4
-      ~receive_only () =
+  let make_register ~rng ~corr ~client_cert ~client_keys ~dns_cert ~name
+      ~publish ?ipv4 ~receive_only () =
     match client_key ~client_keys ~client_cert ~dns_cert with
     | Error e -> Error e
     | Ok key ->
@@ -233,6 +236,7 @@ module Client = struct
         Ok
           (Msgs.Dns_register
              {
+               corr;
                client_cert = Cert.to_bytes client_cert;
                nonce;
                sealed = Aead.seal ~key ~nonce (Apna_util.Rw.Writer.contents w);

@@ -51,8 +51,10 @@ val record_count : t -> int
 (** Host-side query/registration helpers. *)
 module Client : sig
   val make_query :
-    rng:Apna_crypto.Drbg.t -> client_cert:Cert.t -> client_keys:Keys.ephid_keys ->
-    dns_cert:Cert.t -> name:string -> (Msgs.t, Error.t) result
+    rng:Apna_crypto.Drbg.t -> corr:int64 -> client_cert:Cert.t ->
+    client_keys:Keys.ephid_keys -> dns_cert:Cert.t -> name:string ->
+    (Msgs.t, Error.t) result
+  (** [corr] is the requester-chosen correlation id, echoed in the reply. *)
 
   val read_reply :
     client_keys:Keys.ephid_keys -> client_cert:Cert.t -> dns_cert:Cert.t ->
@@ -61,7 +63,8 @@ module Client : sig
       job ({!Record.verify}) since it needs the trust store. *)
 
   val make_register :
-    rng:Apna_crypto.Drbg.t -> client_cert:Cert.t -> client_keys:Keys.ephid_keys ->
-    dns_cert:Cert.t -> name:string -> publish:Cert.t ->
-    ?ipv4:Apna_net.Addr.hid -> receive_only:bool -> unit -> (Msgs.t, Error.t) result
+    rng:Apna_crypto.Drbg.t -> corr:int64 -> client_cert:Cert.t ->
+    client_keys:Keys.ephid_keys -> dns_cert:Cert.t -> name:string ->
+    publish:Cert.t -> ?ipv4:Apna_net.Addr.hid -> receive_only:bool -> unit ->
+    (Msgs.t, Error.t) result
 end

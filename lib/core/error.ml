@@ -9,6 +9,7 @@ type t =
   | No_route
   | Crypto of string
   | Rejected of string
+  | Timeout of string
 
 let to_string = function
   | Auth_failed -> "authentication failed"
@@ -21,6 +22,7 @@ let to_string = function
   | No_route -> "no route to destination AS"
   | Crypto what -> "crypto failure: " ^ what
   | Rejected why -> "rejected: " ^ why
+  | Timeout what -> "timed out: " ^ what
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 let equal (a : t) (b : t) = a = b
@@ -36,3 +38,4 @@ let kind_label = function
   | No_route -> "no-route"
   | Crypto _ -> "crypto"
   | Rejected _ -> "rejected"
+  | Timeout _ -> "timeout"

@@ -15,6 +15,8 @@ type t =
   | No_route  (** no inter-domain path to the destination AID *)
   | Crypto of string  (** AEAD open failure and similar *)
   | Rejected of string  (** policy refusal (quota, unauthorized requester) *)
+  | Timeout of string
+      (** a round-trip request exhausted its retransmission budget *)
 
 val to_string : t -> string
 

@@ -96,7 +96,9 @@ and rewrite_addrs bytes ~src ~dst =
   match Ipv4_header.of_bytes bytes with
   | Error e -> Error e
   | Ok header ->
-      let payload = String.sub bytes Ipv4_header.size (String.length bytes - Ipv4_header.size) in
+      (* Honour the header's length field: bytes past total_len are link
+         padding and must not be re-framed as payload. *)
+      let payload = String.sub bytes Ipv4_header.size header.payload_len in
       Ok (Ipv4_header.to_bytes { header with src; dst } ^ payload)
 
 and handle_tunnel_data t session data =

@@ -1,11 +1,28 @@
 open Apna_crypto
 open Apna_net
+module M = Apna_obs.Metrics
+module Span = Apna_obs.Span
+
+let m_rpc_retries =
+  M.Counter.register M.default "apna_host_rpc_retries_total"
+    ~help:"Control-plane request retransmissions"
+
+let m_rpc_timeouts =
+  M.Counter.register M.default "apna_host_rpc_timeouts_total"
+    ~help:"Control-plane requests abandoned after exhausting retransmissions"
+
+let m_rpc_orphans =
+  M.Counter.register M.default "apna_host_rpc_orphan_replies_total"
+    ~help:"Replies with no pending request (duplicates or late arrivals)"
 
 type attachment = {
   aid : Addr.aid;
   now : unit -> int;
   now_f : unit -> float;
   submit : Packet.t -> unit;
+  schedule : (delay:float -> (unit -> unit) -> unit) option;
+      (** Timer facility for retransmission/timeout; [None] (e.g. a bare
+          test harness) disables timers and requests wait indefinitely. *)
   bootstrap_rpc : host_dh_pub:string -> (Registry.reply, Error.t) result;
   trust : Trust.t;
 }
@@ -28,6 +45,17 @@ module I64_tbl = Hashtbl.Make (struct
   let hash = Hashtbl.hash
 end)
 
+(* One in-flight round-trip request. Replies are matched by correlation id,
+   never by arrival order, so loss/duplication/reordering cannot mis-pair a
+   reply with another request's continuation. *)
+type rpc = {
+  what : string;
+  resend : unit -> unit;
+  on_reply : Msgs.t -> unit;
+  on_timeout : unit -> unit;
+  mutable attempts : int;
+}
+
 type t = {
   host_name : string;
   rng : Drbg.t;
@@ -38,15 +66,26 @@ type t = {
   (* Reuse pools, keyed by Granularity.pool_key, with waiters queued while
      the pool's first issuance round trip is in flight. *)
   pools : (string, endpoint) Hashtbl.t;
-  pool_waiters : (string, (endpoint -> unit) Queue.t) Hashtbl.t;
+  pool_waiters : (string, ((endpoint, Error.t) result -> unit) Queue.t) Hashtbl.t;
   (* Prefetched one-shot EphIDs for per-packet sources. *)
   prefetched : endpoint Queue.t;
   mutable prefetch_inflight : int;
-  (* FIFO continuations for in-flight EphID requests: the generated secret
-     keys wait here to be paired with the certificate in the reply (reply
-     order matches request order within one AS). *)
-  pending_ephid : (Keys.ephid_keys * bool * (endpoint -> unit)) Queue.t;
-  pending_dns : (Msgs.t -> unit) Queue.t;
+  (* In-flight control-plane round trips (EphID issuance, DNS), keyed by
+     correlation id. *)
+  rpcs : rpc I64_tbl.t;
+  mutable next_corr : int64;
+  (* Initiator sessions awaiting the server's Accept, keyed by connection
+     id (which doubles as the Init/Accept correlation id). *)
+  accept_waits : rpc I64_tbl.t;
+  (* Ping retransmission state, keyed by the echo ident. *)
+  ping_rpcs : rpc I64_tbl.t;
+  mutable rpc_retries : int;
+  mutable rpc_timeouts : int;
+  (* Receiver-side Init idempotency: serving-EphID issuance in flight for a
+     connection, and the cached Accept to re-send verbatim on a
+     retransmitted Init. *)
+  init_in_progress : unit I64_tbl.t;
+  accept_resend : (unit -> unit) I64_tbl.t;
   sessions_by_conn : Session.t I64_tbl.t;
   (* Local endpoint backing each connection, for shutoff signatures and
      queued 0.5-RTT data. *)
@@ -84,8 +123,14 @@ let create ~name ~rng ?(granularity = Granularity.Per_flow) () =
       pool_waiters = Hashtbl.create 4;
       prefetched = Queue.create ();
       prefetch_inflight = 0;
-      pending_ephid = Queue.create ();
-      pending_dns = Queue.create ();
+      rpcs = I64_tbl.create 8;
+      next_corr = 0L;
+      accept_waits = I64_tbl.create 8;
+      ping_rpcs = I64_tbl.create 4;
+      rpc_retries = 0;
+      rpc_timeouts = 0;
+      init_in_progress = I64_tbl.create 4;
+      accept_resend = I64_tbl.create 4;
       sessions_by_conn = I64_tbl.create 8;
       local_by_conn = I64_tbl.create 8;
       queued_data = I64_tbl.create 8;
@@ -130,6 +175,12 @@ let last_packet t session = I64_tbl.find_opt t.last_packet_by_conn (Session.conn
 let set_zero_rtt_policy t accept = t.accept_zero_rtt <- accept
 let ephid_requests_sent t = t.ephid_requests
 let packets_sent t = t.pkts_sent
+let rpc_retries t = t.rpc_retries
+let rpc_timeouts t = t.rpc_timeouts
+
+let pending_rpc_count t =
+  I64_tbl.length t.rpcs + I64_tbl.length t.accept_waits
+  + I64_tbl.length t.ping_rpcs
 
 let require_att t =
   match t.att with
@@ -144,6 +195,78 @@ let require_identity t =
 let warn t what = function
   | Ok _ -> ()
   | Error e -> Logs.warn (fun m -> m "%s: %s: %a" t.host_name what Error.pp e)
+
+(* ------------------------------------------------------------------ *)
+(* Request/reply engine: per-request timeout, bounded retransmission with
+   exponential backoff, Error.Timeout on exhaustion. *)
+
+let rpc_timeout_s = 0.25
+let rpc_max_attempts = 5
+let rpc_backoff = 2.0
+let fresh_corr t = t.next_corr <- Int64.add t.next_corr 1L; t.next_corr
+
+let rpc_schedule t =
+  match t.att with Some { schedule = Some f; _ } -> Some f | _ -> None
+
+(* A settled rpc leaves its last timer armed; it finds no table entry and
+   does nothing (the engine has no cancellation). *)
+let rec arm_rpc t tbl key (rpc : rpc) =
+  match rpc_schedule t with
+  | None -> ()
+  | Some sched ->
+      let delay =
+        rpc_timeout_s *. (rpc_backoff ** float_of_int (rpc.attempts - 1))
+      in
+      sched ~delay (fun () -> rpc_timer_fired t tbl key)
+
+and rpc_timer_fired t tbl key =
+  match I64_tbl.find_opt tbl key with
+  | None -> ()
+  | Some rpc ->
+      if rpc.attempts >= rpc_max_attempts then begin
+        I64_tbl.remove tbl key;
+        t.rpc_timeouts <- t.rpc_timeouts + 1;
+        M.Counter.incr m_rpc_timeouts;
+        Logs.warn (fun m ->
+            m "%s: %s: no reply after %d attempts" t.host_name rpc.what
+              rpc.attempts);
+        rpc.on_timeout ()
+      end
+      else begin
+        rpc.attempts <- rpc.attempts + 1;
+        t.rpc_retries <- t.rpc_retries + 1;
+        M.Counter.incr m_rpc_retries;
+        let span =
+          Span.start_for Span.default
+            ~id:(Printf.sprintf "rpc:%Ld" key)
+            ~stage:"host.rpc.retransmit"
+        in
+        rpc.resend ();
+        Span.finish Span.default span;
+        arm_rpc t tbl key rpc
+      end
+
+let start_rpc t tbl key ~what ?(on_reply = fun (_ : Msgs.t) -> ()) ~resend
+    ~on_timeout () =
+  let rpc = { what; resend; on_reply; on_timeout; attempts = 1 } in
+  I64_tbl.replace tbl key rpc;
+  resend ();
+  arm_rpc t tbl key rpc
+
+(* Remove a pending rpc (reply arrived through another path); later
+   duplicates become orphans. *)
+let settle_rpc tbl key = I64_tbl.remove tbl key
+
+let dispatch_reply t ~what corr msg =
+  match I64_tbl.find_opt t.rpcs corr with
+  | Some rpc ->
+      I64_tbl.remove t.rpcs corr;
+      rpc.on_reply msg
+  | None ->
+      M.Counter.incr m_rpc_orphans;
+      Logs.debug (fun m ->
+          m "%s: %s reply with no pending request (corr %Ld)" t.host_name what
+            corr)
 
 (* ------------------------------------------------------------------ *)
 (* Bootstrap (Fig. 2, host side) *)
@@ -219,21 +342,44 @@ let send_packet t ~src_ephid ~dst_aid ~dst_ephid ~proto ~payload =
 (* ------------------------------------------------------------------ *)
 (* EphID acquisition (Fig. 3, host side) *)
 
-let request_ephid t ?(lifetime = Lifetime.Medium) ?(receive_only = false) k =
+let request_ephid_r t ?(lifetime = Lifetime.Medium) ?(receive_only = false) k =
   match (require_att t, require_identity t) with
-  | (Error _ as e), _ | _, (Error _ as e) -> warn t "request_ephid" e
+  | Error e, _ | _, Error e -> k (Error e)
   | Ok _att, Ok id ->
       let keys = Keys.make_ephid_keys t.rng in
+      let corr = fresh_corr t in
       let msg =
-        Management.Client.make_request ~rng:t.rng ~kha:id.kha ~keys ~lifetime
+        Management.Client.make_request ~rng:t.rng ~corr ~kha:id.kha ~keys
+          ~lifetime
       in
-      Queue.add (keys, receive_only, k) t.pending_ephid;
+      (* Retransmits reuse the serialized request: same key/nonce/plaintext
+         seals to the same bytes, and the MS treats each copy as a fresh
+         (idempotent-enough) issuance — the host keeps only the one it
+         pairs by correlation id. *)
+      let payload = Msgs.to_bytes msg in
       t.ephid_requests <- t.ephid_requests + 1;
-      warn t "request_ephid send"
-        (send_packet t ~src_ephid:(Ephid.to_bytes id.ctrl_ephid)
-           ~dst_aid:id.ms_cert.aid
-           ~dst_ephid:(Ephid.to_bytes id.ms_cert.ephid)
-           ~proto:Packet.Control ~payload:(Msgs.to_bytes msg))
+      let resend () =
+        warn t "request_ephid send"
+          (send_packet t ~src_ephid:(Ephid.to_bytes id.ctrl_ephid)
+             ~dst_aid:id.ms_cert.aid
+             ~dst_ephid:(Ephid.to_bytes id.ms_cert.ephid)
+             ~proto:Packet.Control ~payload)
+      in
+      start_rpc t t.rpcs corr ~what:"EphID request" ~resend
+        ~on_reply:(fun msg ->
+          match Management.Client.read_reply ~kha:id.kha msg with
+          | Error e -> k (Error e)
+          | Ok cert ->
+              let endpoint = { cert; keys; receive_only } in
+              t.all_endpoints <- endpoint :: t.all_endpoints;
+              k (Ok endpoint))
+        ~on_timeout:(fun () -> k (Error (Error.Timeout "EphID issuance")))
+        ()
+
+let request_ephid t ?lifetime ?receive_only k =
+  request_ephid_r t ?lifetime ?receive_only (function
+    | Ok endpoint -> k endpoint
+    | Error e -> warn t "request_ephid" (Error e))
 
 let release_endpoint t (endpoint : endpoint) =
   match require_identity t with
@@ -261,6 +407,9 @@ let release_endpoint t (endpoint : endpoint) =
 
 let renewal_margin_s = 30
 
+(* Continuations below receive an [(endpoint, Error.t) result]: an issuance
+   timeout must reach every waiter, or a wedged pool would swallow all later
+   requests for the same key. *)
 let with_pooled_endpoint t key k =
   let fresh_enough (ep : endpoint) =
     match t.att with
@@ -268,7 +417,7 @@ let with_pooled_endpoint t key k =
     | None -> true
   in
   match Hashtbl.find_opt t.pools key with
-  | Some endpoint when fresh_enough endpoint -> k endpoint
+  | Some endpoint when fresh_enough endpoint -> k (Ok endpoint)
   | Some _ | None -> begin
       match Hashtbl.find_opt t.pool_waiters key with
       | Some waiters ->
@@ -277,11 +426,13 @@ let with_pooled_endpoint t key k =
       | None ->
           let waiters = Queue.create () in
           Hashtbl.replace t.pool_waiters key waiters;
-          request_ephid t (fun endpoint ->
-              Hashtbl.replace t.pools key endpoint;
+          request_ephid_r t (fun result ->
+              (match result with
+              | Ok endpoint -> Hashtbl.replace t.pools key endpoint
+              | Error _ -> ());
               Hashtbl.remove t.pool_waiters key;
-              k endpoint;
-              Queue.iter (fun waiter -> waiter endpoint) waiters)
+              k result;
+              Queue.iter (fun waiter -> waiter result) waiters)
     end
 
 let with_source_endpoint t ?app k =
@@ -292,7 +443,7 @@ let with_source_endpoint t ?app k =
   in
   match Granularity.pool_key effective with
   | Some key -> with_pooled_endpoint t key k
-  | None -> request_ephid t k
+  | None -> request_ephid_r t k
 
 (* Keep a small stock of unused EphIDs for per-packet sources. *)
 let prefetch_target = 8
@@ -303,21 +454,27 @@ let rec refill_prefetch t =
     && is_bootstrapped t
   then begin
     t.prefetch_inflight <- t.prefetch_inflight + 1;
-    request_ephid t (fun endpoint ->
-        t.prefetch_inflight <- t.prefetch_inflight - 1;
-        Queue.add endpoint t.prefetched;
-        refill_prefetch t)
+    request_ephid_r t (function
+      | Error e ->
+          t.prefetch_inflight <- t.prefetch_inflight - 1;
+          warn t "prefetch" (Error e)
+      | Ok endpoint ->
+          t.prefetch_inflight <- t.prefetch_inflight - 1;
+          Queue.add endpoint t.prefetched;
+          refill_prefetch t)
   end
 
 let take_fresh_source t k =
   if Queue.is_empty t.prefetched then
-    request_ephid t (fun endpoint ->
-        refill_prefetch t;
-        k endpoint)
+    request_ephid_r t (function
+      | Error e -> k (Error e)
+      | Ok endpoint ->
+          refill_prefetch t;
+          k (Ok endpoint))
   else begin
     let endpoint = Queue.pop t.prefetched in
     refill_prefetch t;
-    k endpoint
+    k (Ok endpoint)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -333,6 +490,29 @@ let send_frame t ~(endpoint : endpoint) ~remote:(remote_cert : Cert.t) frame =
     ~proto:Packet.Data
     ~payload:(Session.Frame.to_bytes frame)
 
+let forget_session t conn_id =
+  let endpoint = I64_tbl.find_opt t.local_by_conn conn_id in
+  I64_tbl.remove t.sessions_by_conn conn_id;
+  I64_tbl.remove t.local_by_conn conn_id;
+  I64_tbl.remove t.last_packet_by_conn conn_id;
+  I64_tbl.remove t.queued_data conn_id;
+  settle_rpc t.accept_waits conn_id;
+  I64_tbl.remove t.accept_resend conn_id;
+  I64_tbl.remove t.init_in_progress conn_id;
+  (* Per-flow EphIDs die with their flow: preemptively release the backing
+     EphID unless it is pooled (per-host/per-application) or receive-only
+     (§VIII-G2: hosts manage their EphID pool). *)
+  match endpoint with
+  | None -> ()
+  | Some endpoint ->
+      let pooled =
+        Hashtbl.fold
+          (fun _ (e : endpoint) acc -> acc || Cert.equal e.cert endpoint.cert)
+          t.pools false
+      in
+      if (not pooled) && not endpoint.receive_only then
+        warn t "close: release" (release_endpoint t endpoint)
+
 let connect t ~remote ?(data0 = "") ?app ?(expect_accept = false) k =
   match require_att t with
   | Error e -> warn t "connect" (Error e)
@@ -341,7 +521,9 @@ let connect t ~remote ?(data0 = "") ?app ?(expect_accept = false) k =
       (match Trust.verify_cert att.trust ~now remote with
       | Error e -> warn t "connect: peer certificate" (Error e)
       | Ok () ->
-          with_source_endpoint t ?app (fun endpoint ->
+          with_source_endpoint t ?app (function
+            | Error e -> warn t "connect: source EphID" (Error e)
+            | Ok endpoint -> begin
               let conn_id = fresh_conn_id t in
               (* [expect_accept] marks a connection to a receive-only EphID
                  (the DNS record says so): the session stays unestablished
@@ -358,11 +540,27 @@ let connect t ~remote ?(data0 = "") ?app ?(expect_accept = false) k =
                   I64_tbl.replace t.sessions_by_conn conn_id session;
                   I64_tbl.replace t.local_by_conn conn_id endpoint;
                   let seq, sealed = Session.seal session data0 in
-                  warn t "connect: init"
-                    (send_frame t ~endpoint ~remote
-                       (Session.Frame.Init
-                          { conn_id; cert = endpoint.cert; seq; sealed }));
-                  k session))
+                  (* Retransmits must reuse the sealed frame — sealing again
+                     would advance the send sequence. The connection id is
+                     the Init/Accept correlation id. *)
+                  let frame =
+                    Session.Frame.Init
+                      { conn_id; cert = endpoint.cert; seq; sealed }
+                  in
+                  let send_init () =
+                    warn t "connect: init" (send_frame t ~endpoint ~remote frame)
+                  in
+                  if expect_accept then
+                    start_rpc t t.accept_waits conn_id ~what:"session accept"
+                      ~resend:send_init
+                      ~on_timeout:(fun () ->
+                        warn t "connect"
+                          (Error (Error.Timeout "session accept"));
+                        forget_session t conn_id)
+                      ()
+                  else send_init ();
+                  k session
+            end))
 
 let send t session data =
   if not (Session.established session) then begin
@@ -391,8 +589,11 @@ let send t session data =
         if Granularity.equal t.gran Granularity.Per_packet then begin
           (* Fresh source EphID for every packet (§VIII-A): strongest
              unlinkability; the connection id does the demultiplexing. *)
-          take_fresh_source t (fun fresh ->
-              warn t "send(per-packet)" (send_frame t ~endpoint:fresh ~remote frame));
+          take_fresh_source t (function
+              | Error e -> warn t "send(per-packet)" (Error e)
+              | Ok fresh ->
+                  warn t "send(per-packet)"
+                    (send_frame t ~endpoint:fresh ~remote frame));
           Ok ()
         end
         else send_frame t ~endpoint ~remote frame
@@ -408,26 +609,6 @@ let flush_queued t session =
 
 (* ------------------------------------------------------------------ *)
 (* Session teardown *)
-
-let forget_session t conn_id =
-  let endpoint = I64_tbl.find_opt t.local_by_conn conn_id in
-  I64_tbl.remove t.sessions_by_conn conn_id;
-  I64_tbl.remove t.local_by_conn conn_id;
-  I64_tbl.remove t.last_packet_by_conn conn_id;
-  I64_tbl.remove t.queued_data conn_id;
-  (* Per-flow EphIDs die with their flow: preemptively release the backing
-     EphID unless it is pooled (per-host/per-application) or receive-only
-     (§VIII-G2: hosts manage their EphID pool). *)
-  match endpoint with
-  | None -> ()
-  | Some endpoint ->
-      let pooled =
-        Hashtbl.fold
-          (fun _ (e : endpoint) acc -> acc || Cert.equal e.cert endpoint.cert)
-          t.pools false
-      in
-      if (not pooled) && not endpoint.receive_only then
-        warn t "close: release" (release_endpoint t endpoint)
 
 let close t session =
   let conn_id = Session.conn_id session in
@@ -456,14 +637,20 @@ let handle_fin t ~conn_id ~seq ~sealed =
 (* ------------------------------------------------------------------ *)
 (* Server role (§VII-A) *)
 
-let dns_request t ~dns ~(client : endpoint) msg k =
-  Queue.add k t.pending_dns;
-  warn t "dns send"
-    (send_packet t
-       ~src_ephid:(Ephid.to_bytes client.cert.Cert.ephid)
-       ~dst_aid:(dns : Cert.t).Cert.aid
-       ~dst_ephid:(Ephid.to_bytes dns.Cert.ephid)
-       ~proto:Packet.Control ~payload:(Msgs.to_bytes msg))
+let dns_request t ~what ~dns ~(client : endpoint) ~corr msg k =
+  let payload = Msgs.to_bytes msg in
+  let resend () =
+    warn t (what ^ " send")
+      (send_packet t
+         ~src_ephid:(Ephid.to_bytes client.cert.Cert.ephid)
+         ~dst_aid:(dns : Cert.t).Cert.aid
+         ~dst_ephid:(Ephid.to_bytes dns.Cert.ephid)
+         ~proto:Packet.Control ~payload)
+  in
+  start_rpc t t.rpcs corr ~what ~resend
+    ~on_reply:(fun reply -> k (Ok reply))
+    ~on_timeout:(fun () -> k (Error (Error.Timeout what)))
+    ()
 
 (* DNS exchanges are fronted by a dedicated client endpoint (requested on
    demand and cached): its key material seals the query, and using it as
@@ -486,29 +673,49 @@ let publish t ~name ?dns ?ipv4 k =
   | Ok dns_cert ->
       (* Receive-only EphIDs are immune to shutoff (§VII-A), so the
          published name cannot be taken down by revoking its EphID. *)
-      request_ephid t ~lifetime:Lifetime.Long ~receive_only:true
-        (fun ro_endpoint ->
-          with_dns_endpoint t (fun client ->
-              match
-                Dns_service.Client.make_register ~rng:t.rng
-                  ~client_cert:client.cert ~client_keys:client.keys ~dns_cert
-                  ~name ~publish:ro_endpoint.cert ?ipv4 ~receive_only:true ()
-              with
-              | Error e -> warn t "publish: register" (Error e)
-              | Ok msg -> dns_request t ~dns:dns_cert ~client msg (fun _reply -> k ())))
+      request_ephid_r t ~lifetime:Lifetime.Long ~receive_only:true (function
+        | Error e -> warn t "publish: receive-only EphID" (Error e)
+        | Ok ro_endpoint ->
+            with_dns_endpoint t (function
+              | Error e -> warn t "publish: dns client" (Error e)
+              | Ok client -> begin
+                  let corr = fresh_corr t in
+                  match
+                    Dns_service.Client.make_register ~rng:t.rng ~corr
+                      ~client_cert:client.cert ~client_keys:client.keys
+                      ~dns_cert ~name ~publish:ro_endpoint.cert ?ipv4
+                      ~receive_only:true ()
+                  with
+                  | Error e -> warn t "publish: register" (Error e)
+                  | Ok msg ->
+                      dns_request t ~what:"publish" ~dns:dns_cert ~client ~corr
+                        msg (function
+                        | Error e -> warn t "publish" (Error e)
+                        | Ok _reply -> k ())
+                end))
 
 let dns_lookup t ~name ?dns k =
   match (resolve_dns_cert t dns, require_att t) with
   | Error e, _ | _, Error e -> warn t "dns_lookup" (Error e)
   | Ok dns_cert, Ok att ->
-      with_dns_endpoint t (fun client ->
+      with_dns_endpoint t (function
+        | Error e ->
+            warn t "dns_lookup: client EphID" (Error e);
+            k None
+        | Ok client -> begin
+          let corr = fresh_corr t in
           match
-            Dns_service.Client.make_query ~rng:t.rng ~client_cert:client.cert
-              ~client_keys:client.keys ~dns_cert ~name
+            Dns_service.Client.make_query ~rng:t.rng ~corr
+              ~client_cert:client.cert ~client_keys:client.keys ~dns_cert ~name
           with
           | Error e -> warn t "dns_lookup: query" (Error e)
           | Ok msg ->
-              dns_request t ~dns:dns_cert ~client msg (fun reply ->
+              dns_request t ~what:"dns_lookup" ~dns:dns_cert ~client ~corr msg
+                (function
+                  | Error e ->
+                      warn t "dns_lookup" (Error e);
+                      k None
+                  | Ok reply ->
                   match
                     Dns_service.Client.read_reply ~client_keys:client.keys
                       ~client_cert:client.cert ~dns_cert reply
@@ -535,7 +742,8 @@ let dns_lookup t ~name ?dns k =
                               (Error (Error.Bad_signature "zone"));
                             k None
                           end
-                    end))
+                    end)
+        end)
 
 (* ------------------------------------------------------------------ *)
 (* ICMP (§VIII-B) *)
@@ -544,18 +752,27 @@ let ping t ~dst_aid ~dst_ephid k =
   match require_att t with
   | Error e -> warn t "ping" (Error e)
   | Ok att ->
-      with_source_endpoint t (fun endpoint ->
+      with_source_endpoint t (function
+        | Error e -> warn t "ping: source EphID" (Error e)
+        | Ok endpoint ->
           let ident = t.next_ping_ident in
           t.next_ping_ident <- t.next_ping_ident + 1;
+          (* The RTT clock starts at the first transmission; a reply to a
+             retransmitted echo reports the total elapsed time. *)
           Hashtbl.replace t.pending_pings ident (att.now_f (), k);
           let payload =
             Icmp.to_bytes (Icmp.Echo_request { ident; data = "apna-ping" })
           in
-          warn t "ping send"
-            (send_packet t
-               ~src_ephid:(Ephid.to_bytes endpoint.cert.Cert.ephid)
-               ~dst_aid ~dst_ephid:(Ephid.to_bytes dst_ephid)
-               ~proto:Packet.Icmp ~payload))
+          let resend () =
+            warn t "ping send"
+              (send_packet t
+                 ~src_ephid:(Ephid.to_bytes endpoint.cert.Cert.ephid)
+                 ~dst_aid ~dst_ephid:(Ephid.to_bytes dst_ephid)
+                 ~proto:Packet.Icmp ~payload)
+          in
+          start_rpc t t.ping_rpcs (Int64.of_int ident) ~what:"ping" ~resend
+            ~on_timeout:(fun () -> Hashtbl.remove t.pending_pings ident)
+            ())
 
 (* ------------------------------------------------------------------ *)
 (* Shutoff (victim side, Fig. 5) *)
@@ -579,19 +796,6 @@ let request_shutoff t ~session ~evidence =
 (* ------------------------------------------------------------------ *)
 (* Delivery *)
 
-let handle_ephid_reply t msg =
-  match (Queue.take_opt t.pending_ephid, require_identity t) with
-  | None, _ -> Logs.warn (fun m -> m "%s: unexpected EphID reply" t.host_name)
-  | _, Error e -> warn t "ephid reply" (Error e)
-  | Some (keys, receive_only, k), Ok id -> begin
-      match Management.Client.read_reply ~kha:id.kha msg with
-      | Error e -> warn t "ephid reply" (Error e)
-      | Ok cert ->
-          let endpoint = { cert; keys; receive_only } in
-          t.all_endpoints <- endpoint :: t.all_endpoints;
-          k endpoint
-    end
-
 let local_endpoint_for t raw_ephid =
   List.find_opt
     (fun e -> String.equal (Ephid.to_bytes e.cert.Cert.ephid) raw_ephid)
@@ -600,7 +804,20 @@ let local_endpoint_for t raw_ephid =
 let handle_init t (pkt : Packet.t) ~conn_id ~(cert : Cert.t) ~seq ~sealed =
   match require_att t with
   | Error e -> warn t "init" (Error e)
-  | Ok att -> begin
+  | Ok att ->
+      if I64_tbl.mem t.init_in_progress conn_id then
+        (* Retransmitted Init while the serving EphID is still being
+           issued: the Accept will go out when it arrives. *)
+        ()
+      else if I64_tbl.mem t.sessions_by_conn conn_id then begin
+        (* Retransmitted Init for a live connection: re-send the cached
+           Accept verbatim (its seal must not be recomputed) and never
+           re-deliver the 0-RTT data. *)
+        match I64_tbl.find_opt t.accept_resend conn_id with
+        | Some resend -> resend ()
+        | None -> ()
+      end
+      else begin
       match Trust.verify_cert att.trust ~now:(att.now ()) cert with
       | Error e -> warn t "init: client certificate" (Error e)
       | Ok () -> begin
@@ -622,11 +839,16 @@ let handle_init t (pkt : Packet.t) ~conn_id ~(cert : Cert.t) ~seq ~sealed =
                         warn t "init: 0-rtt" (Error e);
                         None
                   in
-                  if local.receive_only then
+                  if local.receive_only then begin
                     (* §VII-A: never source traffic from a receive-only
                        EphID — answer from a fresh serving EphID and move
                        the session onto it. *)
-                    request_ephid t (fun serving ->
+                    I64_tbl.replace t.init_in_progress conn_id ();
+                    request_ephid_r t (fun result ->
+                        I64_tbl.remove t.init_in_progress conn_id;
+                        match result with
+                        | Error e -> warn t "init: serving EphID" (Error e)
+                        | Ok serving -> begin
                         match
                           Session.create ~conn_id ~initiator:false
                             ~local_cert:serving.cert ~local_keys:serving.keys
@@ -637,17 +859,28 @@ let handle_init t (pkt : Packet.t) ~conn_id ~(cert : Cert.t) ~seq ~sealed =
                             I64_tbl.replace t.sessions_by_conn conn_id session';
                             I64_tbl.replace t.local_by_conn conn_id serving;
                             let seq, sealed = Session.seal session' "" in
-                            warn t "init: accept"
-                              (send_frame t ~endpoint:serving ~remote:cert
-                                 (Session.Frame.Accept
-                                    { conn_id; cert = serving.cert; seq; sealed }));
+                            let accept_frame =
+                              Session.Frame.Accept
+                                { conn_id; cert = serving.cert; seq; sealed }
+                            in
+                            let resend () =
+                              warn t "init: accept"
+                                (send_frame t ~endpoint:serving ~remote:cert
+                                   accept_frame)
+                            in
+                            (* A lost Accept is recovered by the client's
+                               Init retransmission hitting the cache. *)
+                            I64_tbl.replace t.accept_resend conn_id resend;
+                            resend ();
                             if t.accept_zero_rtt then
                               Option.iter
                                 (fun d -> if d <> "" then deliver_data t session' d)
                                 data0
                             else
                               Logs.debug (fun m ->
-                                  m "%s: 0-RTT data refused by policy" t.host_name))
+                                  m "%s: 0-RTT data refused by policy" t.host_name)
+                        end)
+                  end
                   else begin
                     I64_tbl.replace t.sessions_by_conn conn_id session;
                     I64_tbl.replace t.local_by_conn conn_id local;
@@ -655,21 +888,34 @@ let handle_init t (pkt : Packet.t) ~conn_id ~(cert : Cert.t) ~seq ~sealed =
                   end
             end
         end
-    end
+      end
 
 let handle_accept t ~conn_id ~(cert : Cert.t) ~seq:_ ~sealed:_ =
   match (I64_tbl.find_opt t.sessions_by_conn conn_id, require_att t) with
   | None, _ -> Logs.warn (fun m -> m "%s: accept for unknown conn" t.host_name)
   | _, Error e -> warn t "accept" (Error e)
-  | Some session, Ok att -> begin
-      match Trust.verify_cert att.trust ~now:(att.now ()) cert with
-      | Error e -> warn t "accept: serving certificate" (Error e)
-      | Ok () -> begin
-          match Session.rekey session ~remote_cert:cert with
-          | Error e -> warn t "accept: rekey" (Error e)
-          | Ok () -> flush_queued t session
-        end
-    end
+  | Some session, Ok att ->
+      if Session.established session then begin
+        (* Duplicate (retransmitted) Accept: the first one already rekeyed
+           this session; rekeying again would reset the replay window and
+           send sequence mid-connection. *)
+        if not (Cert.equal (Session.remote_cert session) cert) then
+          Logs.warn (fun m ->
+              m "%s: conflicting accept for established conn ignored"
+                t.host_name)
+      end
+      else begin
+        match Trust.verify_cert att.trust ~now:(att.now ()) cert with
+        | Error e -> warn t "accept: serving certificate" (Error e)
+        | Ok () -> begin
+            match Session.rekey session ~remote_cert:cert with
+            | Error e -> warn t "accept: rekey" (Error e)
+            | Ok () ->
+                (* Cancel the Init retransmission loop. *)
+                settle_rpc t.accept_waits conn_id;
+                flush_queued t session
+          end
+      end
 
 let handle_data_frame t ~conn_id ~seq ~sealed =
   match I64_tbl.find_opt t.sessions_by_conn conn_id with
@@ -715,6 +961,7 @@ let rec handle_icmp t (pkt : Packet.t) =
       match (Hashtbl.find_opt t.pending_pings ident, require_att t) with
       | Some (t0, k), Ok att ->
           Hashtbl.remove t.pending_pings ident;
+          settle_rpc t.ping_rpcs (Int64.of_int ident);
           k (att.now_f () -. t0)
       | _ -> ()
     end
@@ -727,12 +974,10 @@ let deliver t (pkt : Packet.t) =
   | Packet.Control -> begin
       match Msgs.of_bytes pkt.payload with
       | Error e -> warn t "control" (Error e)
-      | Ok (Msgs.Ephid_reply _ as msg) -> handle_ephid_reply t msg
-      | Ok (Msgs.Dns_reply _ as msg) -> begin
-          match Queue.take_opt t.pending_dns with
-          | Some k -> k msg
-          | None -> Logs.warn (fun m -> m "%s: unexpected DNS reply" t.host_name)
-        end
+      | Ok (Msgs.Ephid_reply { corr; _ } as msg) ->
+          dispatch_reply t ~what:"EphID" corr msg
+      | Ok (Msgs.Dns_reply { corr; _ } as msg) ->
+          dispatch_reply t ~what:"DNS" corr msg
       | Ok (Msgs.Revocation_notice { ephid }) -> begin
           match Ephid.of_bytes ephid with
           | Error e -> warn t "revocation notice" (Error (Error.Malformed e))

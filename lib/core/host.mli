@@ -4,9 +4,14 @@
 
     Hosts are event-driven: operations that involve a network round trip
     (EphID issuance, connection establishment, DNS, ping) take a
-    continuation that fires when the reply arrives. With the discrete-event
-    engine, running the simulation to quiescence resolves all of them
-    deterministically. *)
+    continuation that fires when the reply arrives. Every round trip
+    carries a correlation id echoed in the reply and is retransmitted with
+    exponential backoff (up to 5 attempts, starting at 250 ms) when the
+    attachment provides a timer; on exhaustion the continuation receives
+    [Error.Timeout] (or, for the success-typed convenience wrappers, a
+    warning is logged and the continuation never fires). With the
+    discrete-event engine, running the simulation to quiescence resolves
+    all of them deterministically. *)
 
 type t
 
@@ -15,6 +20,10 @@ type attachment = {
   now : unit -> int;  (** Unix seconds (simulated). *)
   now_f : unit -> float;  (** Simulated time, sub-second resolution. *)
   submit : Apna_net.Packet.t -> unit;  (** Hand a packet to the AS. *)
+  schedule : (delay:float -> (unit -> unit) -> unit) option;
+      (** Timer facility backing retransmission and timeouts. [None]
+          disables timers: requests are sent once and wait indefinitely
+          (the pre-fault-model behaviour). *)
   bootstrap_rpc :
     host_dh_pub:string -> (Registry.reply, Error.t) result;
       (** The out-of-band authenticated channel to the RS (Fig. 2); the
@@ -58,12 +67,20 @@ val ms_cert : t -> Cert.t option
 val dns_cert : t -> Cert.t option
 val kha : t -> Keys.host_as option
 
+val request_ephid_r :
+  t -> ?lifetime:Lifetime.t -> ?receive_only:bool ->
+  ((endpoint, Error.t) result -> unit) -> unit
+(** Requests a fresh EphID from the MS (Fig. 3). The reply is matched by
+    correlation id (never by arrival order); the request is retransmitted
+    with backoff on loss, and the continuation fires exactly once — with
+    the endpoint, or with [Error.Timeout] when every attempt went
+    unanswered. *)
+
 val request_ephid :
   t -> ?lifetime:Lifetime.t -> ?receive_only:bool ->
   (endpoint -> unit) -> unit
-(** Requests a fresh EphID from the MS (Fig. 3); the continuation receives
-    the new endpoint. Replies match requests in FIFO order (delivery within
-    an AS is ordered in this simulator). *)
+(** {!request_ephid_r} with errors logged instead of delivered: on failure
+    the continuation never fires. *)
 
 val endpoints : t -> endpoint list
 
@@ -82,7 +99,10 @@ val connect :
     sends the [Init] frame — carrying [data0] as 0-RTT data when given
     (§VII-C). The continuation receives the session as soon as it exists
     locally; if [remote] is receive-only, the session is usable but
-    unestablished until the server's [Accept] arrives. *)
+    unestablished until the server's [Accept] arrives. With
+    [expect_accept], the [Init] frame is retransmitted verbatim with
+    backoff until the [Accept] lands (the receiver deduplicates by
+    connection id); on exhaustion the session is forgotten. *)
 
 val send : t -> Session.t -> string -> (unit, Error.t) result
 (** Sends a data frame on an established session. Under
@@ -156,3 +176,13 @@ val request_shutoff : t -> session:Session.t -> evidence:Apna_net.Packet.t ->
 
 val ephid_requests_sent : t -> int
 val packets_sent : t -> int
+
+val rpc_retries : t -> int
+(** Control-plane retransmissions this host has performed. *)
+
+val rpc_timeouts : t -> int
+(** Round trips abandoned with [Error.Timeout]. *)
+
+val pending_rpc_count : t -> int
+(** In-flight round trips (issuance/DNS, awaited Accepts, pings) — 0 once
+    every continuation has fired. *)

@@ -43,7 +43,7 @@ let issue_direct t ~now ~hid ~kx_pub ~sig_pub ~lifetime =
 
 let handle_request t ~now ~src_ephid msg =
   match msg with
-  | Msgs.Ephid_request { nonce; sealed } -> begin
+  | Msgs.Ephid_request { corr; nonce; sealed } -> begin
       (* Fig. 3: decrypt the control EphID; check expiry; check HID. *)
       match Ephid.parse_bytes t.keys src_ephid with
       | Error e -> Error e
@@ -73,7 +73,12 @@ let handle_request t ~now ~src_ephid msg =
                             Aead.seal ~key:entry.kha.ctrl ~nonce:reply_nonce
                               (Cert.to_bytes cert)
                           in
-                          Ok (Msgs.Ephid_reply { nonce = reply_nonce; sealed })
+                          (* Echo the requester's correlation id so the
+                             host can pair the reply even after loss or
+                             reordering. *)
+                          Ok
+                            (Msgs.Ephid_reply
+                               { corr; nonce = reply_nonce; sealed })
                     end
                 end
             end
@@ -123,13 +128,15 @@ let handle_release t ~now ~src_ephid msg =
   | _ -> Error (Error.Malformed "MS: not a release")
 
 module Client = struct
-  let make_request_raw ~rng ~(kha : Keys.host_as) ~kx_pub ~sig_pub ~lifetime =
+  let make_request_raw ~rng ~corr ~(kha : Keys.host_as) ~kx_pub ~sig_pub
+      ~lifetime =
     let body = Msgs.Request_body.to_bytes { kx_pub; sig_pub; lifetime } in
     let nonce = Drbg.generate rng Aead.nonce_size in
-    Msgs.Ephid_request { nonce; sealed = Aead.seal ~key:kha.ctrl ~nonce body }
+    Msgs.Ephid_request
+      { corr; nonce; sealed = Aead.seal ~key:kha.ctrl ~nonce body }
 
-  let make_request ~rng ~kha ~(keys : Keys.ephid_keys) ~lifetime =
-    make_request_raw ~rng ~kha ~kx_pub:keys.kx_public
+  let make_request ~rng ~corr ~kha ~(keys : Keys.ephid_keys) ~lifetime =
+    make_request_raw ~rng ~corr ~kha ~kx_pub:keys.kx_public
       ~sig_pub:(Ed25519.public_key keys.sig_keypair) ~lifetime
 
   let make_release ~rng ~(kha : Keys.host_as) ~ephid =
@@ -138,7 +145,7 @@ module Client = struct
       { nonce; sealed = Aead.seal ~key:kha.ctrl ~nonce (Ephid.to_bytes ephid) }
 
   let read_reply ~(kha : Keys.host_as) = function
-    | Msgs.Ephid_reply { nonce; sealed } -> begin
+    | Msgs.Ephid_reply { nonce; sealed; _ } -> begin
         match Aead.open_ ~key:kha.ctrl ~nonce sealed with
         | Error e -> Error (Error.Crypto e)
         | Ok cert_bytes -> Cert.of_bytes cert_bytes

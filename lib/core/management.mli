@@ -49,12 +49,13 @@ val released_count : t -> int
 (** Host-side helpers for the request/reply exchange. *)
 module Client : sig
   val make_request :
-    rng:Apna_crypto.Drbg.t -> kha:Keys.host_as -> keys:Keys.ephid_keys ->
-    lifetime:Lifetime.t -> Msgs.t
+    rng:Apna_crypto.Drbg.t -> corr:int64 -> kha:Keys.host_as ->
+    keys:Keys.ephid_keys -> lifetime:Lifetime.t -> Msgs.t
+  (** [corr] is the requester-chosen correlation id, echoed in the reply. *)
 
   val make_request_raw :
-    rng:Apna_crypto.Drbg.t -> kha:Keys.host_as -> kx_pub:string ->
-    sig_pub:string -> lifetime:Lifetime.t -> Msgs.t
+    rng:Apna_crypto.Drbg.t -> corr:int64 -> kha:Keys.host_as ->
+    kx_pub:string -> sig_pub:string -> lifetime:Lifetime.t -> Msgs.t
   (** Request with externally supplied public keys — what a NAT-mode access
       point sends on behalf of a client (§VII-B). *)
 

@@ -1,12 +1,17 @@
 open Apna_util.Rw
 
 type t =
-  | Ephid_request of { nonce : string; sealed : string }
-  | Ephid_reply of { nonce : string; sealed : string }
+  | Ephid_request of { corr : int64; nonce : string; sealed : string }
+  | Ephid_reply of { corr : int64; nonce : string; sealed : string }
   | Shutoff_request of { packet : string; signature : string; cert : string }
-  | Dns_query of { client_cert : string; nonce : string; sealed : string }
-  | Dns_reply of { nonce : string; sealed : string }
-  | Dns_register of { client_cert : string; nonce : string; sealed : string }
+  | Dns_query of { corr : int64; client_cert : string; nonce : string; sealed : string }
+  | Dns_reply of { corr : int64; nonce : string; sealed : string }
+  | Dns_register of {
+      corr : int64;
+      client_cert : string;
+      nonce : string;
+      sealed : string;
+    }
   | Revocation_notice of { ephid : string }
   | Ephid_release of { nonce : string; sealed : string }
 
@@ -22,6 +27,15 @@ let tag = function
   | Revocation_notice _ -> 6
   | Ephid_release _ -> 7
 
+let corr = function
+  | Ephid_request { corr; _ }
+  | Ephid_reply { corr; _ }
+  | Dns_query { corr; _ }
+  | Dns_reply { corr; _ }
+  | Dns_register { corr; _ } ->
+      Some corr
+  | Shutoff_request _ | Revocation_notice _ | Ephid_release _ -> None
+
 let write_var w s =
   Writer.u16 w (String.length s);
   Writer.bytes w s
@@ -34,16 +48,22 @@ let to_bytes t =
   let w = Writer.create () in
   Writer.u8 w (tag t);
   (match t with
-  | Ephid_request { nonce; sealed } | Ephid_reply { nonce; sealed }
-  | Dns_reply { nonce; sealed } | Ephid_release { nonce; sealed } ->
+  | Ephid_request { corr; nonce; sealed }
+  | Ephid_reply { corr; nonce; sealed }
+  | Dns_reply { corr; nonce; sealed } ->
+      Writer.u64 w corr;
+      Writer.bytes w nonce;
+      write_var w sealed
+  | Ephid_release { nonce; sealed } ->
       Writer.bytes w nonce;
       write_var w sealed
   | Shutoff_request { packet; signature; cert } ->
       write_var w packet;
       write_var w signature;
       write_var w cert
-  | Dns_query { client_cert; nonce; sealed }
-  | Dns_register { client_cert; nonce; sealed } ->
+  | Dns_query { corr; client_cert; nonce; sealed }
+  | Dns_register { corr; client_cert; nonce; sealed } ->
+      Writer.u64 w corr;
       write_var w client_cert;
       Writer.bytes w nonce;
       write_var w sealed
@@ -56,27 +76,32 @@ let of_bytes s =
     let* kind = Reader.u8 r in
     let* msg =
       match kind with
-      | 0 | 1 | 4 | 7 ->
+      | 0 | 1 | 4 ->
+          let* corr = Reader.u64 r in
           let* nonce = Reader.bytes r nonce_size in
           let* sealed = read_var r in
           Ok
             (match kind with
-            | 0 -> Ephid_request { nonce; sealed }
-            | 1 -> Ephid_reply { nonce; sealed }
-            | 4 -> Dns_reply { nonce; sealed }
-            | _ -> Ephid_release { nonce; sealed })
+            | 0 -> Ephid_request { corr; nonce; sealed }
+            | 1 -> Ephid_reply { corr; nonce; sealed }
+            | _ -> Dns_reply { corr; nonce; sealed })
+      | 7 ->
+          let* nonce = Reader.bytes r nonce_size in
+          let* sealed = read_var r in
+          Ok (Ephid_release { nonce; sealed })
       | 2 ->
           let* packet = read_var r in
           let* signature = read_var r in
           let* cert = read_var r in
           Ok (Shutoff_request { packet; signature; cert })
       | 3 | 5 ->
+          let* corr = Reader.u64 r in
           let* client_cert = read_var r in
           let* nonce = Reader.bytes r nonce_size in
           let* sealed = read_var r in
           Ok
-            (if kind = 3 then Dns_query { client_cert; nonce; sealed }
-             else Dns_register { client_cert; nonce; sealed })
+            (if kind = 3 then Dns_query { corr; client_cert; nonce; sealed }
+             else Dns_register { corr; client_cert; nonce; sealed })
       | 6 ->
           let* ephid = Reader.bytes r 16 in
           Ok (Revocation_notice { ephid })

@@ -2,23 +2,32 @@
 
     EphID request/reply bodies are AEAD-sealed under the host–AS control
     key so that an on-path observer cannot link the ephemeral public keys
-    in requests to later connection-establishment packets (§IV-C). *)
+    in requests to later connection-establishment packets (§IV-C).
+
+    Round-trip messages carry a [corr]elation id chosen by the requester
+    and echoed verbatim in the reply; hosts match replies to pending
+    continuations by this id, so lost, duplicated or reordered replies can
+    never mis-pair (and retransmitted requests are cheap to deduplicate). *)
 
 type t =
-  | Ephid_request of { nonce : string; sealed : string }
+  | Ephid_request of { corr : int64; nonce : string; sealed : string }
       (** host → MS, sealed under kHA-ctrl: {!request_body}. *)
-  | Ephid_reply of { nonce : string; sealed : string }
+  | Ephid_reply of { corr : int64; nonce : string; sealed : string }
       (** MS → host, sealed under kHA-ctrl: certificate bytes. *)
   | Shutoff_request of { packet : string; signature : string; cert : string }
       (** victim → AA of the source (Fig. 5): the unwanted packet, an
           Ed25519 signature over it by the victim's EphID key, and the
           victim's certificate. *)
-  | Dns_query of { client_cert : string; nonce : string; sealed : string }
+  | Dns_query of { corr : int64; client_cert : string; nonce : string; sealed : string }
       (** sealed under ECDH(client EphID key, DNS service key): the name. *)
-  | Dns_reply of { nonce : string; sealed : string }
+  | Dns_reply of { corr : int64; nonce : string; sealed : string }
       (** sealed likewise: a {!Dns_record} or an empty string for NXDOMAIN. *)
-  | Dns_register of { client_cert : string; nonce : string; sealed : string }
-      (** sealed likewise: name length-prefixed, then the record. *)
+  | Dns_register of {
+      corr : int64;
+      client_cert : string;
+      nonce : string;
+      sealed : string;
+    }  (** sealed likewise: name length-prefixed, then the record. *)
   | Revocation_notice of { ephid : string }
       (** AA → source host after a shutoff: which EphID was revoked, so the
           host can identify the application behind it (§VIII-A). *)
@@ -30,6 +39,10 @@ type t =
 
 val to_bytes : t -> string
 val of_bytes : string -> (t, Error.t) result
+
+val corr : t -> int64 option
+(** The correlation id of a round-trip message; [None] for one-way
+    messages (shutoff, revocation notice, release). *)
 
 (** EphID request body (the confidential part). *)
 module Request_body : sig

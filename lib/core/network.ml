@@ -24,9 +24,9 @@ let decapsulate bytes =
   let* header = Ipv4_header.of_bytes bytes in
   if header.protocol <> Ipv4_header.protocol_gre then Error "not GRE"
   else begin
-    let inner =
-      String.sub bytes Ipv4_header.size (String.length bytes - Ipv4_header.size)
-    in
+    (* Slice by the header's length field, not the buffer length: bytes
+       past total_len are link padding, not GRE payload. *)
+    let inner = String.sub bytes Ipv4_header.size header.payload_len in
     let* proto, apna = Gre.decapsulate inner in
     if proto <> Gre.protocol_apna then Error "not an APNA payload"
     else Packet.of_bytes apna
@@ -37,12 +37,22 @@ type t = {
   topology : Topology.t;
   trust : Trust.t;
   rng : Apna_crypto.Drbg.t;
+  (* Fault decisions draw from their own DRBG so that turning faults on
+     (or off) never perturbs protocol randomness — and a given seed injects
+     the same faults no matter what the protocol does in between. *)
+  fault_rng : Apna_crypto.Drbg.t;
   nodes : As_node.t Addr.Aid_tbl.t;
   epoch : int;
   (* Store-and-forward FIFO per directed link: when its sender side frees
      up. Serialization happens in order, so small packets cannot overtake
      large ones queued ahead of them. *)
   link_busy_until : (int * int, float ref) Hashtbl.t;
+  (* Departure times of frames admitted to a bounded sender queue; entries
+     at or before "now" have left the queue. Only touched when the link
+     has a queue bound. *)
+  link_queues : (int * int, float Queue.t) Hashtbl.t;
+  mutable host_faults : Link.faults option;
+  host_fault_stats : Link.fault_stats;
   mutable tap : from:Addr.aid -> to_:Addr.aid -> Packet.t -> unit;
   transport : transport;
 }
@@ -60,12 +70,33 @@ let create ?(seed = "apna-network") ?(epoch = 1_750_000_000)
     topology = Topology.create ();
     trust = Trust.create ();
     rng = Apna_crypto.Drbg.create ~seed;
+    fault_rng = Apna_crypto.Drbg.create ~seed:(seed ^ "/faults");
     nodes = Addr.Aid_tbl.create 8;
     epoch;
     link_busy_until = Hashtbl.create 16;
+    link_queues = Hashtbl.create 16;
+    host_faults = None;
+    host_fault_stats = Link.fresh_fault_stats ();
     tap = (fun ~from:_ ~to_:_ _ -> ());
     transport;
   }
+
+(* Uniform float in [0, 1) with 53 random bits, straight off the fault
+   DRBG. *)
+let fault_rand t () =
+  let s = Apna_crypto.Drbg.generate t.fault_rng 8 in
+  let bits = Int64.shift_right_logical (String.get_int64_be s 0) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+(* Access-link fault plan for one host<->BR crossing: [None] = no faults
+   configured, deliver exactly as before; [Some extras] = one delivered
+   copy per entry ([] = lost). *)
+let host_delivery_plan t =
+  match t.host_faults with
+  | None -> None
+  | Some f when not (Link.faults_active f) -> None
+  | Some f ->
+      Some (Link.plan_faults f ~stats:t.host_fault_stats ~rand:(fault_rand t))
 
 let engine t = t.engine
 let topology t = t.topology
@@ -91,6 +122,7 @@ let add_as t as_number ?dns_zone ?retention ?icmp_encryption () =
       ~aid ~trust:t.trust ~topology:t.topology
       ~now:(fun () -> now_unix t)
       ~now_f:(fun () -> now_f t)
+      ~schedule:(fun ~delay f -> Apna_sim.Engine.schedule_in t.engine ~delay f)
       ?dns_zone ?retention ?icmp_encryption ()
   in
   As_node.set_emit node (fun ~next pkt ->
@@ -135,15 +167,55 @@ let add_as t as_number ?dns_zone ?retention ?icmp_encryption () =
                  })
           end
           else begin
-            Link.observe_transit ~bytes:wire_bytes;
-            let serialization =
-              float_of_int (8 * wire_bytes) /. link.Link.capacity_bps
+            let faults = link.Link.faults in
+            (* Bounded sender queue: frames whose serialization already
+               finished have left; if what remains fills the bound, this
+               frame is tail-dropped before it ever occupies the wire. *)
+            let admitted =
+              faults.Link.queue_frames = 0
+              ||
+              let q =
+                match Hashtbl.find_opt t.link_queues key with
+                | Some q -> q
+                | None ->
+                    let q = Queue.create () in
+                    Hashtbl.replace t.link_queues key q;
+                    q
+              in
+              while (not (Queue.is_empty q)) && Queue.peek q <= now do
+                ignore (Queue.pop q)
+              done;
+              if Queue.length q >= faults.Link.queue_frames then begin
+                Link.note_queue_drop ~stats:(Link.fault_stats link);
+                false
+              end
+              else true
             in
-            let departure = Float.max now !busy +. serialization in
-            busy := departure;
-            Apna_sim.Engine.schedule t.engine
-              ~at:(departure +. link.Link.propagation_s)
-              deliver
+            if admitted then begin
+              Link.observe_transit ~bytes:wire_bytes;
+              let serialization =
+                float_of_int (8 * wire_bytes) /. link.Link.capacity_bps
+              in
+              let departure = Float.max now !busy +. serialization in
+              busy := departure;
+              if faults.Link.queue_frames > 0 then
+                Queue.add departure (Hashtbl.find t.link_queues key);
+              (* One event per delivered copy: [] = lost on the wire (the
+                 sender still paid serialization), extra delay = reorder
+                 jitter. Fault-free links take the exact pre-fault path —
+                 no DRBG draw, a single on-time delivery. *)
+              let copies =
+                if Link.faults_active faults then
+                  Link.plan_delivery link ~rand:(fault_rand t)
+                else [ 0.0 ]
+              in
+              List.iter
+                (fun extra ->
+                  Apna_sim.Engine.schedule t.engine
+                    ~at:(departure +. link.Link.propagation_s +. extra)
+                    deliver)
+                copies
+            end
           end
       | _ ->
           Logs.debug (fun m ->
@@ -161,7 +233,20 @@ let add_host t ~as_number ~name ~credential ?granularity () =
       ~rng:(Apna_crypto.Drbg.split t.rng ("host-" ^ name))
       ?granularity ()
   in
-  As_node.add_host node host ~credential;
+  As_node.add_host node host
+    ~deliver:(fun pkt ->
+      (* BR -> host crossing of the access link. Without configured host
+         faults this stays synchronous, exactly the pre-fault behaviour. *)
+      match host_delivery_plan t with
+      | None -> Host.deliver host pkt
+      | Some copies ->
+          List.iter
+            (fun extra ->
+              Apna_sim.Engine.schedule_in t.engine
+                ~delay:(intra_as_delay_s +. extra) (fun () ->
+                  Host.deliver host pkt))
+            copies)
+    ~credential ();
   (* Submissions hop the host->BR access link through the engine so every
      exchange consumes simulated time and stays deterministically ordered. *)
   (match Host.attachment host with
@@ -172,11 +257,28 @@ let add_host t ~as_number ~name ~credential ?granularity () =
           att with
           submit =
             (fun pkt ->
-              Apna_sim.Engine.schedule_in t.engine ~delay:intra_as_delay_s
-                (fun () -> direct_submit pkt));
+              match host_delivery_plan t with
+              | None ->
+                  Apna_sim.Engine.schedule_in t.engine ~delay:intra_as_delay_s
+                    (fun () -> direct_submit pkt)
+              | Some copies ->
+                  List.iter
+                    (fun extra ->
+                      Apna_sim.Engine.schedule_in t.engine
+                        ~delay:(intra_as_delay_s +. extra) (fun () ->
+                          direct_submit pkt))
+                    copies);
         }
   | None -> assert false);
   host
+
+let set_host_faults t faults = t.host_faults <- faults
+let host_fault_stats t = t.host_fault_stats
+
+let link_fault_stats t a b =
+  match Topology.link t.topology (Addr.aid_of_int a) (Addr.aid_of_int b) with
+  | Some link -> Some (Link.fault_stats link)
+  | None -> None
 
 let run ?until t = Apna_sim.Engine.run ?until t.engine
 

@@ -16,7 +16,11 @@ type transport =
           with router IPv4 addresses standing in for AIDs on the wire. *)
 
 val create : ?seed:string -> ?epoch:int -> ?transport:transport -> unit -> t
-(** [epoch] is the Unix time at simulation start (default 1,750,000,000). *)
+(** [epoch] is the Unix time at simulation start (default 1,750,000,000).
+    Fault injection draws from an independent DRBG derived from
+    [seed ^ "/faults"], so identical seeds inject identical faults and
+    fault-free runs are byte-identical to runs built without the fault
+    model at all. *)
 
 val engine : t -> Apna_sim.Engine.t
 val topology : t -> Apna_net.Topology.t
@@ -36,7 +40,22 @@ val node : t -> Apna_net.Addr.aid -> As_node.t option
 val node_exn : t -> int -> As_node.t
 
 val connect_as : t -> int -> int -> ?link:Apna_net.Link.t -> unit -> unit
-(** Inter-AS link; default 10 Gbps, 5 ms. *)
+(** Inter-AS link; default 10 Gbps, 5 ms. Pass a link built with
+    [Link.make ~faults ...] to inject loss, duplication, reorder jitter or
+    a bounded sender queue on every transmission it carries. *)
+
+val link_fault_stats :
+  t -> int -> int -> Apna_net.Link.fault_stats option
+(** Injected-fault counters of the (undirected) link between two AS
+    numbers; [None] when they are not connected. *)
+
+val set_host_faults : t -> Apna_net.Link.faults option -> unit
+(** Applies a fault model to every host<->border-router access-link
+    crossing (both directions, all hosts added by {!add_host}). [None]
+    (the default) restores the exact fault-free delivery path. *)
+
+val host_fault_stats : t -> Apna_net.Link.fault_stats
+(** Counters for faults injected on access links by {!set_host_faults}. *)
 
 val add_host :
   t -> as_number:int -> name:string -> credential:string ->

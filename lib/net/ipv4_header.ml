@@ -63,7 +63,10 @@ let of_bytes s =
     let* dst_bytes = Reader.bytes r 4 in
     let* dst = Addr.hid_of_bytes dst_bytes in
     if total_len < size then Error "ipv4: bad total length"
-    else if String.length s < size then Error "ipv4: truncated"
+    else if total_len > String.length s then
+      (* payload_len must never claim bytes the buffer does not hold;
+         trailing bytes beyond total_len are link padding and are ignored. *)
+      Error "ipv4: truncated"
     else if checksum (String.sub s 0 size) <> 0 then Error "ipv4: bad checksum"
     else Ok { ttl; protocol; src; dst; payload_len = total_len - size }
   end

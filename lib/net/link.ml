@@ -8,16 +8,77 @@ let m_bytes =
   M.Counter.register M.default "apna_net_link_bytes_total"
     ~help:"Wire bytes placed on inter-AS links"
 
-type t = { capacity_bps : float; propagation_s : float; mtu : int }
+let m_lost =
+  M.Counter.register M.default "apna_net_fault_lost_total"
+    ~help:"Frames dropped by injected link loss"
 
-let make ?(capacity_gbps = 10.0) ?(propagation_ms = 5.0) ?(mtu = 1500) () =
+let m_duplicated =
+  M.Counter.register M.default "apna_net_fault_duplicated_total"
+    ~help:"Frames delivered twice by injected link duplication"
+
+let m_reordered =
+  M.Counter.register M.default "apna_net_fault_reordered_total"
+    ~help:"Frames delayed by injected reorder jitter"
+
+let m_queue_drops =
+  M.Counter.register M.default "apna_net_fault_queue_drops_total"
+    ~help:"Frames tail-dropped by a bounded link queue"
+
+type faults = {
+  loss : float;  (** probability a frame is silently dropped *)
+  duplicate : float;  (** probability a frame is delivered twice *)
+  reorder : float;  (** probability a frame picks up extra jitter *)
+  jitter_s : float;  (** max extra delay applied to a reordered frame *)
+  queue_frames : int;  (** bounded sender queue; 0 = unbounded *)
+}
+
+let no_faults =
+  { loss = 0.0; duplicate = 0.0; reorder = 0.0; jitter_s = 0.0; queue_frames = 0 }
+
+let make_faults ?(loss = 0.0) ?(duplicate = 0.0) ?(reorder = 0.0)
+    ?(jitter_ms = 0.0) ?(queue_frames = 0) () =
+  if
+    loss < 0.0 || loss > 1.0 || duplicate < 0.0 || duplicate > 1.0
+    || reorder < 0.0 || reorder > 1.0 || jitter_ms < 0.0 || queue_frames < 0
+  then invalid_arg "Link.make_faults";
+  { loss; duplicate; reorder; jitter_s = jitter_ms /. 1e3; queue_frames }
+
+let faults_active f =
+  f.loss > 0.0 || f.duplicate > 0.0
+  || (f.reorder > 0.0 && f.jitter_s > 0.0)
+  || f.queue_frames > 0
+
+type fault_stats = {
+  mutable lost : int;
+  mutable duplicated : int;
+  mutable reordered : int;
+  mutable queue_dropped : int;
+}
+
+let fresh_fault_stats () =
+  { lost = 0; duplicated = 0; reordered = 0; queue_dropped = 0 }
+
+type t = {
+  capacity_bps : float;
+  propagation_s : float;
+  mtu : int;
+  faults : faults;
+  stats : fault_stats;
+}
+
+let make ?(capacity_gbps = 10.0) ?(propagation_ms = 5.0) ?(mtu = 1500)
+    ?(faults = no_faults) () =
   if capacity_gbps <= 0.0 || propagation_ms < 0.0 || mtu < 128 then
     invalid_arg "Link.make";
   {
     capacity_bps = capacity_gbps *. 1e9;
     propagation_s = propagation_ms /. 1e3;
     mtu;
+    faults;
+    stats = fresh_fault_stats ();
   }
+
+let fault_stats t = t.stats
 
 let transit_delay t ~bytes =
   t.propagation_s +. (float_of_int (8 * bytes) /. t.capacity_bps)
@@ -27,3 +88,38 @@ let transit_delay t ~bytes =
 let observe_transit ~bytes =
   M.Counter.incr m_transits;
   M.Counter.incr ~by:bytes m_bytes
+
+(* Decide the fate of one frame. Draws from [rand] only for fault classes
+   whose probability is non-zero, so a faults record with every probability
+   at 0 consumes no randomness and the run is byte-identical to a fault-free
+   one. Returns the extra delay of each delivered copy; [] means the frame
+   was lost. *)
+let plan_faults f ~(stats : fault_stats) ~rand =
+  if f.loss > 0.0 && rand () < f.loss then begin
+    stats.lost <- stats.lost + 1;
+    M.Counter.incr m_lost;
+    []
+  end
+  else begin
+    let copies =
+      if f.duplicate > 0.0 && rand () < f.duplicate then begin
+        stats.duplicated <- stats.duplicated + 1;
+        M.Counter.incr m_duplicated;
+        2
+      end
+      else 1
+    in
+    List.init copies (fun _ ->
+        if f.reorder > 0.0 && f.jitter_s > 0.0 && rand () < f.reorder then begin
+          stats.reordered <- stats.reordered + 1;
+          M.Counter.incr m_reordered;
+          rand () *. f.jitter_s
+        end
+        else 0.0)
+  end
+
+let plan_delivery t ~rand = plan_faults t.faults ~stats:t.stats ~rand
+
+let note_queue_drop ~(stats : fault_stats) =
+  stats.queue_dropped <- stats.queue_dropped + 1;
+  M.Counter.incr m_queue_drops

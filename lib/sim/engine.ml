@@ -54,7 +54,10 @@ let push t ev =
     else continue := false
   done
 
-let pop t =
+let pop_event t =
+  (* Guard against underflow: popping an empty heap would drive [size] to
+     -1 and hand back the dummy event. *)
+  if t.size = 0 then invalid_arg "Engine.pop: empty heap";
   let top = t.heap.(0) in
   t.size <- t.size - 1;
   t.heap.(0) <- t.heap.(t.size);
@@ -83,10 +86,12 @@ let schedule t ~at action =
 
 let schedule_in t ~delay action = schedule t ~at:(t.clock +. delay) action
 
+let pop t = (pop_event t).action
+
 let step t =
   if t.size = 0 then false
   else begin
-    let ev = pop t in
+    let ev = pop_event t in
     t.clock <- ev.time;
     M.Counter.incr m_events;
     M.Gauge.set m_queue (float_of_int t.size);

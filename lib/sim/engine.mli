@@ -22,6 +22,11 @@ val run : ?until:float -> t -> unit
 (** [run ?until t] processes events in time order until the queue empties
     or simulated time would exceed [until]. *)
 
+val pop : t -> unit -> unit
+(** Removes and returns the earliest event's action without running it or
+    advancing the clock — a low-level hook for schedulers layered on the
+    engine. @raise Invalid_argument on an empty heap (never underflows). *)
+
 val step : t -> bool
 (** [step t] processes one event; [false] when the queue is empty. *)
 

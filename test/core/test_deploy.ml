@@ -272,8 +272,8 @@ let gateway_world () =
     Gateway.create ~name:"gw-server"
       ~rng:(Apna_crypto.Drbg.split (Network.rng net) "gws")
   in
-  As_node.add_host (Network.node_exn net 100) (Gateway.host gw_c) ~credential:"gwc";
-  As_node.add_host (Network.node_exn net 300) (Gateway.host gw_s) ~credential:"gws";
+  As_node.add_host (Network.node_exn net 100) (Gateway.host gw_c) ~credential:"gwc" ();
+  As_node.add_host (Network.node_exn net 300) (Gateway.host gw_s) ~credential:"gws" ();
   ok_or_fail "gwc" (Host.bootstrap (Gateway.host gw_c));
   ok_or_fail "gws" (Host.bootstrap (Gateway.host gw_s));
   let dns_cert =

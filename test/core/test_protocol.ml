@@ -154,8 +154,9 @@ let msgs_tests =
     qtest "ephid request/reply roundtrip"
       QCheck2.Gen.(pair (string_size (return 16)) (gen_bytes 200))
       (fun (nonce, sealed) ->
-        let req = Msgs.Ephid_request { nonce; sealed } in
-        let rep = Msgs.Ephid_reply { nonce; sealed } in
+        let corr = 42L in
+        let req = Msgs.Ephid_request { corr; nonce; sealed } in
+        let rep = Msgs.Ephid_reply { corr; nonce; sealed } in
         Msgs.of_bytes (Msgs.to_bytes req) = Ok req
         && Msgs.of_bytes (Msgs.to_bytes rep) = Ok rep);
     qtest "shutoff request roundtrip"
@@ -166,8 +167,9 @@ let msgs_tests =
     qtest "dns messages roundtrip"
       QCheck2.Gen.(triple (gen_bytes 168) (string_size (return 16)) (gen_bytes 100))
       (fun (client_cert, nonce, sealed) ->
-        let q = Msgs.Dns_query { client_cert; nonce; sealed } in
-        let r = Msgs.Dns_register { client_cert; nonce; sealed } in
+        let corr = 7L in
+        let q = Msgs.Dns_query { corr; client_cert; nonce; sealed } in
+        let r = Msgs.Dns_register { corr; client_cert; nonce; sealed } in
         Msgs.of_bytes (Msgs.to_bytes q) = Ok q
         && Msgs.of_bytes (Msgs.to_bytes r) = Ok r);
     Alcotest.test_case "unknown tag rejected" `Quick (fun () ->
@@ -430,7 +432,7 @@ let management_tests =
     Alcotest.test_case "issues a verifiable certificate" `Quick (fun () ->
         let ms, _, _, kha, ctrl = ms_fixture () in
         let keys = Keys.make_ephid_keys rng in
-        let req = Management.Client.make_request ~rng ~kha ~keys ~lifetime:Lifetime.Short in
+        let req = Management.Client.make_request ~rng ~corr:1L ~kha ~keys ~lifetime:Lifetime.Short in
         match Management.handle_request ms ~now:now0 ~src_ephid:(Ephid.to_bytes ctrl) req with
         | Error e -> Alcotest.fail (Error.to_string e)
         | Ok reply ->
@@ -445,14 +447,14 @@ let management_tests =
         let ms, _, h, kha, _ = ms_fixture () in
         let stale = Ephid.issue_random as_keys rng ~hid:h ~expiry:(now0 - 1) in
         let keys = Keys.make_ephid_keys rng in
-        let req = Management.Client.make_request ~rng ~kha ~keys ~lifetime:Lifetime.Medium in
+        let req = Management.Client.make_request ~rng ~corr:1L ~kha ~keys ~lifetime:Lifetime.Medium in
         check_err "expired" (Error.Expired "control EphID")
           (Management.handle_request ms ~now:now0 ~src_ephid:(Ephid.to_bytes stale) req));
     Alcotest.test_case "revoked HID rejected" `Quick (fun () ->
         let ms, host_info, h, kha, ctrl = ms_fixture () in
         Host_info.revoke_hid host_info h;
         let keys = Keys.make_ephid_keys rng in
-        let req = Management.Client.make_request ~rng ~kha ~keys ~lifetime:Lifetime.Medium in
+        let req = Management.Client.make_request ~rng ~corr:1L ~kha ~keys ~lifetime:Lifetime.Medium in
         check_err "revoked" (Error.Revoked "HID")
           (Management.handle_request ms ~now:now0 ~src_ephid:(Ephid.to_bytes ctrl) req));
     Alcotest.test_case "request sealed under wrong key rejected" `Quick (fun () ->
@@ -460,7 +462,7 @@ let management_tests =
         let wrong_kha = Keys.derive_host_as ~shared_secret:(Drbg.generate rng 32) in
         let keys = Keys.make_ephid_keys rng in
         let req =
-          Management.Client.make_request ~rng ~kha:wrong_kha ~keys
+          Management.Client.make_request ~rng ~corr:1L ~kha:wrong_kha ~keys
             ~lifetime:Lifetime.Medium
         in
         Alcotest.(check bool) "crypto error" true
@@ -470,7 +472,7 @@ let management_tests =
     Alcotest.test_case "forged source EphID rejected" `Quick (fun () ->
         let ms, _, _, kha, _ = ms_fixture () in
         let keys = Keys.make_ephid_keys rng in
-        let req = Management.Client.make_request ~rng ~kha ~keys ~lifetime:Lifetime.Medium in
+        let req = Management.Client.make_request ~rng ~corr:1L ~kha ~keys ~lifetime:Lifetime.Medium in
         Alcotest.(check bool) "malformed" true
           (match Management.handle_request ms ~now:now0 ~src_ephid:(String.make 16 'z') req with
           | Error (Error.Malformed _) -> true
@@ -836,7 +838,7 @@ let dns_tests =
         let client_cert, client_keys = make_cert () in
         let query =
           Result.get_ok
-            (Dns_service.Client.make_query ~rng ~client_cert ~client_keys
+            (Dns_service.Client.make_query ~rng ~corr:1L ~client_cert ~client_keys
                ~dns_cert:(Dns_service.cert dns) ~name:"svc.example.net")
         in
         let reply = Result.get_ok (Dns_service.handle dns ~now:now0 query) in
@@ -858,7 +860,7 @@ let dns_tests =
         let client_cert, client_keys = make_cert () in
         let query =
           Result.get_ok
-            (Dns_service.Client.make_query ~rng ~client_cert ~client_keys
+            (Dns_service.Client.make_query ~rng ~corr:1L ~client_cert ~client_keys
                ~dns_cert:(Dns_service.cert dns) ~name:"nope.example.net")
         in
         let reply = Result.get_ok (Dns_service.handle dns ~now:now0 query) in
@@ -894,7 +896,7 @@ let dns_tests =
         let client_cert, client_keys = make_cert ~keys:rogue_keys () in
         let query =
           Result.get_ok
-            (Dns_service.Client.make_query ~rng ~client_cert ~client_keys
+            (Dns_service.Client.make_query ~rng ~corr:1L ~client_cert ~client_keys
                ~dns_cert:(Dns_service.cert dns) ~name:"svc")
         in
         Alcotest.(check bool) "refused" true

@@ -373,7 +373,7 @@ let privacy_tests =
            topology, so also check the request bytes directly. *)
         let kha = Option.get (Host.kha alice) in
         let req =
-          Management.Client.make_request ~rng:(Drbg.create ~seed:"x") ~kha
+          Management.Client.make_request ~rng:(Drbg.create ~seed:"x") ~corr:1L ~kha
             ~keys:{ kx_secret = ""; kx_public = ep.cert.kx_pub;
                     sig_keypair = Ed25519.keypair_of_seed (String.make 32 'k') }
             ~lifetime:Lifetime.Medium

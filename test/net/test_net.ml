@@ -106,7 +106,32 @@ let ipv4_tests =
           Ipv4_header.make ~ttl ~protocol ~src:(hid src) ~dst:(hid dst)
             ~payload_len ()
         in
-        Ipv4_header.of_bytes (Ipv4_header.to_bytes h) = Ok h);
+        (* of_bytes parses a full datagram buffer: the header must be
+           accompanied by the payload bytes its length field claims. *)
+        let wire = Ipv4_header.to_bytes h ^ String.make payload_len 'p' in
+        Ipv4_header.of_bytes wire = Ok h);
+    Alcotest.test_case "total_len over-claim rejected" `Quick (fun () ->
+        (* A header that claims more payload than the buffer holds must be
+           refused, not silently parsed with phantom bytes. *)
+        let h =
+          Ipv4_header.make ~protocol:6 ~src:(hid 1) ~dst:(hid 2)
+            ~payload_len:32 ()
+        in
+        let wire = Ipv4_header.to_bytes h ^ String.make 10 'p' in
+        Alcotest.(check bool) "rejected" true
+          (Result.is_error (Ipv4_header.of_bytes wire)));
+    Alcotest.test_case "trailing link padding tolerated" `Quick (fun () ->
+        (* Bytes beyond total_len are padding: the parse succeeds and
+           payload_len still reflects only the claimed payload. *)
+        let h =
+          Ipv4_header.make ~protocol:6 ~src:(hid 1) ~dst:(hid 2)
+            ~payload_len:8 ()
+        in
+        let wire = Ipv4_header.to_bytes h ^ String.make 8 'p' ^ "PADPAD" in
+        match Ipv4_header.of_bytes wire with
+        | Error e -> Alcotest.fail e
+        | Ok parsed ->
+            Alcotest.(check int) "payload_len" 8 parsed.Ipv4_header.payload_len);
     Alcotest.test_case "checksum corruption detected" `Quick (fun () ->
         let h =
           Ipv4_header.make ~protocol:6 ~src:(hid 1) ~dst:(hid 2) ~payload_len:10 ()

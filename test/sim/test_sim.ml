@@ -91,6 +91,22 @@ let engine_tests =
         Alcotest.(check int) "two" 2 (Engine.pending e);
         ignore (Engine.step e);
         Alcotest.(check int) "one" 1 (Engine.pending e));
+    Alcotest.test_case "pop on empty heap raises, not underflows" `Quick
+      (fun () ->
+        let e = Engine.create () in
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Engine.pop: empty heap") (fun () ->
+            ignore (Engine.pop e : unit -> unit));
+        (* The failed pop must not corrupt the heap: it still works. *)
+        let ran = ref false in
+        Engine.schedule e ~at:1.0 (fun () -> ran := true);
+        Engine.run e;
+        Alcotest.(check bool) "still functional" true !ran);
+    Alcotest.test_case "run on empty engine is a no-op" `Quick (fun () ->
+        let e = Engine.create () in
+        Engine.run e;
+        Alcotest.(check (float 1e-9)) "clock" 0.0 (Engine.now e);
+        Alcotest.(check int) "pending" 0 (Engine.pending e));
   ]
 
 let rng_tests =
