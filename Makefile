@@ -13,21 +13,26 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# CI gate: full build, every test suite, the chaos smoke (control-plane
-# convergence under injected loss, E13), and a smoke run of the benchmark
-# harness that must produce a parseable BENCH_results.json (the harness
-# re-parses the file itself and fails loudly if it is invalid). The chaos
-# smoke runs first so the final BENCH_results.json is the regular one.
+# CI gate: full build, every test suite, a flight-recorder smoke (apnad
+# trace must export a Chrome trace that trace_check validates: a JSON
+# array whose every element carries name/ph/ts), the chaos smoke
+# (control-plane convergence under injected loss, E13), and a smoke run
+# of the benchmark harness that must produce a parseable
+# BENCH_results.json (the harness re-parses the file itself and fails
+# loudly if it is invalid). The chaos smoke runs first so the final
+# BENCH_results.json is the regular one.
 check:
 	dune build @all
 	dune runtest
+	dune exec bin/apnad.exe -- trace --loss 0.05 --drops --chrome /tmp/apna_chrome_trace.json > /dev/null
+	dune exec bin/trace_check.exe /tmp/apna_chrome_trace.json
 	rm -f BENCH_results.json
 	dune exec bench/main.exe -- --faults --quick
 	test -s BENCH_results.json
 	rm -f BENCH_results.json
 	dune exec bench/main.exe -- --quick
 	test -s BENCH_results.json
-	@echo "check: OK (chaos smoke passed, BENCH_results.json written and validated)"
+	@echo "check: OK (trace + chaos smokes passed, BENCH_results.json written and validated)"
 
 clean:
 	dune clean

@@ -356,12 +356,20 @@ let e2 () =
   M.set_enabled M.default true;
   Span.set_enabled Span.default true;
   let on_ns = time_per_op ~iters:(iters 20_000) egress *. 1e9 in
+  (* Third rung: the packet flight recorder on top of metrics + spans. *)
+  Apna_obs.Event.set_enabled Apna_obs.Event.default true;
+  let events_ns = time_per_op ~iters:(iters 20_000) egress *. 1e9 in
+  Apna_obs.Event.set_enabled Apna_obs.Event.default false;
+  Apna_obs.Event.clear Apna_obs.Event.default;
   Span.set_enabled Span.default false;
   M.set_enabled M.default false;
   line "";
   line "observability overhead on egress: disabled %.0f ns/pkt, enabled %.0f"
     off_ns on_ns;
   line "ns/pkt (metrics + spans): %+.1f%%" ((on_ns -. off_ns) /. off_ns *. 100.0);
+  line "with flight-recorder events too: %.0f ns/pkt (%+.1f%% vs disabled)"
+    events_ns
+    ((events_ns -. off_ns) /. off_ns *. 100.0);
 
   (* Validated-EphID cache: steady-state cost of a flow's 2nd..Nth packet
      (cache hit skips AES-CTR decrypt + CBC-MAC verify, the revocation-list
@@ -429,6 +437,7 @@ let e2 () =
              [
                ("egress_ns_disabled", J.Float off_ns);
                ("egress_ns_enabled", J.Float on_ns);
+               ("egress_ns_events_enabled", J.Float events_ns);
              ] );
          ( "ephid_cache",
            J.Obj
@@ -1121,6 +1130,11 @@ let e13 () =
           Link.make_faults ~loss ~duplicate:(loss /. 2.0) ~reorder:0.1
             ~jitter_ms:1.0 ()
         in
+        (* Flight recorder on for the sweep: each row's journeys feed the
+           "journeys" JSON section. Cleared per row so counts don't mix. *)
+        let ev = Apna_obs.Event.default in
+        Apna_obs.Event.clear ev;
+        Apna_obs.Event.set_enabled ev true;
         let net =
           Network.create ~seed:(Printf.sprintf "e13-%.2f" loss) ()
         in
@@ -1192,6 +1206,34 @@ let e13 () =
         line "%5.0f%% %5s %8d %8d %8d %9d %7d %6d/%-3d" (loss *. 100.0)
           (if converged then "yes" else "NO")
           !ok !timed_out retries timeouts lost duplicated reordered;
+        Apna_obs.Event.set_enabled ev false;
+        let journeys = Apna_obs.Journey.assemble ev in
+        let delivered =
+          List.length
+            (List.filter
+               (fun (j : Apna_obs.Journey.t) ->
+                 j.outcome = Apna_obs.Journey.Delivered)
+               journeys)
+        in
+        if Apna_obs.Event.evicted ev > 0 then
+          line "        (%d flight-recorder events evicted at %.0f%% loss)"
+            (Apna_obs.Event.evicted ev) (loss *. 100.0);
+        let journeys_json =
+          J.Obj
+            [
+              ("loss", J.Float loss);
+              ("total", J.Int (List.length journeys));
+              ("delivered", J.Int delivered);
+              ("not_delivered", J.Int (List.length journeys - delivered));
+              ("events_recorded", J.Int (Apna_obs.Event.recorded ev));
+              ("events_evicted", J.Int (Apna_obs.Event.evicted ev));
+              ( "outcomes",
+                J.Obj
+                  (List.map
+                     (fun (label, n) -> (label, J.Int n))
+                     (Apna_obs.Journey.summary journeys)) );
+            ]
+        in
         ( loss,
           J.Obj
             [
@@ -1205,18 +1247,22 @@ let e13 () =
               ("frames_duplicated", J.Int duplicated);
               ("frames_reordered", J.Int reordered);
             ],
+          journeys_json,
           converged ))
       losses
   in
+  Apna_obs.Event.clear Apna_obs.Event.default;
   let converged_at p =
-    List.exists (fun (l, _, c) -> l = p && c) rows
+    List.exists (fun (l, _, _, c) -> l = p && c) rows
   in
   line "";
   if converged_at 0.10 then
     line "acceptance: full control plane converges at 10%% loss via retries"
   else line "ACCEPTANCE FAILURE: control plane did not converge at 10%% loss";
   add_json "fault_sweep"
-    (J.List (List.map (fun (_, j, _) -> j) rows))
+    (J.List (List.map (fun (_, j, _, _) -> j) rows));
+  add_json "journeys"
+    (J.List (List.map (fun (_, _, jj, _) -> jj) rows))
 
 (* ------------------------------------------------------------------ *)
 

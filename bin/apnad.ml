@@ -3,7 +3,9 @@
    Subcommands:
      demo      run an end-to-end communication scenario and narrate it
      ephid     construct and dissect an EphID (Fig. 6) with throwaway keys
-     trace     summarize the synthetic workload trace (§V-A3)
+     workload  summarize the synthetic workload trace (§V-A3)
+     trace     packet flight recorder: journey waterfalls, drop forensics,
+               Chrome trace-event export
      shutoff   run the DDoS + shutoff escalation scenario (§IV-E, §VIII-G2)
      stats     run a workload with observability on; dump metrics + spans
 
@@ -126,9 +128,9 @@ let ephid_cmd =
     Term.(const run $ verbose $ seed $ hid_arg $ lifetime)
 
 (* ------------------------------------------------------------------ *)
-(* trace *)
+(* workload *)
 
-let trace_cmd =
+let workload_cmd =
   let window =
     Arg.(value & opt float 60.0 & info [ "window" ] ~docv:"SECONDS"
            ~doc:"Window around the peak to analyze.")
@@ -157,8 +159,143 @@ let trace_cmd =
       [ 2.0; 60.0; 900.0; 3600.0 ]
   in
   Cmd.v
-    (Cmd.info "trace" ~doc:"Summarize the synthetic workload trace (\xc2\xa7V-A3).")
+    (Cmd.info "workload"
+       ~doc:"Summarize the synthetic workload trace (\xc2\xa7V-A3).")
     Term.(const run $ verbose $ seed $ window)
+
+(* ------------------------------------------------------------------ *)
+(* trace: the packet flight recorder *)
+
+let trace_cmd =
+  let module Link = Apna_net.Link in
+  let module Span = Apna_obs.Span in
+  let module Event = Apna_obs.Event in
+  let module Journey = Apna_obs.Journey in
+  let flows =
+    Arg.(value & opt int 4 & info [ "flows" ] ~docv:"N" ~doc:"Flows to open.")
+  in
+  let loss =
+    Arg.(
+      value & opt float 0.0
+      & info [ "loss" ] ~docv:"P"
+          ~doc:
+            "Inject probability-$(docv) loss (plus half duplication and \
+             reorder jitter, the E13 fault mix) on every inter-AS link.")
+  in
+  let drops =
+    Arg.(
+      value & flag
+      & info [ "drops" ]
+          ~doc:
+            "Print the drop-forensics report: non-delivered journeys \
+             grouped by last good hop and failure reason.")
+  in
+  let chrome =
+    Arg.(
+      value & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write spans + events as Chrome trace-event JSON (load in \
+             Perfetto or chrome://tracing).")
+  in
+  let limit =
+    Arg.(
+      value & opt int 3
+      & info [ "limit" ] ~docv:"N" ~doc:"Waterfalls to print.")
+  in
+  let run verbose seed flows loss drops chrome limit =
+    setup_logs verbose;
+    (* Recorders on before the network exists so every hop is captured. *)
+    Span.set_enabled Span.default true;
+    Event.set_enabled Event.default true;
+    let net = Network.create ~seed () in
+    let _ = Network.add_as net 64500 () in
+    let _ = Network.add_as net 64501 () in
+    let _ = Network.add_as net 64502 () in
+    let link () =
+      if loss > 0.0 then
+        Link.make
+          ~faults:
+            (Link.make_faults ~loss ~duplicate:(loss /. 2.0)
+               ~reorder:(loss /. 2.0) ~jitter_ms:1.0 ())
+          ()
+      else Link.make ()
+    in
+    Network.connect_as net 64500 64501 ~link:(link ()) ();
+    Network.connect_as net 64501 64502 ~link:(link ()) ();
+    let alice =
+      Network.add_host net ~as_number:64500 ~name:"alice" ~credential:"a" ()
+    in
+    let bob =
+      Network.add_host net ~as_number:64502 ~name:"bob" ~credential:"b" ()
+    in
+    List.iter
+      (fun h ->
+        match Host.bootstrap h with
+        | Ok () -> ()
+        | Error e -> failwith (Error.to_string e))
+      [ alice; bob ];
+    let ep = ref None in
+    Host.request_ephid bob (fun e -> ep := Some e);
+    Network.run net;
+    let ep = Option.get !ep in
+    Host.on_data bob (fun ~session ~data ->
+        if String.length data < 24 then ignore (Host.send bob session (data ^ "-ack")));
+    for flow = 1 to flows do
+      Host.connect alice ~remote:ep.cert ~data0:(Printf.sprintf "flow-%d" flow)
+        (fun _ -> ())
+    done;
+    Network.run net;
+    let journeys = Journey.assemble Event.default in
+    Printf.printf "# %d journeys from %d events (%d retained)\n"
+      (List.length journeys)
+      (Event.recorded Event.default)
+      (List.length (Event.to_list Event.default));
+    if Event.evicted Event.default > 0 then
+      Printf.printf
+        "# NOTE: %d events evicted by the ring — oldest journeys are \
+         truncated\n"
+        (Event.evicted Event.default);
+    List.iter
+      (fun (label, n) -> Printf.printf "  %-40s %d\n" label n)
+      (Journey.summary journeys);
+    (* Waterfalls: failures are the interesting stories, show them first. *)
+    let failed, ok =
+      List.partition
+        (fun (j : Journey.t) ->
+          match j.outcome with Journey.Delivered -> false | _ -> true)
+        journeys
+    in
+    print_newline ();
+    List.iteri
+      (fun i j -> if i < limit then print_string (Journey.render j))
+      (failed @ ok);
+    if drops then begin
+      Printf.printf "\n# drop forensics (%d non-delivered journeys)\n"
+        (List.length failed);
+      match Journey.drop_report journeys with
+      | [] -> print_endline "  no drops or losses recorded"
+      | report ->
+          Printf.printf "  %-32s %-16s %s\n" "last good hop" "reason" "journeys";
+          List.iter
+            (fun ((hop, reason), n) ->
+              Printf.printf "  %-32s %-16s %d\n" hop reason n)
+            report
+    end;
+    match chrome with
+    | None -> ()
+    | Some path ->
+        Apna_obs.Chrome_trace.write_file ~spans:Span.default
+          ~events:Event.default path;
+        Printf.printf "\nwrote Chrome trace to %s (open in Perfetto)\n" path
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Packet flight recorder: run a workload, print per-packet journey \
+          waterfalls, drop forensics ($(b,--drops)) and a Chrome trace-event \
+          export ($(b,--chrome)).")
+    Term.(const run $ verbose $ seed $ flows $ loss $ drops $ chrome $ limit)
 
 (* ------------------------------------------------------------------ *)
 (* shutoff *)
@@ -266,6 +403,15 @@ let stats_cmd =
       Printf.printf "# trace spans (%d recorded, %d retained)\n"
         (Span.recorded Span.default)
         (List.length (Span.to_list Span.default));
+      (* apna_obs_spans_evicted_total, in effect: the summary below only
+         covers the retained window, so say so when spans fell out. *)
+      if Span.evicted Span.default > 0 then
+        Printf.printf
+          "# NOTE: apna_obs_spans_evicted_total %d — %d spans evicted \
+           (ring capacity %d); stage summary covers the newest spans only\n"
+          (Span.evicted Span.default)
+          (Span.evicted Span.default)
+          (Span.capacity Span.default);
       Printf.printf "%-14s %8s %14s\n" "stage" "spans" "mean (sim s)";
       List.iter
         (fun (stage, n, mean) -> Printf.printf "%-14s %8d %14.6f\n" stage n mean)
@@ -297,4 +443,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [ demo_cmd; ephid_cmd; trace_cmd; shutoff_cmd; stats_cmd ]))
+       (Cmd.group info
+          [ demo_cmd; ephid_cmd; workload_cmd; trace_cmd; shutoff_cmd; stats_cmd ]))

@@ -91,4 +91,16 @@ let handle_shutoff t ~now msg =
               end
         end
       in
-      (match check_cert with Error e -> Error e | Ok () -> continue_after_cert ())
+      let result =
+        match check_cert with Error e -> Error e | Ok () -> continue_after_cert ()
+      in
+      (* Flight recorder: a granted shutoff is the final event of the
+         offending packet's journey — keyed on the evidence packet's MAC. *)
+      (match result with
+      | Ok _ when Apna_obs.Event.enabled Apna_obs.Event.default ->
+          Apna_obs.Event.(
+            record default
+              ~key:(key_of_string packet.header.mac)
+              (Shutoff { aid = Apna_net.Addr.aid_to_int t.keys.aid }))
+      | _ -> ());
+      result

@@ -221,6 +221,11 @@ and observe_certs t (pkt : Packet.t) =
 
 and deliver_local t hid (pkt : Packet.t) =
   let sp = Span.start_for Span.default ~id:pkt.header.mac ~stage:"as.deliver" in
+  if Apna_obs.Event.enabled Apna_obs.Event.default then
+    Apna_obs.Event.(
+      record default
+        ~key:(key_of_string pkt.header.mac)
+        (Deliver { aid = Addr.aid_to_int t.aid; hid = Addr.hid_to_int hid }));
   observe_certs t pkt;
   (if Addr.hid_equal hid ms_hid then dispatch_ms t pkt
    else if Addr.hid_equal hid dns_hid then dispatch_dns t pkt

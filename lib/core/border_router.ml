@@ -1,6 +1,7 @@
 open Apna_net
 module M = Apna_obs.Metrics
 module Span = Apna_obs.Span
+module E = Apna_obs.Event
 
 type counters = {
   mutable egress_ok : int;
@@ -225,6 +226,16 @@ let egress_check t ~now (pkt : Packet.t) =
   let sp = Span.start_for Span.default ~id:pkt.header.mac ~stage:"br.egress" in
   let r = egress_pipeline t ~now pkt in
   Span.finish Span.default sp;
+  if E.enabled E.default then begin
+    let outcome =
+      match r with
+      | Ok _ -> E.Egress_ok
+      | Error e -> E.Egress_drop (Error.kind_label e)
+    in
+    E.record E.default
+      ~key:(E.key_of_string pkt.header.mac)
+      (E.Br_egress { aid = Addr.aid_to_int t.keys.aid; outcome })
+  end;
   r
 
 type ingress_decision = Deliver of Addr.hid | Forward of Addr.aid
@@ -253,4 +264,15 @@ let ingress_check t ~now (pkt : Packet.t) =
   let sp = Span.start_for Span.default ~id:pkt.header.mac ~stage:"br.ingress" in
   let r = ingress_pipeline t ~now pkt in
   Span.finish Span.default sp;
+  if E.enabled E.default then begin
+    let outcome =
+      match r with
+      | Ok (Deliver _) -> E.Ingress_deliver
+      | Ok (Forward next) -> E.Ingress_forward (Addr.aid_to_int next)
+      | Error e -> E.Ingress_drop (Error.kind_label e)
+    in
+    E.record E.default
+      ~key:(E.key_of_string pkt.header.mac)
+      (E.Br_ingress { aid = Addr.aid_to_int t.keys.aid; outcome })
+  end;
   r

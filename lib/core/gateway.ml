@@ -1,5 +1,13 @@
 open Apna_net
 module M = Apna_obs.Metrics
+module E = Apna_obs.Event
+
+(* Gateway flight-recorder events are keyed on the IPv4 bytes carried in
+   the tunnel, so the encap at one gateway and the decap at its peer land
+   in the same journey. *)
+let gw_event gw_name bytes kind_of_gw =
+  if E.enabled E.default then
+    E.record E.default ~key:(E.key_of_string bytes) (kind_of_gw gw_name)
 
 let ethertype_ipv4 = 0x0800
 let virtual_pool_base = 0x0ac80001 (* 10.200.0.1 *)
@@ -106,6 +114,7 @@ and handle_tunnel_data t session data =
   | Error e -> Logs.debug (fun m -> m "%s: %s" t.gw_name e)
   | Ok inner -> begin
       M.Counter.incr t.obs.m_tunnel_rx;
+      gw_event t.gw_name inner (fun gateway -> E.Gw_decap { gateway });
       match Ipv4_header.of_bytes inner with
       | Error e -> Logs.debug (fun m -> m "%s: inner ipv4: %s" t.gw_name e)
       | Ok header -> begin
@@ -193,6 +202,7 @@ and server_side_input t bytes (header : Ipv4_header.t) =
           | Error e -> Logs.debug (fun m -> m "%s: rewrite: %s" t.gw_name e)
           | Ok rewritten -> begin
               M.Counter.incr t.obs.m_tunnel_tx;
+              gw_event t.gw_name rewritten (fun gateway -> E.Gw_encap { gateway });
               match Host.send t.host session (encode_tunnel rewritten) with
               | Ok () -> ()
               | Error e -> Logs.debug (fun m -> m "%s: send: %a" t.gw_name Error.pp e)
@@ -204,6 +214,7 @@ and client_side_input t bytes (header : Ipv4_header.t) =
   let key = (Addr.hid_to_int header.src, Addr.hid_to_int header.dst) in
   let tunnel = encode_tunnel bytes in
   M.Counter.incr t.obs.m_tunnel_tx;
+  gw_event t.gw_name bytes (fun gateway -> E.Gw_encap { gateway });
   match Hashtbl.find_opt t.flows key with
   | Some flow -> flow_send t flow tunnel
   | None -> begin

@@ -2,6 +2,7 @@ open Apna_crypto
 open Apna_net
 module M = Apna_obs.Metrics
 module Span = Apna_obs.Span
+module E = Apna_obs.Event
 
 let m_rpc_retries =
   M.Counter.register M.default "apna_host_rpc_retries_total"
@@ -336,6 +337,10 @@ let send_packet t ~src_ephid ~dst_aid ~dst_ephid ~proto ~payload =
       let pkt = Packet.make ~header ~proto ~payload in
       let pkt = Pkt_auth.seal ~auth_key:id.kha.auth pkt in
       t.pkts_sent <- t.pkts_sent + 1;
+      if E.enabled E.default then
+        E.record E.default
+          ~key:(E.key_of_string pkt.header.mac)
+          (E.Host_send { aid = Addr.aid_to_int att.aid; host = t.host_name });
       att.submit pkt;
       Ok ()
 

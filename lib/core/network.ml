@@ -1,8 +1,32 @@
 open Apna_net
+module E = Apna_obs.Event
 
 (* Host <-> border-router latency inside an AS; packets cross it twice per
    AS-to-AS round. *)
 let intra_as_delay_s = 0.0002
+
+(* Flight-recorder event for one link crossing; callers guard on
+   [E.enabled] so the disabled path never hashes or allocates. *)
+let transit_event ~src ~dst (pkt : Packet.t) fate =
+  E.record E.default
+    ~key:(E.key_of_string pkt.header.mac)
+    (E.Link_transit { src; dst; fate })
+
+(* One event per planned copy: [] = lost, a second copy = the injected
+   duplicate, positive extra delay = reorder jitter. *)
+let record_copy_fates ~src ~dst pkt copies =
+  match copies with
+  | [] -> transit_event ~src ~dst pkt E.Lost
+  | copies ->
+      List.iteri
+        (fun i extra ->
+          let fate =
+            if i > 0 then E.Duplicated
+            else if extra > 0.0 then E.Reordered
+            else E.Delivered
+          in
+          transit_event ~src ~dst pkt fate)
+        copies
 
 type transport = Native | Gre_ipv4
 
@@ -64,6 +88,8 @@ let create ?(seed = "apna-network") ?(epoch = 1_750_000_000)
      time, not wall time. Last network created wins, like the engine
      gauges — one live simulation per process is the norm. *)
   Apna_obs.Span.set_clock Apna_obs.Span.default (fun () ->
+      Apna_sim.Engine.now engine);
+  Apna_obs.Event.set_clock Apna_obs.Event.default (fun () ->
       Apna_sim.Engine.now engine);
   {
     engine;
@@ -187,6 +213,9 @@ let add_as t as_number ?dns_zone ?retention ?icmp_encryption () =
               done;
               if Queue.length q >= faults.Link.queue_frames then begin
                 Link.note_queue_drop ~stats:(Link.fault_stats link);
+                if E.enabled E.default then
+                  transit_event ~src:as_number ~dst:(Addr.aid_to_int next) pkt
+                    E.Queue_drop;
                 false
               end
               else true
@@ -209,6 +238,9 @@ let add_as t as_number ?dns_zone ?retention ?icmp_encryption () =
                   Link.plan_delivery link ~rand:(fault_rand t)
                 else [ 0.0 ]
               in
+              if E.enabled E.default then
+                record_copy_fates ~src:as_number ~dst:(Addr.aid_to_int next)
+                  pkt copies;
               List.iter
                 (fun extra ->
                   Apna_sim.Engine.schedule t.engine
@@ -240,6 +272,10 @@ let add_host t ~as_number ~name ~credential ?granularity () =
       match host_delivery_plan t with
       | None -> Host.deliver host pkt
       | Some copies ->
+          (* The faulty access hop is a link crossing too; src = dst = the
+             AS number marks it as intra-AS in the flight recorder. *)
+          if E.enabled E.default then
+            record_copy_fates ~src:as_number ~dst:as_number pkt copies;
           List.iter
             (fun extra ->
               Apna_sim.Engine.schedule_in t.engine
@@ -262,6 +298,8 @@ let add_host t ~as_number ~name ~credential ?granularity () =
                   Apna_sim.Engine.schedule_in t.engine ~delay:intra_as_delay_s
                     (fun () -> direct_submit pkt)
               | Some copies ->
+                  if E.enabled E.default then
+                    record_copy_fates ~src:as_number ~dst:as_number pkt copies;
                   List.iter
                     (fun extra ->
                       Apna_sim.Engine.schedule_in t.engine

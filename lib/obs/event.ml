@@ -1,0 +1,112 @@
+(* Packet flight recorder: typed lifecycle events in a bounded ring.
+   Mirrors the Span sink's structure (default-off, fixed ring, global
+   seq counter) so the two share clocks, keys and eviction semantics. *)
+
+type fate = Delivered | Lost | Duplicated | Reordered | Queue_drop
+
+type egress_outcome = Egress_ok | Egress_drop of string
+
+type ingress_outcome =
+  | Ingress_deliver
+  | Ingress_forward of int
+  | Ingress_drop of string
+
+type kind =
+  | Host_send of { aid : int; host : string }
+  | Br_egress of { aid : int; outcome : egress_outcome }
+  | Link_transit of { src : int; dst : int; fate : fate }
+  | Br_ingress of { aid : int; outcome : ingress_outcome }
+  | Deliver of { aid : int; hid : int }
+  | Gw_encap of { gateway : string }
+  | Gw_decap of { gateway : string }
+  | Shutoff of { aid : int }
+
+type record = { key : int64; time : float; seq : int; kind : kind }
+
+let dummy = { key = 0L; time = 0.0; seq = -1; kind = Shutoff { aid = 0 } }
+
+type sink = {
+  mutable on : bool;
+  mutable clock : unit -> float;
+  ring : record array;
+  mutable written : int;
+}
+
+let create_sink ?(capacity = 16384) ?(enabled = false) () =
+  if capacity <= 0 then invalid_arg "Event.create_sink: capacity must be > 0";
+  { on = enabled; clock = Sys.time; ring = Array.make capacity dummy; written = 0 }
+
+let default = create_sink ()
+let set_enabled t on = t.on <- on
+let enabled t = t.on
+let set_clock t clock = t.clock <- clock
+
+let record t ~key kind =
+  if t.on then begin
+    let r = { key; time = t.clock (); seq = t.written; kind } in
+    t.ring.(t.written mod Array.length t.ring) <- r;
+    t.written <- t.written + 1
+  end
+
+let key_of_string = Span.key_of_string
+let recorded t = t.written
+let capacity t = Array.length t.ring
+let evicted t = max 0 (t.written - Array.length t.ring)
+
+let to_list t =
+  let cap = Array.length t.ring in
+  let retained = min t.written cap in
+  List.init retained (fun i ->
+      (* oldest retained record first *)
+      t.ring.((t.written - retained + i) mod cap))
+
+let by_key t key = List.filter (fun r -> Int64.equal r.key key) (to_list t)
+
+let clear t =
+  t.written <- 0;
+  Array.fill t.ring 0 (Array.length t.ring) dummy
+
+let fate_label = function
+  | Delivered -> "delivered"
+  | Lost -> "lost"
+  | Duplicated -> "duplicated"
+  | Reordered -> "reordered"
+  | Queue_drop -> "queue-drop"
+
+let stage_label = function
+  | Host_send _ -> "host.send"
+  | Br_egress _ -> "br.egress"
+  | Link_transit _ -> "link.transit"
+  | Br_ingress _ -> "br.ingress"
+  | Deliver _ -> "deliver"
+  | Gw_encap _ -> "gw.encap"
+  | Gw_decap _ -> "gw.decap"
+  | Shutoff _ -> "shutoff"
+
+let where = function
+  | Host_send { aid; _ }
+  | Br_egress { aid; _ }
+  | Br_ingress { aid; _ }
+  | Deliver { aid; _ }
+  | Shutoff { aid } ->
+      Printf.sprintf "AS%d" aid
+  | Link_transit { src; dst; _ } -> Printf.sprintf "AS%d->AS%d" src dst
+  | Gw_encap { gateway } | Gw_decap { gateway } -> "gw:" ^ gateway
+
+let describe = function
+  | Host_send { aid; host } -> Printf.sprintf "host %s @ AS%d" host aid
+  | Br_egress { aid; outcome = Egress_ok } -> Printf.sprintf "ok @ AS%d" aid
+  | Br_egress { aid; outcome = Egress_drop reason } ->
+      Printf.sprintf "DROP [%s] @ AS%d" reason aid
+  | Link_transit { src; dst; fate } ->
+      Printf.sprintf "AS%d -> AS%d %s" src dst (fate_label fate)
+  | Br_ingress { aid; outcome = Ingress_deliver } ->
+      Printf.sprintf "deliver-local @ AS%d" aid
+  | Br_ingress { aid; outcome = Ingress_forward next } ->
+      Printf.sprintf "forward -> AS%d @ AS%d" next aid
+  | Br_ingress { aid; outcome = Ingress_drop reason } ->
+      Printf.sprintf "DROP [%s] @ AS%d" reason aid
+  | Deliver { aid; hid } -> Printf.sprintf "to host %#x @ AS%d" hid aid
+  | Gw_encap { gateway } -> Printf.sprintf "encap @ gw:%s" gateway
+  | Gw_decap { gateway } -> Printf.sprintf "decap @ gw:%s" gateway
+  | Shutoff { aid } -> Printf.sprintf "shutoff executed @ AS%d" aid

@@ -23,7 +23,19 @@ let set_enabled t on = t.on <- on
 let enabled t = t.on
 
 let normalize labels =
-  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+  List.iter
+    (fun (k, _) -> if k = "" then invalid_arg "Metrics: empty label name")
+    labels;
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) labels in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+        if String.equal a b then
+          invalid_arg (Printf.sprintf "Metrics: duplicate label name %S" a);
+        check rest
+    | _ -> ()
+  in
+  check sorted;
+  sorted
 
 let register_value t ?help ~labels ~name ~kind make =
   let key = { name; labels = normalize labels } in
@@ -196,8 +208,8 @@ let to_json t =
 let summary_line t =
   let nc = ref 0 and ng = ref 0 and nh = ref 0 in
   let events = ref 0 and samples = ref 0 in
-  Hashtbl.iter
-    (fun _ v ->
+  List.iter
+    (fun (_, v) ->
       match v with
       | Vcounter c ->
           incr nc;
@@ -206,7 +218,7 @@ let summary_line t =
       | Vhist h ->
           incr nh;
           samples := !samples + Accum.Hist.count h)
-    t.tbl;
+    (ordered t);
   Printf.sprintf
     "%d counters (%d events), %d gauges, %d histograms (%d samples)" !nc !events
     !ng !nh !samples

@@ -27,7 +27,10 @@ val set_enabled : t -> bool -> unit
 val enabled : t -> bool
 
 type labels = (string * string) list
-(** Label pairs; order is irrelevant (they are sorted on registration). *)
+(** Label pairs; order is irrelevant (they are sorted on registration).
+    Registration raises [Invalid_argument] on an empty label name or a
+    duplicate label name — both would otherwise render ambiguous series
+    like [name{a="1",a="2"}]. *)
 
 module Counter : sig
   type m
@@ -85,4 +88,5 @@ val to_json : t -> Json.t
 
 val summary_line : t -> string
 (** One human line: series counts and total counter events — what
-    examples print at exit. *)
+    examples print at exit. Computed over registration order
+    (deterministic for a fixed registration sequence). *)

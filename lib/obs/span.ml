@@ -58,6 +58,8 @@ let start_for t ~id ~stage =
   if t.on then start t ~key:(key_of_string id) ~stage else none
 
 let recorded t = t.written
+let capacity t = Array.length t.ring
+let evicted t = max 0 (t.written - Array.length t.ring)
 
 let to_list t =
   let cap = Array.length t.ring in

@@ -58,6 +58,15 @@ val key_of_string : string -> int64
 val recorded : sink -> int
 (** Total spans ever finished into the sink (may exceed capacity). *)
 
+val capacity : sink -> int
+(** Ring capacity. *)
+
+val evicted : sink -> int
+(** [max 0 (recorded - capacity)]: spans overwritten by ring wraparound.
+    When nonzero, {!to_list}/{!stage_summary}/{!by_key} cover only the
+    newest [capacity] spans — callers should say so instead of
+    presenting the summary as complete. *)
+
 val to_list : sink -> record list
 (** Retained spans, oldest first (at most [capacity]). *)
 

@@ -110,6 +110,36 @@ let metrics_tests =
         Metrics.Counter.incr ~by:7 (Metrics.Counter.register r "t_total");
         let line = Metrics.summary_line r in
         Alcotest.(check bool) "non-empty" true (String.length line > 0));
+    Alcotest.test_case "summary_line is pinned for a fixed registry" `Quick
+      (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        Metrics.Counter.incr ~by:3 (Metrics.Counter.register r "b_total");
+        Metrics.Counter.incr ~by:4 (Metrics.Counter.register r "a_total");
+        Metrics.Gauge.set (Metrics.Gauge.register r "t_depth") 1.0;
+        let h = Metrics.Histogram.register r ~lo:0.0 ~hi:1.0 "t_ns" in
+        Metrics.Histogram.observe h 0.25;
+        Metrics.Histogram.observe h 0.75;
+        Alcotest.(check string)
+          "deterministic output"
+          "2 counters (7 events), 1 gauges, 1 histograms (2 samples)"
+          (Metrics.summary_line r);
+        (* Computed over [ordered], so a second call is identical. *)
+        Alcotest.(check string)
+          "stable across calls" (Metrics.summary_line r)
+          (Metrics.summary_line r));
+    Alcotest.test_case "duplicate label names are rejected" `Quick (fun () ->
+        let r = Metrics.create () in
+        Alcotest.check_raises "invalid_arg"
+          (Invalid_argument "Metrics: duplicate label name \"a\"") (fun () ->
+            ignore
+              (Metrics.Counter.register r
+                 ~labels:[ ("a", "1"); ("a", "2") ]
+                 "t_total")));
+    Alcotest.test_case "empty label names are rejected" `Quick (fun () ->
+        let r = Metrics.create () in
+        Alcotest.check_raises "invalid_arg"
+          (Invalid_argument "Metrics: empty label name") (fun () ->
+            ignore (Metrics.Gauge.register r ~labels:[ ("", "1") ] "t_depth")));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -233,8 +263,268 @@ let span_tests =
         (* FNV-1a of the empty string is the offset basis. *)
         Alcotest.(check int64) "offset basis" 0xcbf29ce484222325L
           (Span.key_of_string ""));
+    Alcotest.test_case "evicted and capacity expose wraparound" `Quick
+      (fun () ->
+        let s = Span.create_sink ~capacity:4 ~enabled:true () in
+        Alcotest.(check int) "capacity" 4 (Span.capacity s);
+        Alcotest.(check int) "nothing evicted yet" 0 (Span.evicted s);
+        for i = 1 to 10 do
+          Span.record s ~key:(Int64.of_int i) ~stage:"st" ~t0:0.0 ~t1:1.0
+        done;
+        Alcotest.(check int) "evicted = written - capacity" 6 (Span.evicted s);
+        Span.clear s;
+        Alcotest.(check int) "clear resets eviction" 0 (Span.evicted s));
+    qtest "ring retains min(written, capacity) spans in seq order" ~count:300
+      QCheck2.Gen.(
+        pair (int_range 1 16) (list_size (int_range 0 64) (int_range 0 5)))
+      (fun (capacity, ops) ->
+        let s = Span.create_sink ~capacity ~enabled:true () in
+        List.iteri
+          (fun i k ->
+            Span.record s ~key:(Int64.of_int k)
+              ~stage:(string_of_int (k mod 3))
+              ~t0:(float_of_int i)
+              ~t1:(float_of_int i +. 1.0))
+          ops;
+        let written = List.length ops in
+        let retained = Span.to_list s in
+        let seqs = List.map (fun (r : Span.record) -> r.seq) retained in
+        (* Exactly the newest min(written, capacity) records, oldest
+           first: seqs are the final contiguous window. *)
+        let expect_n = min written capacity in
+        List.length retained = expect_n
+        && seqs = List.init expect_n (fun i -> written - expect_n + i)
+        && Span.evicted s = max 0 (written - capacity));
+    Alcotest.test_case "by_key stays causally ordered across a wrap" `Quick
+      (fun () ->
+        let s = Span.create_sink ~capacity:4 ~enabled:true () in
+        let key = Span.key_of_string "the-packet" in
+        let filler = Span.key_of_string "noise" in
+        Span.record s ~key ~stage:"s1" ~t0:0.0 ~t1:0.1;
+        Span.record s ~key:filler ~stage:"f" ~t0:0.2 ~t1:0.3;
+        Span.record s ~key:filler ~stage:"f" ~t0:0.4 ~t1:0.5;
+        Span.record s ~key ~stage:"s2" ~t0:0.6 ~t1:0.7;
+        Span.record s ~key:filler ~stage:"f" ~t0:0.8 ~t1:0.9;
+        Span.record s ~key:filler ~stage:"f" ~t0:1.0 ~t1:1.1;
+        (* The ring has wrapped: s1 is gone, s2 retained. *)
+        Span.record s ~key ~stage:"s3" ~t0:1.2 ~t1:1.3;
+        Alcotest.(check int) "three spans evicted" 3 (Span.evicted s);
+        Alcotest.(check (list string))
+          "hops in causal order, truncated from the front" [ "s2"; "s3" ]
+          (List.map (fun (r : Span.record) -> r.stage) (Span.by_key s key)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder events and journeys *)
+
+let ev sink ~key ?(at = 0.0) kind =
+  Event.set_clock sink (fun () -> at);
+  Event.record sink ~key kind
+
+let event_tests =
+  [
+    Alcotest.test_case "disabled sink records nothing, reads no clock" `Quick
+      (fun () ->
+        let s = Event.create_sink () in
+        Event.set_clock s (fun () -> Alcotest.fail "clock read while disabled");
+        Event.record s ~key:1L (Event.Host_send { aid = 100; host = "h" });
+        Alcotest.(check int) "empty" 0 (Event.recorded s));
+    Alcotest.test_case "ring keeps the newest events, evicted exposed" `Quick
+      (fun () ->
+        let s = Event.create_sink ~capacity:3 ~enabled:true () in
+        for i = 1 to 5 do
+          ev s ~key:(Int64.of_int i) (Event.Deliver { aid = 1; hid = i })
+        done;
+        Alcotest.(check int) "recorded" 5 (Event.recorded s);
+        Alcotest.(check int) "capacity" 3 (Event.capacity s);
+        Alcotest.(check int) "evicted" 2 (Event.evicted s);
+        Alcotest.(check (list int))
+          "newest retained, oldest first" [ 3; 4; 5 ]
+          (List.map
+             (fun (r : Event.record) -> Int64.to_int r.key)
+             (Event.to_list s)));
+    Alcotest.test_case "keys match the span hash" `Quick (fun () ->
+        Alcotest.(check int64) "same FNV-64"
+          (Span.key_of_string "mac")
+          (Event.key_of_string "mac"));
+    Alcotest.test_case "delivered journey renders a waterfall" `Quick
+      (fun () ->
+        let s = Event.create_sink ~enabled:true () in
+        let key = Event.key_of_string "mac" in
+        ev s ~key ~at:0.0 (Event.Host_send { aid = 100; host = "alice" });
+        ev s ~key ~at:0.1
+          (Event.Br_egress { aid = 100; outcome = Event.Egress_ok });
+        ev s ~key ~at:0.2
+          (Event.Link_transit { src = 100; dst = 200; fate = Event.Delivered });
+        ev s ~key ~at:0.3
+          (Event.Br_ingress { aid = 200; outcome = Event.Ingress_deliver });
+        ev s ~key ~at:0.4 (Event.Deliver { aid = 200; hid = 7 });
+        match Journey.assemble s with
+        | [ j ] ->
+            Alcotest.(check bool) "delivered" true (j.Journey.outcome = Journey.Delivered);
+            let text = Journey.render j in
+            List.iter
+              (fun needle ->
+                let nl = String.length needle and tl = String.length text in
+                let rec go i =
+                  i + nl <= tl && (String.sub text i nl = needle || go (i + 1))
+                in
+                Alcotest.(check bool) needle true (go 0))
+              [ "host.send"; "br.egress"; "link.transit"; "br.ingress";
+                "deliver"; "alice"; "delivered" ]
+        | js -> Alcotest.failf "expected one journey, got %d" (List.length js));
+    Alcotest.test_case "drop at a border router classifies with reason" `Quick
+      (fun () ->
+        let s = Event.create_sink ~enabled:true () in
+        let key = 9L in
+        ev s ~key ~at:0.0 (Event.Host_send { aid = 100; host = "h" });
+        ev s ~key ~at:0.1
+          (Event.Br_egress { aid = 100; outcome = Event.Egress_drop "bad-mac" });
+        match Journey.assemble s with
+        | [ j ] -> (
+            match j.Journey.outcome with
+            | Journey.Dropped_at { stage = "br.egress"; reason = "bad-mac" } ->
+                Alcotest.(check string)
+                  "last good hop" "host.send @ AS100" (Journey.last_good_hop j)
+            | o -> Alcotest.failf "wrong outcome: %s" (Journey.outcome_label o))
+        | _ -> Alcotest.fail "expected one journey");
+    Alcotest.test_case "loss on a link classifies as lost" `Quick (fun () ->
+        let s = Event.create_sink ~enabled:true () in
+        let key = 5L in
+        ev s ~key ~at:0.0 (Event.Host_send { aid = 100; host = "h" });
+        ev s ~key ~at:0.1
+          (Event.Br_egress { aid = 100; outcome = Event.Egress_ok });
+        ev s ~key ~at:0.2
+          (Event.Link_transit { src = 100; dst = 200; fate = Event.Lost });
+        match Journey.assemble s with
+        | [ j ] -> (
+            match j.Journey.outcome with
+            | Journey.Lost_on_link { src = 100; dst = 200; fate = Event.Lost } ->
+                ()
+            | o -> Alcotest.failf "wrong outcome: %s" (Journey.outcome_label o))
+        | _ -> Alcotest.fail "expected one journey");
+    Alcotest.test_case "a delivered duplicate outranks a lost copy" `Quick
+      (fun () ->
+        (* Duplication: one copy lost, one delivered — the packet made it. *)
+        let s = Event.create_sink ~enabled:true () in
+        let key = 6L in
+        ev s ~key ~at:0.0
+          (Event.Link_transit { src = 1; dst = 2; fate = Event.Duplicated });
+        ev s ~key ~at:0.1
+          (Event.Link_transit { src = 1; dst = 2; fate = Event.Lost });
+        ev s ~key ~at:0.2 (Event.Deliver { aid = 2; hid = 1 });
+        match Journey.assemble s with
+        | [ j ] ->
+            Alcotest.(check bool) "delivered" true
+              (j.Journey.outcome = Journey.Delivered)
+        | _ -> Alcotest.fail "expected one journey");
+    Alcotest.test_case "no terminal event means in-flight" `Quick (fun () ->
+        let s = Event.create_sink ~enabled:true () in
+        ev s ~key:1L ~at:0.0 (Event.Host_send { aid = 1; host = "h" });
+        match Journey.assemble s with
+        | [ j ] ->
+            Alcotest.(check string)
+              "label" "in-flight"
+              (Journey.outcome_label j.Journey.outcome)
+        | _ -> Alcotest.fail "expected one journey");
+    Alcotest.test_case "drop_report groups by last good hop and reason" `Quick
+      (fun () ->
+        let s = Event.create_sink ~enabled:true () in
+        let lost_after_egress key =
+          ev s ~key ~at:0.0 (Event.Host_send { aid = 100; host = "h" });
+          ev s ~key ~at:0.1
+            (Event.Br_egress { aid = 100; outcome = Event.Egress_ok });
+          ev s ~key ~at:0.2
+            (Event.Link_transit { src = 100; dst = 200; fate = Event.Lost })
+        in
+        lost_after_egress 1L;
+        lost_after_egress 2L;
+        ev s ~key:3L ~at:0.3
+          (Event.Br_ingress { aid = 200; outcome = Event.Ingress_drop "revoked" });
+        match Journey.drop_report (Journey.assemble s) with
+        | [ (("br.egress @ AS100", "lost"), 2); (("(origin)", "revoked"), 1) ] ->
+            ()
+        | report ->
+            Alcotest.failf "unexpected report: %s"
+              (String.concat "; "
+                 (List.map
+                    (fun ((hop, reason), n) ->
+                      Printf.sprintf "(%s, %s) x%d" hop reason n)
+                    report)));
+    Alcotest.test_case "summary counts outcomes" `Quick (fun () ->
+        let s = Event.create_sink ~enabled:true () in
+        ev s ~key:1L (Event.Deliver { aid = 1; hid = 1 });
+        ev s ~key:2L (Event.Deliver { aid = 1; hid = 2 });
+        ev s ~key:3L (Event.Host_send { aid = 1; host = "h" });
+        Alcotest.(check (list (pair string int)))
+          "sorted by count"
+          [ ("delivered", 2); ("in-flight", 1) ]
+          (Journey.summary (Journey.assemble s)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export *)
+
+let chrome_tests =
+  [
+    Alcotest.test_case "export is valid trace-event JSON" `Quick (fun () ->
+        let spans = Span.create_sink ~enabled:true () in
+        Span.record spans ~key:1L ~stage:"br.egress" ~t0:0.001 ~t1:0.002;
+        let events = Event.create_sink ~enabled:true () in
+        ev events ~key:1L ~at:0.001
+          (Event.Br_egress { aid = 100; outcome = Event.Egress_ok });
+        ev events ~key:1L ~at:0.003 (Event.Deliver { aid = 200; hid = 1 });
+        let text = Chrome_trace.to_string ~spans ~events () in
+        match Json.parse text with
+        | Error e -> Alcotest.failf "parse: %s" e
+        | Ok (Json.List entries) ->
+            Alcotest.(check int) "one span + two events" 3 (List.length entries);
+            List.iter
+              (fun entry ->
+                (match Json.member "name" entry with
+                | Some (Json.Str _) -> ()
+                | _ -> Alcotest.fail "name missing");
+                (match Json.member "ph" entry with
+                | Some (Json.Str ("X" | "i")) -> ()
+                | _ -> Alcotest.fail "ph missing");
+                match Json.number (Option.get (Json.member "ts" entry)) with
+                | Some ts -> Alcotest.(check bool) "ts >= 0" true (ts >= 0.0)
+                | None -> Alcotest.fail "ts not a number")
+              entries
+        | Ok _ -> Alcotest.fail "not a JSON array");
+    Alcotest.test_case "entries are sorted by timestamp, pid is the AS" `Quick
+      (fun () ->
+        let events = Event.create_sink ~enabled:true () in
+        ev events ~key:1L ~at:0.5 (Event.Deliver { aid = 300; hid = 1 });
+        ev events ~key:1L ~at:0.1
+          (Event.Host_send { aid = 100; host = "h" });
+        match Chrome_trace.to_json ~events () with
+        | Json.List [ first; second ] ->
+            let ts e = Option.get (Json.number (Option.get (Json.member "ts" e))) in
+            Alcotest.(check bool) "sorted" true (ts first <= ts second);
+            (match Json.member "pid" first with
+            | Some (Json.Int 100) -> ()
+            | _ -> Alcotest.fail "pid is not the AS number");
+            (* ts is microseconds. *)
+            Alcotest.(check (float 1e-6)) "us conversion" 100000.0 (ts first)
+        | _ -> Alcotest.fail "expected two entries");
+    Alcotest.test_case "span entries carry a duration" `Quick (fun () ->
+        let spans = Span.create_sink ~enabled:true () in
+        Span.record spans ~key:1L ~stage:"st" ~t0:1.0 ~t1:1.5;
+        match Chrome_trace.to_json ~spans () with
+        | Json.List [ entry ] -> (
+            match Json.number (Option.get (Json.member "dur" entry)) with
+            | Some dur -> Alcotest.(check (float 1e-3)) "dur us" 500000.0 dur
+            | None -> Alcotest.fail "dur not a number")
+        | _ -> Alcotest.fail "expected one entry");
   ]
 
 let () =
   Alcotest.run "apna_obs"
-    [ ("metrics", metrics_tests); ("json", json_tests); ("spans", span_tests) ]
+    [
+      ("metrics", metrics_tests);
+      ("json", json_tests);
+      ("spans", span_tests);
+      ("events", event_tests);
+      ("chrome", chrome_tests);
+    ]
