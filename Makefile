@@ -16,10 +16,12 @@ bench:
 # CI gate: full build, every test suite, a flight-recorder smoke (apnad
 # trace must export a Chrome trace that trace_check validates: a JSON
 # array whose every element carries name/ph/ts), the chaos smoke
-# (control-plane convergence under injected loss, E13), and a smoke run
-# of the benchmark harness that must produce a parseable
-# BENCH_results.json (the harness re-parses the file itself and fails
-# loudly if it is invalid). The chaos smoke runs first so the final
+# (control-plane convergence under injected loss, E13), the
+# short-lifetime survivability smoke (sessions migrating across Short
+# EphID expiries under the fault mix, E14), and a smoke run of the
+# benchmark harness that must produce a parseable BENCH_results.json
+# (the harness re-parses the file itself and fails loudly if it is
+# invalid). The chaos and lifetime smokes run first so the final
 # BENCH_results.json is the regular one.
 check:
 	dune build @all
@@ -30,9 +32,12 @@ check:
 	dune exec bench/main.exe -- --faults --quick
 	test -s BENCH_results.json
 	rm -f BENCH_results.json
+	dune exec bench/main.exe -- --lifetimes --quick
+	test -s BENCH_results.json
+	rm -f BENCH_results.json
 	dune exec bench/main.exe -- --quick
 	test -s BENCH_results.json
-	@echo "check: OK (trace + chaos smokes passed, BENCH_results.json written and validated)"
+	@echo "check: OK (trace + chaos + lifetime smokes passed, BENCH_results.json written and validated)"
 
 clean:
 	dune clean

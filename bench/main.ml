@@ -37,6 +37,10 @@ let quick = ref false
 
 (* --faults: run only the E13 chaos sweep — the CI chaos-smoke target. *)
 let faults_only = ref false
+
+(* --lifetimes: run only the E14 lifetime sweep — the CI survivability
+   smoke target. *)
+let lifetimes_only = ref false
 let iters n = if !quick then max 20 (n / 20) else n
 
 (* Sections accumulated by experiments as they run; flushed to
@@ -767,7 +771,9 @@ let e7 () =
                 | Session.Frame.Init { conn_id; _ }
                 | Session.Frame.Accept { conn_id; _ }
                 | Session.Frame.Data { conn_id; _ }
-                | Session.Frame.Fin { conn_id; _ } ->
+                | Session.Frame.Fin { conn_id; _ }
+                | Session.Frame.Rekey { conn_id; _ }
+                | Session.Frame.Rekey_ack { conn_id; _ } ->
                     conn_id
               in
               let l =
@@ -1265,6 +1271,120 @@ let e13 () =
     (J.List (List.map (fun (_, _, jj, _) -> jj) rows))
 
 (* ------------------------------------------------------------------ *)
+(* E14: session survivability across EphID lifetime boundaries *)
+
+let e14 () =
+  banner "E14" "LIFETIME-SWEEP"
+    "goodput of long sessions across Short (60 s) EphID expiries";
+  let open Apna_net in
+  let rough =
+    Link.make_faults ~loss:0.10 ~duplicate:0.05 ~reorder:0.2 ~jitter_ms:2.0 ()
+  in
+  (* 3x the Short lifetime of traffic in the full run, ~1x in --quick;
+     each unique message goes out 4 times, 600 ms apart, against the loss. *)
+  let n = if !quick then 30 else 85 in
+  let copies = 4 in
+  line "";
+  line "%8s %8s %10s %10s %10s %9s %8s" "faults" "goodput" "migrations"
+    "recoveries" "brownouts" "breaker" "retries";
+  let rows =
+    List.map
+      (fun (label, link_faults) ->
+        let net =
+          Network.create ~seed:(Printf.sprintf "e14-%s" label) ()
+        in
+        ignore (Network.add_as net 100 ());
+        ignore (Network.add_as net 200 ());
+        ignore (Network.add_as net 300 ());
+        let link () =
+          match link_faults with
+          | Some faults -> Link.make ~faults ()
+          | None -> Link.make ()
+        in
+        Network.connect_as net 100 200 ~link:(link ()) ();
+        Network.connect_as net 200 300 ~link:(link ()) ();
+        let alice =
+          Network.add_host net ~as_number:100 ~name:"alice" ~credential:"a" ()
+        in
+        let bob =
+          Network.add_host net ~as_number:300 ~name:"bob" ~credential:"b" ()
+        in
+        (match (Host.bootstrap alice, Host.bootstrap bob) with
+        | Ok (), Ok () -> ()
+        | _ -> failwith "bootstrap");
+        Host.set_ephid_lifetime alice Lifetime.Short;
+        Network.run net;
+        let bep = ref None in
+        Host.request_ephid bob ~lifetime:Lifetime.Long ~receive_only:true
+          (fun e -> bep := Some e);
+        Network.run net;
+        (* Receive-only remote: the Init retransmits until bob's Accept, so
+           establishment itself survives the injected loss. *)
+        let session = ref None in
+        Host.connect alice ~remote:(Option.get !bep).Host.cert
+          ~expect_accept:true (fun s -> session := Some s);
+        Network.run net;
+        let session = Option.get !session in
+        let eng = Network.engine net in
+        for i = 0 to n - 1 do
+          let data = Printf.sprintf "m%03d" i in
+          for c = 0 to copies - 1 do
+            Apna_sim.Engine.schedule_in eng
+              ~delay:(10.0 +. (2.0 *. float_of_int i) +. (0.6 *. float_of_int c))
+              (fun () -> ignore (Host.send alice session data))
+          done
+        done;
+        Network.run net;
+        let got = List.map snd (Host.received bob) in
+        let delivered = ref 0 in
+        for i = 0 to n - 1 do
+          if List.mem (Printf.sprintf "m%03d" i) got then incr delivered
+        done;
+        let goodput = float_of_int !delivered /. float_of_int n in
+        let migrations = Host.migrations alice + Host.migrations bob in
+        let recoveries = Host.recoveries alice + Host.recoveries bob in
+        let brownouts = Host.brownout_sends alice + Host.brownout_sends bob in
+        let opens = Breaker.opens (Host.issuance_breaker alice) in
+        let retries = Host.rpc_retries alice + Host.rpc_retries bob in
+        line "%8s %7.1f%% %10d %10d %10d %9s %8d" label (goodput *. 100.0)
+          migrations recoveries brownouts
+          (Breaker.state_label (Breaker.state (Host.issuance_breaker alice)))
+          retries;
+        ( goodput,
+          migrations,
+          J.Obj
+            [
+              ("faults", J.Str label);
+              ("messages", J.Int n);
+              ("copies", J.Int copies);
+              ("delivered", J.Int !delivered);
+              ("goodput", J.Float goodput);
+              ("migrations", J.Int migrations);
+              ("recoveries", J.Int recoveries);
+              ("brownout_sends", J.Int brownouts);
+              ("breaker_opens", J.Int opens);
+              ("stale_prefetch_discards",
+               J.Int (Host.stale_prefetch_discards alice));
+              ("rpc_retries", J.Int retries);
+            ] ))
+      [ ("none", None); ("rough", Some rough) ]
+  in
+  line "";
+  (match rows with
+  | [ (g0, m0, _); (g1, m1, _) ] ->
+      if g0 = 1.0 && g1 = 1.0 && m0 >= 2 && m1 >= 2 then
+        line
+          "acceptance: sessions crossed >=2 expiry boundaries with zero \
+           delivery failures"
+      else
+        line
+          "ACCEPTANCE FAILURE: goodput %.2f/%.2f, migrations %d/%d \
+           (want 1.0/1.0 and >=2)"
+          g0 g1 m0 m1
+  | _ -> ());
+  add_json "lifetime_sweep" (J.List (List.map (fun (_, _, j) -> j) rows))
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1281,6 +1401,7 @@ let experiments =
     ("E11", e11);
     ("E12", e12);
     ("E13", e13);
+    ("E14", e14);
   ]
 
 let json_path = "BENCH_results.json"
@@ -1324,6 +1445,10 @@ let () =
           faults_only := true;
           false
         end
+        else if a = "--lifetimes" then begin
+          lifetimes_only := true;
+          false
+        end
         else true)
       (List.tl (Array.to_list Sys.argv))
   in
@@ -1332,6 +1457,7 @@ let () =
     | _ :: _ -> args
     | [] ->
         if !faults_only then [ "E13" ]
+        else if !lifetimes_only then [ "E14" ]
         else if !quick then [ "E2" ]
         else List.map fst experiments
   in

@@ -130,13 +130,96 @@ let ephid_cmd =
 (* ------------------------------------------------------------------ *)
 (* workload *)
 
+(* A live paced exchange long enough to cross renewal boundaries for the
+   chosen lifetime class; reports the survivability counters. *)
+let live_lifetime_run ~seed lifetime =
+  let net = Network.create ~seed () in
+  let _ = Network.add_as net 64500 () in
+  let _ = Network.add_as net 64501 () in
+  let _ = Network.add_as net 64502 () in
+  Network.connect_as net 64500 64501 ();
+  Network.connect_as net 64501 64502 ();
+  let alice =
+    Network.add_host net ~as_number:64500 ~name:"alice" ~credential:"a" ()
+  in
+  let bob =
+    Network.add_host net ~as_number:64502 ~name:"bob" ~credential:"b" ()
+  in
+  List.iter
+    (fun h ->
+      match Host.bootstrap h with
+      | Ok () -> ()
+      | Error e -> failwith (Error.to_string e))
+    [ alice; bob ];
+  Host.set_ephid_lifetime alice lifetime;
+  Network.run net;
+  let ep = ref None in
+  Host.request_ephid bob ~lifetime:Lifetime.Long ~receive_only:true (fun e ->
+      ep := Some e);
+  Network.run net;
+  let session = ref None in
+  Host.connect alice ~remote:(Option.get !ep).Host.cert ~expect_accept:true
+    (fun s -> session := Some s);
+  Network.run net;
+  let session = Option.get !session in
+  (* Pace the exchange over 3x the class lifetime (capped at one simulated
+     hour) so Short crosses several expiry boundaries. *)
+  let span_s =
+    min 3600.0
+      (3.0
+      *. float_of_int
+           (Lifetime.seconds Lifetime.default_policy lifetime))
+  in
+  let n = 60 in
+  let eng = Network.engine net in
+  for i = 0 to n - 1 do
+    Apna_sim.Engine.schedule_in eng
+      ~delay:(span_s *. float_of_int i /. float_of_int n)
+      (fun () ->
+        ignore (Host.send alice session (Printf.sprintf "m%03d" i)))
+  done;
+  Network.run net;
+  let got = List.map snd (Host.received bob) in
+  let delivered = ref 0 in
+  for i = 0 to n - 1 do
+    if List.mem (Printf.sprintf "m%03d" i) got then incr delivered
+  done;
+  Format.printf "lifetime class      : %a (%d s)@." Lifetime.pp lifetime
+    (Lifetime.seconds Lifetime.default_policy lifetime);
+  Printf.printf "exchange            : %d messages over %.0f simulated s\n" n
+    span_s;
+  Printf.printf "delivered           : %d/%d\n" !delivered n;
+  Printf.printf "session migrations  : %d\n" (Host.migrations alice);
+  Printf.printf "icmp recoveries     : %d\n" (Host.recoveries alice);
+  Printf.printf "brownout sends      : %d\n" (Host.brownout_sends alice);
+  Printf.printf "issuance breaker    : %s (%d opens)\n"
+    (Breaker.state_label (Breaker.state (Host.issuance_breaker alice)))
+    (Breaker.opens (Host.issuance_breaker alice))
+
 let workload_cmd =
   let window =
     Arg.(value & opt float 60.0 & info [ "window" ] ~docv:"SECONDS"
            ~doc:"Window around the peak to analyze.")
   in
-  let run verbose _seed window =
+  let lifetime =
+    let classes =
+      [ ("short", Lifetime.Short); ("medium", Lifetime.Medium);
+        ("long", Lifetime.Long) ]
+    in
+    Arg.(
+      value & opt (some (enum classes)) None
+      & info [ "lifetime" ] ~docv:"CLASS"
+          ~doc:
+            "Instead of the trace summary, run a live paced exchange with \
+             $(docv) (short|medium|long) source EphIDs — long enough to \
+             cross renewal boundaries — and report the survivability \
+             counters (migrations, recoveries, breaker state).")
+  in
+  let run verbose seed window lifetime =
     setup_logs verbose;
+    match lifetime with
+    | Some lt -> live_lifetime_run ~seed lt
+    | None ->
     let cfg = Apna_workload.Trace.paper_config in
     Printf.printf "paper trace stand-in: %d hosts, peak %.0f flows/s, 24h\n"
       cfg.hosts cfg.peak_rate;
@@ -160,8 +243,10 @@ let workload_cmd =
   in
   Cmd.v
     (Cmd.info "workload"
-       ~doc:"Summarize the synthetic workload trace (\xc2\xa7V-A3).")
-    Term.(const run $ verbose $ seed $ window)
+       ~doc:
+         "Summarize the synthetic workload trace (\xc2\xa7V-A3), or run a \
+          live lifetime-class exchange with $(b,--lifetime).")
+    Term.(const run $ verbose $ seed $ window $ lifetime)
 
 (* ------------------------------------------------------------------ *)
 (* trace: the packet flight recorder *)
@@ -383,8 +468,11 @@ let stats_cmd =
         | Ok () -> ()
         | Error e -> failwith (Error.to_string e))
       [ alice; bob ];
+    (* Short-lived client EphIDs so the run crosses a renewal boundary and
+       the survivability series (migrations, breaker gauge) are live. *)
+    Host.set_ephid_lifetime alice Lifetime.Short;
     let ep = ref None in
-    Host.request_ephid bob (fun e -> ep := Some e);
+    Host.request_ephid bob ~lifetime:Lifetime.Long (fun e -> ep := Some e);
     Network.run net;
     let ep = Option.get !ep in
     Host.on_data bob (fun ~session ~data ->
@@ -394,11 +482,28 @@ let stats_cmd =
         (fun _ -> ())
     done;
     Network.run net;
+    Network.advance_time net 40.0;
+    List.iter
+      (fun s -> ignore (Host.send alice s "renewal-probe"))
+      (Host.sessions alice);
+    Network.run net;
     if json then
       print_endline
         (Apna_obs.Json.to_string ~pretty:true (M.to_json M.default))
     else begin
       print_string (M.render_text M.default);
+      print_newline ();
+      Printf.printf "# session survivability\n";
+      List.iter
+        (fun h ->
+          Printf.printf
+            "  %-8s breaker=%-9s migrations=%d recoveries=%d \
+             brownout-sends=%d stale-discards=%d\n"
+            (Host.name h)
+            (Breaker.state_label (Breaker.state (Host.issuance_breaker h)))
+            (Host.migrations h) (Host.recoveries h) (Host.brownout_sends h)
+            (Host.stale_prefetch_discards h))
+        [ alice; bob ];
       print_newline ();
       Printf.printf "# trace spans (%d recorded, %d retained)\n"
         (Span.recorded Span.default)

@@ -182,11 +182,47 @@ let service_packet t ~src_ephid ~dst_aid ~dst_ephid ~proto ~payload =
   in
   Packet.make ~header ~proto ~payload
 
+(* Never generate an ICMP error about an ICMP error. *)
+let offending_is_icmp_error (pkt : Packet.t) =
+  pkt.proto = Packet.Icmp
+  &&
+  match Icmp.of_bytes pkt.payload with
+  | Ok (Icmp.Unreachable _ | Icmp.Frag_needed _ | Icmp.Encrypted _) -> true
+  | Ok (Icmp.Echo_request _ | Icmp.Echo_reply _) | Error _ -> false
+
 let rec submit t pkt =
   match Border_router.egress_check t.border_router ~now:(t.now ()) pkt with
   | Ok _hid -> route t pkt
+  | Error ((Error.Expired _ | Error.Revoked _) as e) ->
+      Logs.debug (fun m -> m "AS %a egress drop: %a" Addr.pp_aid t.aid Error.pp e);
+      egress_dead_feedback t pkt e
   | Error e ->
       Logs.debug (fun m -> m "AS %a egress drop: %a" Addr.pp_aid t.aid Error.pp e)
+
+(* The source EphID failed its own AS's egress check because it expired or
+   was revoked. The packet never left the AS, so the feedback loops straight
+   back to the owner: the EphID still authenticates (only its validity
+   failed), so parse it for the hid and deliver directly — the dead EphID
+   would not pass an ingress check either. The full payload is quoted so
+   the host can retransmit the exact frame after recovering (§VIII-B). *)
+and egress_dead_feedback t (pkt : Packet.t) err =
+  if not (offending_is_icmp_error pkt) then begin
+    match Ephid.parse_bytes t.keys pkt.header.src_ephid with
+    | Error _ -> ()
+    | Ok (_, info) ->
+        let reason =
+          match err with
+          | Error.Revoked _ -> Icmp.Ephid_revoked
+          | _ -> Icmp.Ephid_expired
+        in
+        M.Counter.incr t.obs.m_icmp;
+        deliver_local t info.hid
+          (service_packet t ~src_ephid:t.br_ephid ~dst_aid:t.aid
+             ~dst_ephid:pkt.header.src_ephid ~proto:Packet.Icmp
+             ~payload:
+               (Icmp.to_bytes
+                  (Icmp.Unreachable { reason; quoted = pkt.payload })))
+  end
 
 and route t (pkt : Packet.t) =
   if Addr.aid_equal pkt.header.dst_aid t.aid then receive t pkt
@@ -214,9 +250,14 @@ and observe_certs t (pkt : Packet.t) =
       if pkt.proto = Packet.Data then begin
         match Session.Frame.of_bytes pkt.payload with
         | Ok (Session.Frame.Init { cert; _ })
-        | Ok (Session.Frame.Accept { cert; _ }) ->
+        | Ok (Session.Frame.Accept { cert; _ })
+        | Ok (Session.Frame.Rekey { cert; _ }) ->
             Cert_cache.observe cache cert
-        | Ok (Session.Frame.Data _ | Session.Frame.Fin _) | Error _ -> ()
+        | Ok
+            ( Session.Frame.Data _ | Session.Frame.Fin _
+            | Session.Frame.Rekey_ack _ )
+        | Error _ ->
+            ()
       end
 
 and deliver_local t hid (pkt : Packet.t) =
@@ -307,21 +348,12 @@ and dispatch_aa t (pkt : Packet.t) =
 and unreachable_feedback t (pkt : Packet.t) reason =
   (* §VIII-B: the source EphID is a working return address, so the network
      can tell the sender why delivery failed — without learning who the
-     sender is. Never generate an ICMP error about an ICMP error. *)
-  let quoted_len = min 64 (String.length pkt.payload) in
-  icmp_to_source t pkt
-    (Icmp.Unreachable { reason; quoted = String.sub pkt.payload 0 quoted_len })
+     sender is. The whole offending payload is quoted (like deep-quoting
+     RFC 1812 routers) so a recovering sender can retransmit it verbatim. *)
+  icmp_to_source t pkt (Icmp.Unreachable { reason; quoted = pkt.payload })
 
 and icmp_to_source t (pkt : Packet.t) msg =
-  (* Never generate an ICMP error about an ICMP error. *)
-  let offending_is_icmp_error =
-    pkt.proto = Packet.Icmp
-    &&
-    match Icmp.of_bytes pkt.payload with
-    | Ok (Icmp.Unreachable _ | Icmp.Frag_needed _ | Icmp.Encrypted _) -> true
-    | Ok (Icmp.Echo_request _ | Icmp.Echo_reply _) | Error _ -> false
-  in
-  if not offending_is_icmp_error then begin
+  if not (offending_is_icmp_error pkt) then begin
     (* Seal the feedback when the source's certificate is at hand
        (§VIII-B): the error then reveals nothing even to on-path
        observers. Fall back to plaintext ICMP otherwise. *)

@@ -16,6 +16,31 @@ let m_rpc_orphans =
   M.Counter.register M.default "apna_host_rpc_orphan_replies_total"
     ~help:"Replies with no pending request (duplicates or late arrivals)"
 
+let m_migrations =
+  M.Counter.register M.default "apna_host_session_migrations_total"
+    ~help:"Live sessions rebound onto a fresh source EphID (Rekey sent)"
+
+let m_recoveries =
+  M.Counter.register M.default "apna_host_session_recoveries_total"
+    ~help:"ICMP-driven recoveries of a session whose EphID died mid-flight"
+
+let m_brownout =
+  M.Counter.register M.default "apna_host_brownout_sends_total"
+    ~help:"Sends that fell back to a degraded EphID during an issuance brownout"
+
+let m_stale_discards =
+  M.Counter.register M.default "apna_host_stale_prefetch_discarded_total"
+    ~help:"Prefetched EphIDs discarded at dequeue for staleness"
+
+let m_breaker_opens =
+  M.Counter.register M.default "apna_host_issuance_breaker_opens_total"
+    ~help:"Issuance circuit breaker transitions to open"
+
+let m_unreachable reason =
+  M.Counter.register M.default "apna_host_icmp_unreachable_total"
+    ~labels:[ ("reason", Icmp.reason_label reason) ]
+    ~help:"ICMP unreachable notices received, by reason"
+
 type attachment = {
   aid : Addr.aid;
   now : unit -> int;
@@ -97,7 +122,9 @@ type t = {
   last_packet_by_conn : Packet.t I64_tbl.t;
   mutable data_handler : session:Session.t -> data:string -> unit;
   mutable received_rev : (int64 * string) list;
-  mutable unreachables_rev : Icmp.unreachable_reason list;
+  (* Ring of the last [unreachable_cap] ICMP unreachable reasons, oldest
+     first; forensics beyond the ring live in the labeled metric. *)
+  unreachables_q : Icmp.unreachable_reason Queue.t;
   mutable mtu_hints_rev : int list;
   (* Shutoff notices from the AS: revoked EphID and, when the granularity
      policy allows it, the application behind it (§VIII-A). *)
@@ -110,9 +137,50 @@ type t = {
      key? Refusing trades the first flight for protection of first packets
      should the receive-only key later be compromised (§VII-C). *)
   mutable accept_zero_rtt : bool;
+  (* --- session survivability --- *)
+  (* Lifetime class requested for session/pool/prefetch EphIDs, and how
+     close to expiry (seconds) an endpoint counts as due for renewal. *)
+  mutable ephid_lifetime : Lifetime.t;
+  mutable renewal_margin : int;
+  breaker : Breaker.t;
+  (* Connections with a migration in flight (issuance or unacked Rekey);
+     doubles as the per-conn guard against re-triggering. *)
+  migrating : unit I64_tbl.t;
+  (* Rekey retransmission until the peer's Rekey_ack, keyed by conn id. *)
+  rekey_rpcs : rpc I64_tbl.t;
+  (* Receiver-side Rekey idempotency: cached ack re-sent verbatim when a
+     duplicate Rekey arrives. *)
+  rekey_ack_resend : (unit -> unit) I64_tbl.t;
+  (* One-slot stash of a frame that died on the peer's expired/revoked
+     EphID, retransmitted once when the peer's Rekey lands. *)
+  pending_retx : string I64_tbl.t;
+  (* Last reactive recovery per connection (simulated time), bounding how
+     often ambiguous ICMP feedback may trigger a migration. *)
+  recovery_last : float I64_tbl.t;
+  (* Raw EphID bytes named in a shutoff Revocation_notice: sessions bound
+     to them must never auto-recover (the shutoff would be defeated). *)
+  shutoff_inhibited : (string, unit) Hashtbl.t;
+  mutable migrations : int;
+  mutable recoveries : int;
+  mutable brownout_sends : int;
+  mutable stale_discards : int;
+  mutable unreachable_total : int;
 }
 
+let unreachable_cap = 256
+
 let create ~name ~rng ?(granularity = Granularity.Per_flow) () =
+  let breaker = Breaker.create () in
+  let breaker_gauge =
+    M.Gauge.register M.default "apna_host_issuance_breaker_state"
+      ~labels:[ ("host", name) ]
+      ~help:"Issuance circuit breaker: 0 closed, 1 half-open, 2 open"
+  in
+  Breaker.on_transition breaker (fun state ->
+      M.Gauge.set breaker_gauge (Breaker.state_to_float state);
+      if state = Breaker.Open then M.Counter.incr m_breaker_opens;
+      Logs.info (fun m ->
+          m "%s: issuance breaker %s" name (Breaker.state_label state)));
   {
       host_name = name;
       rng;
@@ -138,7 +206,7 @@ let create ~name ~rng ?(granularity = Granularity.Per_flow) () =
       last_packet_by_conn = I64_tbl.create 8;
       data_handler = (fun ~session:_ ~data:_ -> ());
       received_rev = [];
-      unreachables_rev = [];
+      unreachables_q = Queue.create ();
       mtu_hints_rev = [];
       revocation_notices_rev = [];
       pending_pings = Hashtbl.create 4;
@@ -146,6 +214,20 @@ let create ~name ~rng ?(granularity = Granularity.Per_flow) () =
       ephid_requests = 0;
       pkts_sent = 0;
       accept_zero_rtt = true;
+      ephid_lifetime = Lifetime.Medium;
+      renewal_margin = 30;
+      breaker;
+      migrating = I64_tbl.create 4;
+      rekey_rpcs = I64_tbl.create 4;
+      rekey_ack_resend = I64_tbl.create 4;
+      pending_retx = I64_tbl.create 4;
+      recovery_last = I64_tbl.create 4;
+      shutoff_inhibited = Hashtbl.create 4;
+      migrations = 0;
+      recoveries = 0;
+      brownout_sends = 0;
+      stale_discards = 0;
+      unreachable_total = 0;
   }
 
 (* Every successfully decrypted application payload is recorded, then the
@@ -167,7 +249,8 @@ let dns_cert t = Option.bind t.identity (fun i -> i.dns_cert)
 let kha t = Option.map (fun i -> i.kha) t.identity
 let endpoints t = t.all_endpoints
 let received t = List.rev t.received_rev
-let unreachables t = List.rev t.unreachables_rev
+let unreachables t = List.of_seq (Queue.to_seq t.unreachables_q)
+let unreachable_total t = t.unreachable_total
 let mtu_hints t = List.rev t.mtu_hints_rev
 let revocation_notices t = List.rev t.revocation_notices_rev
 let on_data t f = t.data_handler <- f
@@ -178,10 +261,23 @@ let ephid_requests_sent t = t.ephid_requests
 let packets_sent t = t.pkts_sent
 let rpc_retries t = t.rpc_retries
 let rpc_timeouts t = t.rpc_timeouts
+let ephid_lifetime t = t.ephid_lifetime
+let set_ephid_lifetime t lt = t.ephid_lifetime <- lt
+let renewal_margin t = t.renewal_margin
+let set_renewal_margin t s = t.renewal_margin <- max 0 s
+let issuance_breaker t = t.breaker
+let migrations t = t.migrations
+let recoveries t = t.recoveries
+let brownout_sends t = t.brownout_sends
+let stale_prefetch_discards t = t.stale_discards
+
+let note_brownout t =
+  t.brownout_sends <- t.brownout_sends + 1;
+  M.Counter.incr m_brownout
 
 let pending_rpc_count t =
   I64_tbl.length t.rpcs + I64_tbl.length t.accept_waits
-  + I64_tbl.length t.ping_rpcs
+  + I64_tbl.length t.ping_rpcs + I64_tbl.length t.rekey_rpcs
 
 let require_att t =
   match t.att with
@@ -347,10 +443,16 @@ let send_packet t ~src_ephid ~dst_aid ~dst_ephid ~proto ~payload =
 (* ------------------------------------------------------------------ *)
 (* EphID acquisition (Fig. 3, host side) *)
 
-let request_ephid_r t ?(lifetime = Lifetime.Medium) ?(receive_only = false) k =
+let request_ephid_r t ?lifetime ?(receive_only = false) k =
+  let lifetime = Option.value lifetime ~default:t.ephid_lifetime in
   match (require_att t, require_identity t) with
   | Error e, _ | _, Error e -> k (Error e)
-  | Ok _att, Ok id ->
+  | Ok att, Ok id when not (Breaker.acquire t.breaker ~now:(att.now_f ())) ->
+      ignore id;
+      (* Fail fast while the breaker is open: callers apply their brownout
+         fallback instead of burning a full timeout ladder per request. *)
+      k (Error (Error.Rejected "EphID issuance circuit breaker open"))
+  | Ok att, Ok id ->
       let keys = Keys.make_ephid_keys t.rng in
       let corr = fresh_corr t in
       let msg =
@@ -372,13 +474,16 @@ let request_ephid_r t ?(lifetime = Lifetime.Medium) ?(receive_only = false) k =
       in
       start_rpc t t.rpcs corr ~what:"EphID request" ~resend
         ~on_reply:(fun msg ->
+          Breaker.success t.breaker;
           match Management.Client.read_reply ~kha:id.kha msg with
           | Error e -> k (Error e)
           | Ok cert ->
               let endpoint = { cert; keys; receive_only } in
               t.all_endpoints <- endpoint :: t.all_endpoints;
               k (Ok endpoint))
-        ~on_timeout:(fun () -> k (Error (Error.Timeout "EphID issuance")))
+        ~on_timeout:(fun () ->
+          Breaker.failure t.breaker ~now:(att.now_f ());
+          k (Error (Error.Timeout "EphID issuance")))
         ()
 
 let request_ephid t ?lifetime ?receive_only k =
@@ -402,6 +507,10 @@ let release_endpoint t (endpoint : endpoint) =
         (fun key (e : endpoint) ->
           if Cert.equal e.cert endpoint.cert then Hashtbl.remove t.pools key)
         (Hashtbl.copy t.pools);
+      (* A deliberate release means sessions bound to this EphID must die
+         with it: inhibit ICMP-driven recovery, exactly as for a shutoff. *)
+      Hashtbl.replace t.shutoff_inhibited
+        (Ephid.to_bytes endpoint.cert.Cert.ephid) ();
       send_packet t ~src_ephid:(Ephid.to_bytes id.ctrl_ephid)
         ~dst_aid:id.ms_cert.aid
         ~dst_ephid:(Ephid.to_bytes id.ms_cert.ephid)
@@ -410,20 +519,26 @@ let release_endpoint t (endpoint : endpoint) =
 (* ------------------------------------------------------------------ *)
 (* Granularity-driven source selection *)
 
-let renewal_margin_s = 30
+(* Within the renewal margin an endpoint is due for replacement; past its
+   expiry it is unusable even as a brownout fallback. *)
+let fresh_enough t (ep : endpoint) =
+  match t.att with
+  | Some att -> ep.cert.Cert.expiry > att.now () + t.renewal_margin
+  | None -> true
+
+let still_valid t (ep : endpoint) =
+  match t.att with
+  | Some att -> ep.cert.Cert.expiry > att.now ()
+  | None -> true
 
 (* Continuations below receive an [(endpoint, Error.t) result]: an issuance
    timeout must reach every waiter, or a wedged pool would swallow all later
    requests for the same key. *)
 let with_pooled_endpoint t key k =
-  let fresh_enough (ep : endpoint) =
-    match t.att with
-    | Some att -> ep.cert.Cert.expiry > att.now () + renewal_margin_s
-    | None -> true
-  in
-  match Hashtbl.find_opt t.pools key with
-  | Some endpoint when fresh_enough endpoint -> k (Ok endpoint)
-  | Some _ | None -> begin
+  let current = Hashtbl.find_opt t.pools key in
+  match current with
+  | Some endpoint when fresh_enough t endpoint -> k (Ok endpoint)
+  | _ -> begin
       match Hashtbl.find_opt t.pool_waiters key with
       | Some waiters ->
           (* An issuance for this pool is already in flight: share it. *)
@@ -432,9 +547,22 @@ let with_pooled_endpoint t key k =
           let waiters = Queue.create () in
           Hashtbl.replace t.pool_waiters key waiters;
           request_ephid_r t (fun result ->
-              (match result with
-              | Ok endpoint -> Hashtbl.replace t.pools key endpoint
-              | Error _ -> ());
+              let result =
+                match result with
+                | Ok endpoint ->
+                    Hashtbl.replace t.pools key endpoint;
+                    result
+                | Error _ -> begin
+                    (* Brownout: issuance is down, but the pooled endpoint
+                       inside its renewal margin still validates at the
+                       border — degrade rather than blackhole. *)
+                    match current with
+                    | Some stale when still_valid t stale ->
+                        note_brownout t;
+                        Ok stale
+                    | _ -> result
+                  end
+              in
               Hashtbl.remove t.pool_waiters key;
               k result;
               Queue.iter (fun waiter -> waiter result) waiters)
@@ -469,18 +597,39 @@ let rec refill_prefetch t =
           refill_prefetch t)
   end
 
-let take_fresh_source t k =
-  if Queue.is_empty t.prefetched then
-    request_ephid_r t (function
-      | Error e -> k (Error e)
-      | Ok endpoint ->
-          refill_prefetch t;
-          k (Ok endpoint))
+(* Discard-at-dequeue: stock prefetched long ago may have aged past the
+   renewal margin (or expired outright) while queued. Under an issuance
+   brownout, within-margin stock is pressed back into service instead. *)
+let rec pop_usable_prefetched t =
+  if Queue.is_empty t.prefetched then None
   else begin
-    let endpoint = Queue.pop t.prefetched in
-    refill_prefetch t;
-    k (Ok endpoint)
+    let ep = Queue.pop t.prefetched in
+    if fresh_enough t ep then Some ep
+    else if Breaker.state t.breaker <> Breaker.Closed && still_valid t ep
+    then begin
+      note_brownout t;
+      Some ep
+    end
+    else begin
+      t.stale_discards <- t.stale_discards + 1;
+      M.Counter.incr m_stale_discards;
+      t.all_endpoints <-
+        List.filter (fun e -> not (Cert.equal e.cert ep.cert)) t.all_endpoints;
+      pop_usable_prefetched t
+    end
   end
+
+let take_fresh_source t k =
+  match pop_usable_prefetched t with
+  | Some endpoint ->
+      refill_prefetch t;
+      k (Ok endpoint)
+  | None ->
+      request_ephid_r t (function
+        | Error e -> k (Error e)
+        | Ok endpoint ->
+            refill_prefetch t;
+            k (Ok endpoint))
 
 (* ------------------------------------------------------------------ *)
 (* Sessions *)
@@ -504,6 +653,11 @@ let forget_session t conn_id =
   settle_rpc t.accept_waits conn_id;
   I64_tbl.remove t.accept_resend conn_id;
   I64_tbl.remove t.init_in_progress conn_id;
+  settle_rpc t.rekey_rpcs conn_id;
+  I64_tbl.remove t.migrating conn_id;
+  I64_tbl.remove t.rekey_ack_resend conn_id;
+  I64_tbl.remove t.pending_retx conn_id;
+  I64_tbl.remove t.recovery_last conn_id;
   (* Per-flow EphIDs die with their flow: preemptively release the backing
      EphID unless it is pooled (per-host/per-application) or receive-only
      (§VIII-G2: hosts manage their EphID pool). *)
@@ -517,6 +671,112 @@ let forget_session t conn_id =
       in
       if (not pooled) && not endpoint.receive_only then
         warn t "close: release" (release_endpoint t endpoint)
+
+(* ------------------------------------------------------------------ *)
+(* Mid-session EphID migration: a live session outlives the EphID that
+   started it. The migrating side acquires a fresh EphID, seals an empty
+   frame under the PRE-migration key (the authenticator: only the session
+   owner can move it), rebinds the session locally, and retransmits the
+   Rekey until the peer's Rekey_ack — the same exactly-once discipline as
+   every other host round trip. *)
+
+let ephid_raw (ep : endpoint) = Ephid.to_bytes ep.cert.Cert.ephid
+
+let inhibited t (ep : endpoint) = Hashtbl.mem t.shutoff_inhibited (ephid_raw ep)
+
+let migrate_session t session ~reason ?(and_then = fun (_ : endpoint) -> ())
+    () =
+  let conn_id = Session.conn_id session in
+  if I64_tbl.mem t.migrating conn_id then ()
+  else begin
+    I64_tbl.replace t.migrating conn_id ();
+    let span =
+      Span.start_for Span.default
+        ~id:(Printf.sprintf "conn:%Ld" conn_id)
+        ~stage:"host.session.migrate"
+    in
+    request_ephid_r t (fun result ->
+        Span.finish Span.default span;
+        match result with
+        | Error e ->
+            (* Brownout: keep riding the current endpoint until its hard
+               expiry; the next send or ICMP retriggers the migration. *)
+            I64_tbl.remove t.migrating conn_id;
+            note_brownout t;
+            warn t "migrate: issuance" (Error e)
+        | Ok fresh ->
+            if not (I64_tbl.mem t.sessions_by_conn conn_id) then
+              (* Session closed while the issuance was in flight. *)
+              I64_tbl.remove t.migrating conn_id
+            else begin
+              let seq, sealed = Session.seal session "" in
+              let frame =
+                Session.Frame.Rekey { conn_id; cert = fresh.cert; seq; sealed }
+              in
+              match
+                Session.rekey_local session ~local_cert:fresh.cert
+                  ~local_keys:fresh.keys
+              with
+              | Error e ->
+                  I64_tbl.remove t.migrating conn_id;
+                  warn t "migrate: rekey" (Error e)
+              | Ok () ->
+                  I64_tbl.replace t.local_by_conn conn_id fresh;
+                  t.migrations <- t.migrations + 1;
+                  M.Counter.incr m_migrations;
+                  Logs.info (fun m ->
+                      m "%s: conn %Ld migrated to fresh EphID (%s)" t.host_name
+                        conn_id reason);
+                  (match t.att with
+                  | Some att when E.enabled E.default ->
+                      E.record E.default
+                        ~key:(E.key_of_string (Printf.sprintf "conn:%Ld" conn_id))
+                        (E.Migrate
+                           {
+                             aid = Addr.aid_to_int att.aid;
+                             host = t.host_name;
+                             reason;
+                           })
+                  | _ -> ());
+                  let resend () =
+                    (* The frame bytes are fixed (re-sealing would advance
+                       the sequence); the destination is re-read so a peer
+                       that migrates concurrently still gets our Rekey. *)
+                    warn t "migrate: rekey frame"
+                      (send_frame t ~endpoint:fresh
+                         ~remote:(Session.remote_cert session) frame)
+                  in
+                  start_rpc t t.rekey_rpcs conn_id ~what:"session rekey"
+                    ~resend
+                    ~on_timeout:(fun () -> I64_tbl.remove t.migrating conn_id)
+                    ();
+                  and_then fresh
+            end)
+  end
+
+(* Proactive renewal: checked on the traffic path (send/receive) rather
+   than on long-armed timers, so a simulation driven to quiescence is not
+   dragged forward to every session's renewal horizon. *)
+let maybe_migrate t session =
+  match t.att with
+  | None -> ()
+  | Some att ->
+      let conn_id = Session.conn_id session in
+      if
+        Session.established session
+        && (not (I64_tbl.mem t.migrating conn_id))
+        && I64_tbl.mem t.sessions_by_conn conn_id
+      then
+        match I64_tbl.find_opt t.local_by_conn conn_id with
+        | Some ep
+          when ep.cert.Cert.expiry <= att.now () + t.renewal_margin
+               && (not ep.receive_only)
+               && not (inhibited t ep) ->
+            migrate_session t session ~reason:"renewal-margin" ()
+        | _ -> ()
+
+let maintain_sessions t =
+  I64_tbl.iter (fun _ session -> maybe_migrate t session) t.sessions_by_conn
 
 let connect t ~remote ?(data0 = "") ?app ?(expect_accept = false) k =
   match require_att t with
@@ -591,17 +851,33 @@ let send t session data =
         let remote = Session.remote_cert session in
         let seq, sealed = Session.seal session data in
         let frame = Session.Frame.Data { conn_id; seq; sealed } in
-        if Granularity.equal t.gran Granularity.Per_packet then begin
-          (* Fresh source EphID for every packet (§VIII-A): strongest
-             unlinkability; the connection id does the demultiplexing. *)
-          take_fresh_source t (function
-              | Error e -> warn t "send(per-packet)" (Error e)
-              | Ok fresh ->
-                  warn t "send(per-packet)"
-                    (send_frame t ~endpoint:fresh ~remote frame));
-          Ok ()
-        end
-        else send_frame t ~endpoint ~remote frame
+        let result =
+          if Granularity.equal t.gran Granularity.Per_packet then begin
+            (* Fresh source EphID for every packet (§VIII-A): strongest
+               unlinkability; the connection id does the demultiplexing. *)
+            take_fresh_source t (function
+                | Error e ->
+                    (* Brownout: no fresh EphID to be had — stretch the
+                       effective granularity to per-flow (reuse the bound
+                       endpoint) rather than blackhole the send. *)
+                    if still_valid t endpoint && not (inhibited t endpoint)
+                    then begin
+                      note_brownout t;
+                      warn t "send(per-packet brownout)"
+                        (send_frame t ~endpoint ~remote frame)
+                    end
+                    else warn t "send(per-packet)" (Error e)
+                | Ok fresh ->
+                    warn t "send(per-packet)"
+                      (send_frame t ~endpoint:fresh ~remote frame));
+            Ok ()
+          end
+          else send_frame t ~endpoint ~remote frame
+        in
+        (* After the frame is out (sealed under the pre-migration key),
+           check whether this session's source EphID is due for renewal. *)
+        maybe_migrate t session;
+        result
   end
 
 let flush_queued t session =
@@ -922,13 +1198,178 @@ let handle_accept t ~conn_id ~(cert : Cert.t) ~seq:_ ~sealed:_ =
           end
       end
 
+(* Peer side of a migration. Idempotency mirrors Init/Accept: a duplicate
+   Rekey (the peer retransmitting because our ack was lost) is recognised
+   by its certificate already being the session's remote and answered by
+   re-sending the cached ack verbatim. *)
+let handle_rekey t ~conn_id ~(cert : Cert.t) ~seq ~sealed =
+  match (I64_tbl.find_opt t.sessions_by_conn conn_id, require_att t) with
+  | None, _ -> Logs.warn (fun m -> m "%s: rekey for unknown conn" t.host_name)
+  | _, Error e -> warn t "rekey" (Error e)
+  | Some session, Ok att ->
+      if Cert.equal (Session.remote_cert session) cert then begin
+        match I64_tbl.find_opt t.rekey_ack_resend conn_id with
+        | Some resend -> resend ()
+        | None -> ()
+      end
+      else begin
+        match Trust.verify_cert att.trust ~now:(att.now ()) cert with
+        | Error e -> warn t "rekey: certificate" (Error e)
+        | Ok () -> begin
+            (* Authenticate under the current (or grace-window) key before
+               applying: only the session's owner can migrate it. *)
+            match Session.open_sealed session ~seq ~sealed with
+            | Error e -> warn t "rekey: auth" (Error e)
+            | Ok _ -> begin
+                match Session.rekey session ~remote_cert:cert with
+                | Error e -> warn t "rekey: apply" (Error e)
+                | Ok () -> begin
+                    match I64_tbl.find_opt t.local_by_conn conn_id with
+                    | None -> ()
+                    | Some local ->
+                        let aseq, asealed = Session.seal session "" in
+                        let ack =
+                          Session.Frame.Rekey_ack
+                            { conn_id; seq = aseq; sealed = asealed }
+                        in
+                        let resend () =
+                          warn t "rekey: ack"
+                            (send_frame t ~endpoint:local ~remote:cert ack)
+                        in
+                        I64_tbl.replace t.rekey_ack_resend conn_id resend;
+                        resend ();
+                        (* A frame of ours died on the peer's old EphID:
+                           one bounded retransmission at its new address. *)
+                        (match I64_tbl.find_opt t.pending_retx conn_id with
+                        | Some payload ->
+                            I64_tbl.remove t.pending_retx conn_id;
+                            warn t "rekey: retransmit"
+                              (send_packet t ~src_ephid:(ephid_raw local)
+                                 ~dst_aid:cert.aid
+                                 ~dst_ephid:(Ephid.to_bytes cert.ephid)
+                                 ~proto:Packet.Data ~payload)
+                        | None -> ());
+                        (* The peer renewing is a hint our own side may be
+                           near the same horizon. *)
+                        maybe_migrate t session
+                  end
+              end
+          end
+      end
+
+let handle_rekey_ack t ~conn_id ~seq ~sealed =
+  match I64_tbl.find_opt t.sessions_by_conn conn_id with
+  | None -> ()
+  | Some session -> begin
+      (* Sealed under the post-migration key: proof the peer applied it. *)
+      match Session.open_sealed session ~seq ~sealed with
+      | Error e -> warn t "rekey ack" (Error e)
+      | Ok _ ->
+          settle_rpc t.rekey_rpcs conn_id;
+          I64_tbl.remove t.migrating conn_id
+    end
+
 let handle_data_frame t ~conn_id ~seq ~sealed =
   match I64_tbl.find_opt t.sessions_by_conn conn_id with
   | None -> Logs.warn (fun m -> m "%s: data for unknown conn" t.host_name)
   | Some session -> begin
       match Session.open_sealed session ~seq ~sealed with
       | Error e -> warn t "data" (Error e)
-      | Ok data -> deliver_data t session data
+      | Ok data ->
+          deliver_data t session data;
+          (* Receive-path renewal check keeps a mostly-listening endpoint
+             (a server) migrating on the client's traffic. *)
+          maybe_migrate t session
+    end
+
+(* ---- reactive recovery (ICMP-driven) ---- *)
+
+let record_unreachable t reason =
+  t.unreachable_total <- t.unreachable_total + 1;
+  Queue.add reason t.unreachables_q;
+  while Queue.length t.unreachables_q > unreachable_cap do
+    ignore (Queue.pop t.unreachables_q)
+  done;
+  if M.enabled M.default then M.Counter.incr (m_unreachable reason)
+
+(* Scrub a dead EphID out of every reuse path: granularity pools, the
+   per-packet prefetch stock, and the endpoint list. Session bindings are
+   replaced by the migration itself. *)
+let invalidate_endpoint t raw =
+  t.all_endpoints <-
+    List.filter (fun e -> not (String.equal (ephid_raw e) raw)) t.all_endpoints;
+  Hashtbl.iter
+    (fun key (e : endpoint) ->
+      if String.equal (ephid_raw e) raw then Hashtbl.remove t.pools key)
+    (Hashtbl.copy t.pools);
+  let keep = Queue.create () in
+  Queue.iter
+    (fun e -> if not (String.equal (ephid_raw e) raw) then Queue.add e keep)
+    t.prefetched;
+  Queue.clear t.prefetched;
+  Queue.transfer keep t.prefetched
+
+(* All session frames lead with tag(1) ‖ conn_id(8). *)
+let conn_of_quoted quoted =
+  if String.length quoted >= 9 && Char.code quoted.[0] <= 5 then
+    Some (String.get_int64_be quoted 1)
+  else None
+
+let recovery_cooldown_s = 5.0
+
+(* An ICMP Ephid_expired/Ephid_revoked whose quoted bytes match a live
+   session. The ICMP is addressed to the EphID that sourced the dropped
+   packet; its source AID says where the drop happened: our own AS means
+   our source EphID failed the egress check (migrate and retransmit the
+   quoted frame once), a remote AS means the peer's EphID failed ingress
+   (stash the frame; one retransmission when the peer's Rekey lands). *)
+let try_recover t (pkt : Packet.t) ~reason ~quoted =
+  match (conn_of_quoted quoted, t.att) with
+  | None, _ | _, None -> ()
+  | Some conn_id, Some att -> begin
+      match I64_tbl.find_opt t.sessions_by_conn conn_id with
+      | None -> ()
+      | Some session ->
+          let dead_raw = pkt.header.dst_ephid in
+          if Hashtbl.mem t.shutoff_inhibited dead_raw then
+            (* Shut off: recovering would defeat the revocation (Fig. 5). *)
+            ()
+          else if Addr.aid_equal pkt.header.src_aid att.aid then begin
+            invalidate_endpoint t dead_raw;
+            let recently =
+              match I64_tbl.find_opt t.recovery_last conn_id with
+              | Some ts -> att.now_f () -. ts < recovery_cooldown_s
+              | None -> false
+            in
+            if not recently then begin
+              I64_tbl.replace t.recovery_last conn_id (att.now_f ());
+              t.recoveries <- t.recoveries + 1;
+              M.Counter.incr m_recoveries;
+              let retransmit (ep : endpoint) =
+                let remote = Session.remote_cert session in
+                warn t "recover: retransmit"
+                  (send_packet t ~src_ephid:(ephid_raw ep)
+                     ~dst_aid:remote.Cert.aid
+                     ~dst_ephid:(Ephid.to_bytes remote.Cert.ephid)
+                     ~proto:Packet.Data ~payload:quoted)
+              in
+              let bound = I64_tbl.find_opt t.local_by_conn conn_id in
+              match bound with
+              | Some ep when String.equal (ephid_raw ep) dead_raw ->
+                  (* The session's own binding died: migrate, then send the
+                     quoted frame once from the fresh EphID. The peer opens
+                     it through the grace window. *)
+                  migrate_session t session
+                    ~reason:(Icmp.reason_label reason) ~and_then:retransmit ()
+              | Some ep when still_valid t ep ->
+                  (* A per-packet source died but the binding is alive:
+                     retransmit from it (momentary per-flow degradation). *)
+                  retransmit ep
+              | _ -> ()
+            end
+          end
+          else if not (I64_tbl.mem t.pending_retx conn_id) then
+            I64_tbl.replace t.pending_retx conn_id quoted
     end
 
 let rec handle_icmp t (pkt : Packet.t) =
@@ -970,8 +1411,13 @@ let rec handle_icmp t (pkt : Packet.t) =
           k (att.now_f () -. t0)
       | _ -> ()
     end
-  | Ok (Icmp.Unreachable { reason; _ }) ->
-      t.unreachables_rev <- reason :: t.unreachables_rev
+  | Ok (Icmp.Unreachable { reason; quoted }) -> begin
+      record_unreachable t reason;
+      match reason with
+      | Icmp.Ephid_expired | Icmp.Ephid_revoked ->
+          try_recover t pkt ~reason ~quoted
+      | Icmp.No_route | Icmp.Host_unknown -> ()
+    end
   | Ok (Icmp.Frag_needed { mtu; _ }) -> t.mtu_hints_rev <- mtu :: t.mtu_hints_rev
 
 let deliver t (pkt : Packet.t) =
@@ -1000,7 +1446,13 @@ let deliver t (pkt : Packet.t) =
                     else acc)
                   t.pools None
               in
-              t.revocation_notices_rev <- (ephid, app) :: t.revocation_notices_rev
+              t.revocation_notices_rev <- (ephid, app) :: t.revocation_notices_rev;
+              (* The AS shut this EphID off: purge it from every reuse path
+                 and pin it so ICMP-driven recovery never resurrects the
+                 flows it backed. *)
+              let raw = Ephid.to_bytes ephid in
+              Hashtbl.replace t.shutoff_inhibited raw ();
+              invalidate_endpoint t raw
         end
       | Ok _ -> Logs.warn (fun m -> m "%s: unexpected control message" t.host_name)
     end
@@ -1017,5 +1469,9 @@ let deliver t (pkt : Packet.t) =
           handle_data_frame t ~conn_id ~seq ~sealed
       | Ok (Session.Frame.Fin { conn_id; seq; sealed }) ->
           handle_fin t ~conn_id ~seq ~sealed
+      | Ok (Session.Frame.Rekey { conn_id; cert; seq; sealed }) ->
+          handle_rekey t ~conn_id ~cert ~seq ~sealed
+      | Ok (Session.Frame.Rekey_ack { conn_id; seq; sealed }) ->
+          handle_rekey_ack t ~conn_id ~seq ~sealed
     end
   | Packet.Icmp -> handle_icmp t pkt

@@ -107,7 +107,56 @@ val connect :
 val send : t -> Session.t -> string -> (unit, Error.t) result
 (** Sends a data frame on an established session. Under
     {!Granularity.Per_packet} every frame goes out under a fresh source
-    EphID from the prefetched pool. *)
+    EphID from the prefetched pool (falling back to the session's bound
+    endpoint — per-flow degradation — during an issuance brownout). Sending
+    also runs the proactive renewal check: once the session's source EphID
+    is inside the renewal margin, a migration starts in the background. *)
+
+(** {2 Session survivability}
+
+    Established sessions outlive the EphIDs that started them. Proactively,
+    the host checks the bound source EphID's expiry on every send/receive
+    and, inside {!renewal_margin} seconds of expiry, acquires a fresh EphID
+    and moves the session onto it with an authenticated in-session [Rekey]
+    frame (retransmitted until the peer's [Rekey_ack]; duplicates are
+    accepted idempotently). Reactively, ICMP [Ephid_expired]/[Ephid_revoked]
+    feedback quoting a live session's frame invalidates the dead endpoint
+    everywhere, migrates, and retransmits the quoted frame once. EphIDs
+    named in a shutoff {!revocation_notices} never auto-recover. Issuance
+    itself sits behind a {!Breaker}: when it opens, sends degrade per the
+    brownout policy instead of blackholing. *)
+
+val ephid_lifetime : t -> Lifetime.t
+val set_ephid_lifetime : t -> Lifetime.t -> unit
+(** Lifetime class requested for session, pool and prefetch EphIDs
+    (default {!Lifetime.Medium}); explicit [?lifetime] arguments win. *)
+
+val renewal_margin : t -> int
+val set_renewal_margin : t -> int -> unit
+(** Seconds before expiry at which an endpoint counts as due for renewal
+    (default 30): pooled endpoints are replaced, prefetched stock is
+    discarded at dequeue, and live sessions migrate. *)
+
+val maintain_sessions : t -> unit
+(** Runs the proactive renewal check over every live session now. The check
+    also runs on each send/receive, so calling this is only needed for
+    sessions with no traffic of their own. *)
+
+val issuance_breaker : t -> Breaker.t
+(** The circuit breaker guarding EphID issuance round trips. *)
+
+val migrations : t -> int
+(** Completed rebindings of a live session onto a fresh source EphID. *)
+
+val recoveries : t -> int
+(** ICMP-driven recoveries (reactive migrations / bounded retransmits). *)
+
+val brownout_sends : t -> int
+(** Times an acquisition or send fell back to a degraded EphID because
+    issuance was unavailable. *)
+
+val stale_prefetch_discards : t -> int
+(** Prefetched EphIDs discarded at dequeue for staleness. *)
 
 val on_data : t -> (session:Session.t -> data:string -> unit) -> unit
 (** Installs an application data handler. Decrypted payloads are always
@@ -151,7 +200,13 @@ val ping :
 (** ICMP echo (§VIII-B); continuation receives the RTT in seconds. *)
 
 val unreachables : t -> Icmp.unreachable_reason list
-(** ICMP destination-unreachable notifications received, oldest first. *)
+(** The last 256 ICMP destination-unreachable notifications received,
+    oldest first; the total (and per-reason breakdown) lives in
+    {!unreachable_total} and [apna_host_icmp_unreachable_total{reason}]. *)
+
+val unreachable_total : t -> int
+(** Unreachable notifications ever received, including those the bounded
+    {!unreachables} ring has dropped. *)
 
 val mtu_hints : t -> int list
 (** Path-MTU hints from ICMP packet-too-big feedback, oldest first: the

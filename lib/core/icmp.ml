@@ -26,6 +26,12 @@ let reason_to_string = function
   | Ephid_revoked -> "destination EphID revoked"
   | Host_unknown -> "destination host unknown"
 
+let reason_label = function
+  | No_route -> "no-route"
+  | Ephid_expired -> "ephid-expired"
+  | Ephid_revoked -> "ephid-revoked"
+  | Host_unknown -> "host-unknown"
+
 let to_bytes t =
   let w = Apna_util.Rw.Writer.create () in
   let open Apna_util.Rw.Writer in

@@ -31,4 +31,9 @@ type t =
 val to_bytes : t -> string
 val of_bytes : string -> (t, Error.t) result
 val reason_to_string : unreachable_reason -> string
+
+val reason_label : unreachable_reason -> string
+(** Kebab-case form for metric labels,
+    [apna_host_icmp_unreachable_total{reason=...}]. *)
+
 val pp : Format.formatter -> t -> unit

@@ -3,14 +3,17 @@ open Apna_crypto
 type t = {
   conn_id : int64;
   initiator : bool;
-  local_cert : Cert.t;
-  local_keys : Keys.ephid_keys;
+  mutable local_cert : Cert.t;
+  mutable local_keys : Keys.ephid_keys;
   mutable remote_cert : Cert.t;
   mutable key : Aead.key;
   mutable send_seq : int64;
   mutable replay : Replay_window.t;
   window : int;
   mutable established : bool;
+  (* One-deep grace window: frames sealed under the key that preceded the
+     last rekey still open while both ends converge on the new key. *)
+  mutable prev : (Aead.key * Replay_window.t) option;
 }
 
 let conn_id t = t.conn_id
@@ -51,17 +54,31 @@ let create ~conn_id ~initiator ~local_cert ~local_keys ~remote_cert
           replay = Replay_window.create ~size:window ();
           window;
           established = not await_accept;
+          prev = None;
         }
 
 let rekey t ~remote_cert =
   match derive_key ~local_keys:t.local_keys ~local_cert:t.local_cert ~remote_cert with
   | Error e -> Error e
   | Ok key ->
+      t.prev <- Some (t.key, t.replay);
       t.remote_cert <- remote_cert;
       t.key <- key;
       t.send_seq <- 0L;
       t.replay <- Replay_window.create ~size:t.window ();
       t.established <- true;
+      Ok ()
+
+let rekey_local t ~local_cert ~local_keys =
+  match derive_key ~local_keys ~local_cert ~remote_cert:t.remote_cert with
+  | Error e -> Error e
+  | Ok key ->
+      t.prev <- Some (t.key, t.replay);
+      t.local_cert <- local_cert;
+      t.local_keys <- local_keys;
+      t.key <- key;
+      t.send_seq <- 0L;
+      t.replay <- Replay_window.create ~size:t.window ();
       Ok ()
 
 let nonce ~conn_id ~dir seq =
@@ -81,13 +98,23 @@ let seal t data =
 
 let open_sealed t ~seq ~sealed =
   let n = nonce ~conn_id:t.conn_id ~dir:(not t.initiator) seq in
+  let checked replay data =
+    (* Authenticate first, then replay-check: only genuine packets may
+       advance the window (§VIII-D). *)
+    if Replay_window.check_and_update replay seq then Ok data
+    else Error (Error.Rejected "replayed or stale sequence number")
+  in
   match Aead.open_ ~key:t.key ~nonce:n sealed with
-  | Error e -> Error (Error.Crypto e)
-  | Ok data ->
-      (* Authenticate first, then replay-check: only genuine packets may
-         advance the window (§VIII-D). *)
-      if Replay_window.check_and_update t.replay seq then Ok data
-      else Error (Error.Rejected "replayed or stale sequence number")
+  | Ok data -> checked t.replay data
+  | Error e -> (
+      (* Grace window: a frame sealed just before a rekey may still be in
+         flight — try the previous key with its own replay window. *)
+      match t.prev with
+      | None -> Error (Error.Crypto e)
+      | Some (key, replay) -> (
+          match Aead.open_ ~key ~nonce:n sealed with
+          | Ok data -> checked replay data
+          | Error _ -> Error (Error.Crypto e)))
 
 module Frame = struct
   type f =
@@ -95,6 +122,8 @@ module Frame = struct
     | Accept of { conn_id : int64; cert : Cert.t; seq : int64; sealed : string }
     | Data of { conn_id : int64; seq : int64; sealed : string }
     | Fin of { conn_id : int64; seq : int64; sealed : string }
+    | Rekey of { conn_id : int64; cert : Cert.t; seq : int64; sealed : string }
+    | Rekey_ack of { conn_id : int64; seq : int64; sealed : string }
 
   let to_bytes f =
     let w = Apna_util.Rw.Writer.create ~capacity:64 () in
@@ -119,6 +148,17 @@ module Frame = struct
         bytes w sealed
     | Fin { conn_id; seq; sealed } ->
         u8 w 3;
+        u64 w conn_id;
+        u64 w seq;
+        bytes w sealed
+    | Rekey { conn_id; cert; seq; sealed } ->
+        u8 w 4;
+        u64 w conn_id;
+        bytes w (Cert.to_bytes cert);
+        u64 w seq;
+        bytes w sealed
+    | Rekey_ack { conn_id; seq; sealed } ->
+        u8 w 5;
         u64 w conn_id;
         u64 w seq;
         bytes w sealed);
@@ -149,6 +189,11 @@ module Frame = struct
           let* conn_id = Reader.u64 r in
           let* seq = Reader.u64 r in
           Ok (Fin { conn_id; seq; sealed = Reader.rest r })
+      | 4 -> with_cert (fun ~conn_id ~cert ~seq ~sealed -> Rekey { conn_id; cert; seq; sealed })
+      | 5 ->
+          let* conn_id = Reader.u64 r in
+          let* seq = Reader.u64 r in
+          Ok (Rekey_ack { conn_id; seq; sealed = Reader.rest r })
       | n -> Error (Printf.sprintf "unknown frame type %d" n)
     in
     Result.map_error (fun e -> Error.Malformed ("frame: " ^ e)) parse

@@ -9,14 +9,19 @@
 
     Wire framing (packet payload for proto [Data]):
     {v
-      Init   : 0x00 ‖ conn_id(8) ‖ cert(168) ‖ seq(8) ‖ sealed   — may carry 0-RTT data
-      Accept : 0x01 ‖ conn_id(8) ‖ cert(168) ‖ seq(8) ‖ sealed   — server's serving cert (§VII-A)
-      Data   : 0x02 ‖ conn_id(8) ‖ seq(8) ‖ sealed
-      Fin    : 0x03 ‖ conn_id(8) ‖ seq(8) ‖ sealed   — authenticated close
+      Init      : 0x00 ‖ conn_id(8) ‖ cert(168) ‖ seq(8) ‖ sealed   — may carry 0-RTT data
+      Accept    : 0x01 ‖ conn_id(8) ‖ cert(168) ‖ seq(8) ‖ sealed   — server's serving cert (§VII-A)
+      Data      : 0x02 ‖ conn_id(8) ‖ seq(8) ‖ sealed
+      Fin       : 0x03 ‖ conn_id(8) ‖ seq(8) ‖ sealed   — authenticated close
+      Rekey     : 0x04 ‖ conn_id(8) ‖ cert(168) ‖ seq(8) ‖ sealed   — mid-session EphID migration
+      Rekey_ack : 0x05 ‖ conn_id(8) ‖ seq(8) ‖ sealed   — sealed under the post-migration key
     v}
 
     The connection id demultiplexes sessions independently of the source
-    EphID, which is what makes the per-packet EphID granularity workable. *)
+    EphID, which is what makes the per-packet EphID granularity workable —
+    and what lets an established session survive the expiry of the EphID
+    that started it: a [Rekey] frame carries the sender's fresh certificate,
+    authenticated under the current session key, and both ends re-derive. *)
 
 type t
 
@@ -37,9 +42,18 @@ val create :
     towards a receive-only EphID (§VII-A). *)
 
 val rekey : t -> remote_cert:Cert.t -> (unit, Error.t) result
-(** Client side of §VII-A: switch to the server's serving certificate and
-    re-derive the key; marks the session established and resets sequence
-    state. *)
+(** Switch to a new certificate from the peer — the server's serving
+    certificate (§VII-A) or a mid-session [Rekey] — and re-derive the key;
+    marks the session established and resets sequence state. The key being
+    replaced is retained as a one-deep grace window so frames sealed under
+    it and still in flight continue to open. *)
+
+val rekey_local : t -> local_cert:Cert.t -> local_keys:Keys.ephid_keys ->
+  (unit, Error.t) result
+(** Local side of mid-session EphID migration: rebind the session to a
+    fresh local certificate/key pair and re-derive the session key against
+    the unchanged remote certificate. Resets sequence state and retains the
+    replaced key as the grace window, exactly like {!rekey}. *)
 
 val seal : t -> string -> int64 * string
 (** [seal t data] is [(seq, sealed)] for the next outgoing frame. *)
@@ -54,6 +68,8 @@ module Frame : sig
     | Accept of { conn_id : int64; cert : Cert.t; seq : int64; sealed : string }
     | Data of { conn_id : int64; seq : int64; sealed : string }
     | Fin of { conn_id : int64; seq : int64; sealed : string }
+    | Rekey of { conn_id : int64; cert : Cert.t; seq : int64; sealed : string }
+    | Rekey_ack of { conn_id : int64; seq : int64; sealed : string }
 
   val to_bytes : f -> string
   val of_bytes : string -> (f, Error.t) result

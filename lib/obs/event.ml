@@ -20,6 +20,7 @@ type kind =
   | Gw_encap of { gateway : string }
   | Gw_decap of { gateway : string }
   | Shutoff of { aid : int }
+  | Migrate of { aid : int; host : string; reason : string }
 
 type record = { key : int64; time : float; seq : int; kind : kind }
 
@@ -82,13 +83,15 @@ let stage_label = function
   | Gw_encap _ -> "gw.encap"
   | Gw_decap _ -> "gw.decap"
   | Shutoff _ -> "shutoff"
+  | Migrate _ -> "host.migrate"
 
 let where = function
   | Host_send { aid; _ }
   | Br_egress { aid; _ }
   | Br_ingress { aid; _ }
   | Deliver { aid; _ }
-  | Shutoff { aid } ->
+  | Shutoff { aid }
+  | Migrate { aid; _ } ->
       Printf.sprintf "AS%d" aid
   | Link_transit { src; dst; _ } -> Printf.sprintf "AS%d->AS%d" src dst
   | Gw_encap { gateway } | Gw_decap { gateway } -> "gw:" ^ gateway
@@ -110,3 +113,5 @@ let describe = function
   | Gw_encap { gateway } -> Printf.sprintf "encap @ gw:%s" gateway
   | Gw_decap { gateway } -> Printf.sprintf "decap @ gw:%s" gateway
   | Shutoff { aid } -> Printf.sprintf "shutoff executed @ AS%d" aid
+  | Migrate { aid; host; reason } ->
+      Printf.sprintf "session migrated by host %s [%s] @ AS%d" host reason aid

@@ -54,6 +54,11 @@ type kind =
   | Shutoff of { aid : int }
       (** A shutoff was executed against this packet (keyed on the
           evidence packet's MAC, joining the offending journey). *)
+  | Migrate of { aid : int; host : string; reason : string }
+      (** A host rebound a live session onto a fresh EphID (keyed on the
+          connection id, so all migrations of one session share a
+          timeline); [reason] is "renewal-margin" for proactive renewal or
+          the ICMP reason label for reactive recovery. *)
 
 type record = { key : int64; time : float; seq : int; kind : kind }
 (** [time] is the sink clock (simulated seconds inside a simulation);

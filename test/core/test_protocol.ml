@@ -311,7 +311,7 @@ let session_tests =
           (Result.is_error (Session.open_sealed sb' ~seq ~sealed)));
     qtest "frame codec roundtrip"
       QCheck2.Gen.(
-        let* kind = int_range 0 3 in
+        let* kind = int_range 0 5 in
         let* conn_id = int_range 0 max_int in
         let* seq = int_range 0 max_int in
         let* sealed = string_size (int_range 0 100) in
@@ -323,11 +323,21 @@ let session_tests =
           | 0 -> Session.Frame.Init { conn_id; cert; seq; sealed }
           | 1 -> Session.Frame.Accept { conn_id; cert; seq; sealed }
           | 2 -> Session.Frame.Data { conn_id; seq; sealed }
-          | _ -> Session.Frame.Fin { conn_id; seq; sealed }
+          | 3 -> Session.Frame.Fin { conn_id; seq; sealed }
+          | 4 -> Session.Frame.Rekey { conn_id; cert; seq; sealed }
+          | _ -> Session.Frame.Rekey_ack { conn_id; seq; sealed }
         in
         match Session.Frame.of_bytes (Session.Frame.to_bytes f) with
         | Ok f' -> f' = f
         | Error _ -> false);
+    qtest "frame decoder is total on arbitrary bytes" ~count:200
+      QCheck2.Gen.(string_size (int_range 0 300))
+      (fun bytes ->
+        (* Never raises: arbitrary input decodes or errors cleanly. *)
+        match Session.Frame.of_bytes bytes with Ok _ | Error _ -> true);
+    qtest "icmp decoder is total on arbitrary bytes" ~count:200
+      QCheck2.Gen.(string_size (int_range 0 300))
+      (fun bytes -> match Icmp.of_bytes bytes with Ok _ | Error _ -> true);
     Alcotest.test_case "rekey switches certificate and resets state" `Quick
       (fun () ->
         let sa, sb = session_pair () in

@@ -1,0 +1,402 @@
+(* Session-survivability acceptance (Issue 5): live sessions outlive the
+   EphIDs that started them. Proactive renewal-margin migration keeps a
+   long exchange alive across multiple Short-lifetime expiry boundaries
+   under the E13 fault mix; ICMP Ephid_revoked feedback drives reactive
+   recovery; a blackholed management service opens the issuance circuit
+   breaker and sends degrade per the brownout policy instead of
+   blackholing; and the bounded-state regressions (stale prefetched
+   EphIDs, unreachable-notification ring) stay bounded. *)
+
+open Apna
+open Apna_net
+module M = Apna_obs.Metrics
+
+let ok_or_fail what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (Error.to_string e)
+
+let m_migrations =
+  M.Counter.register M.default "apna_host_session_migrations_total"
+
+(* ------------------------------------------------------------------ *)
+(* Breaker unit tests: the state machine in isolation. *)
+
+let breaker_tests =
+  [
+    Alcotest.test_case "opens after threshold consecutive failures" `Quick
+      (fun () ->
+        let b = Breaker.create ~threshold:3 ~cooldown_s:10.0 () in
+        Alcotest.(check bool) "starts closed" true (Breaker.state b = Breaker.Closed);
+        Breaker.failure b ~now:0.0;
+        Breaker.failure b ~now:0.1;
+        Alcotest.(check bool) "still closed at 2" true
+          (Breaker.state b = Breaker.Closed);
+        (* A success resets the consecutive count. *)
+        Breaker.success b;
+        Breaker.failure b ~now:0.2;
+        Breaker.failure b ~now:0.3;
+        Alcotest.(check bool) "reset by success" true
+          (Breaker.state b = Breaker.Closed);
+        Breaker.failure b ~now:0.4;
+        Alcotest.(check bool) "open at 3" true (Breaker.state b = Breaker.Open);
+        Alcotest.(check int) "one open transition" 1 (Breaker.opens b));
+    Alcotest.test_case "half-open probe closes or reopens" `Quick (fun () ->
+        let b = Breaker.create ~threshold:1 ~cooldown_s:5.0 () in
+        Breaker.failure b ~now:0.0;
+        Alcotest.(check bool) "open" true (Breaker.state b = Breaker.Open);
+        Alcotest.(check bool) "fail fast inside cooldown" false
+          (Breaker.acquire b ~now:3.0);
+        Alcotest.(check bool) "probe admitted after cooldown" true
+          (Breaker.acquire b ~now:6.0);
+        Alcotest.(check bool) "half-open" true
+          (Breaker.state b = Breaker.Half_open);
+        Alcotest.(check bool) "second caller blocked during probe" false
+          (Breaker.acquire b ~now:6.1);
+        (* Probe fails: back to Open, cooldown restarts. *)
+        Breaker.failure b ~now:6.5;
+        Alcotest.(check bool) "reopened" true (Breaker.state b = Breaker.Open);
+        Alcotest.(check int) "two opens" 2 (Breaker.opens b);
+        Alcotest.(check bool) "new probe after new cooldown" true
+          (Breaker.acquire b ~now:12.0);
+        Breaker.success b;
+        Alcotest.(check bool) "closed again" true
+          (Breaker.state b = Breaker.Closed);
+        Alcotest.(check bool) "admits freely when closed" true
+          (Breaker.acquire b ~now:12.1));
+    Alcotest.test_case "transition observer fires on changes only" `Quick
+      (fun () ->
+        let b = Breaker.create ~threshold:2 ~cooldown_s:1.0 () in
+        let seen = ref [] in
+        Breaker.on_transition b (fun s -> seen := Breaker.state_label s :: !seen);
+        Breaker.failure b ~now:0.0;
+        Breaker.failure b ~now:0.1;
+        Breaker.failure b ~now:0.2;
+        ignore (Breaker.acquire b ~now:2.0);
+        Breaker.success b;
+        Alcotest.(check (list string)) "open, half-open, closed"
+          [ "open"; "half-open"; "closed" ]
+          (List.rev !seen));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The acceptance topology: AS100 (alice) — AS200 — AS300 (bob), with the
+   chaos suite's rough fault mix on both inter-AS links when asked. *)
+
+let make_world ?(seed = "survival") ?link_faults () =
+  let net = Network.create ~seed () in
+  let _ = Network.add_as net 100 () in
+  let _ = Network.add_as net 200 () in
+  let _ = Network.add_as net 300 () in
+  let link () =
+    match link_faults with
+    | Some faults -> Link.make ~faults ()
+    | None -> Link.make ()
+  in
+  Network.connect_as net 100 200 ~link:(link ()) ();
+  Network.connect_as net 200 300 ~link:(link ()) ();
+  let alice =
+    Network.add_host net ~as_number:100 ~name:"alice" ~credential:"alice-tok" ()
+  in
+  let bob =
+    Network.add_host net ~as_number:300 ~name:"bob" ~credential:"bob-tok" ()
+  in
+  ok_or_fail "alice bootstrap" (Host.bootstrap alice);
+  ok_or_fail "bob bootstrap" (Host.bootstrap bob);
+  Network.run net;
+  (net, alice, bob)
+
+let rough_faults =
+  Link.make_faults ~loss:0.10 ~duplicate:0.05 ~reorder:0.2 ~jitter_ms:2.0 ()
+
+(* A long-lived exchange: [n] unique messages, one every [period] seconds
+   starting at t0, each sent [copies] times [spacing] apart (application-
+   level redundancy against the injected loss). *)
+let drive_exchange net alice session ~n ~copies =
+  let eng = Network.engine net in
+  let t0 = 10.0 and period = 2.0 and spacing = 0.6 in
+  for i = 0 to n - 1 do
+    let data = Printf.sprintf "m%03d" i in
+    for c = 0 to copies - 1 do
+      Apna_sim.Engine.schedule_in eng
+        ~delay:(t0 +. (period *. float_of_int i) +. (spacing *. float_of_int c))
+        (fun () -> ignore (Host.send alice session data))
+    done
+  done;
+  Network.run net
+
+let migration_tests =
+  [
+    Alcotest.test_case
+      "session survives 3x the Short lifetime under the fault mix" `Quick
+      (fun () ->
+        M.set_enabled M.default true;
+        let base = M.Counter.value m_migrations in
+        let net, alice, bob = make_world ~link_faults:rough_faults () in
+        (* Alice's source EphIDs are Short-lived (60 s); bob answers from a
+           Long-lived endpoint so only the client side migrates. *)
+        Host.set_ephid_lifetime alice Lifetime.Short;
+        Host.on_data bob (fun ~session ~data ->
+            ignore (Host.send bob session ("echo:" ^ data)));
+        let bep = ref None in
+        Host.request_ephid bob ~lifetime:Lifetime.Long ~receive_only:true
+          (fun e -> bep := Some e);
+        Network.run net;
+        (* Receive-only remote: the Init retransmits until bob's Accept, so
+           establishment itself survives the injected loss. *)
+        let session = ref None in
+        Host.connect alice ~remote:(Option.get !bep).Host.cert
+          ~expect_accept:true (fun s -> session := Some s);
+        Network.run net;
+        let session = Option.get !session in
+        Alcotest.(check bool) "established" true (Session.established session);
+        (* 85 messages over 180 s of simulated time: three full Short
+           lifetimes. Every unique message must arrive despite ~10% loss
+           per hop — zero application-visible delivery failures. *)
+        let n = 85 in
+        drive_exchange net alice session ~n ~copies:4;
+        let got = List.map snd (Host.received bob) in
+        for i = 0 to n - 1 do
+          let data = Printf.sprintf "m%03d" i in
+          Alcotest.(check bool) (data ^ " delivered") true (List.mem data got)
+        done;
+        (* The session crossed at least two expiry boundaries. *)
+        Alcotest.(check bool) "at least 2 migrations" true
+          (Host.migrations alice >= 2);
+        Alcotest.(check bool) "metric counted them" true
+          (M.Counter.value m_migrations - base >= 2);
+        (* The echo path survived the migrations too. *)
+        Alcotest.(check bool) "echoes came back" true
+          (List.exists
+             (fun d -> String.length d > 5 && String.sub d 0 5 = "echo:")
+             (List.map snd (Host.received alice)));
+        Alcotest.(check int) "alice quiescent" 0 (Host.pending_rpc_count alice);
+        Alcotest.(check int) "bob quiescent" 0 (Host.pending_rpc_count bob));
+    Alcotest.test_case "revoked mid-session: ICMP-driven recovery" `Quick
+      (fun () ->
+        let net, alice, bob = make_world ~seed:"survival-revoke" () in
+        let bep = ref None in
+        Host.request_ephid bob ~lifetime:Lifetime.Long (fun e -> bep := Some e);
+        Network.run net;
+        let session = ref None in
+        Host.connect alice ~remote:(Option.get !bep).Host.cert ~data0:"before"
+          (fun s -> session := Some s);
+        Network.run net;
+        let session = Option.get !session in
+        Alcotest.(check (list string)) "before delivered" [ "before" ]
+          (List.map snd (Host.received bob));
+        (* The AS revokes the EphID backing alice's session out from under
+           her (administrative revocation, not a shutoff: alice is not
+           notified). *)
+        let dead = (Session.local_cert session).Cert.ephid in
+        let node = Network.node_exn net 100 in
+        Revocation.revoke (As_node.revoked node) dead
+          ~expiry:(Session.local_cert session).Cert.expiry;
+        (* Her next send dies at her own egress; the router's ICMP
+           feedback quotes the frame, and the host migrates the session
+           and retransmits the quoted frame from the fresh EphID. *)
+        ignore (Host.send alice session "after");
+        Network.run net;
+        Alcotest.(check (list string)) "after recovered"
+          [ "before"; "after" ]
+          (List.map snd (Host.received bob));
+        Alcotest.(check int) "one recovery" 1 (Host.recoveries alice);
+        Alcotest.(check bool) "recovery migrated the session" true
+          (Host.migrations alice >= 1);
+        Alcotest.(check bool) "revocation ICMP recorded" true
+          (List.mem Icmp.Ephid_revoked (Host.unreachables alice));
+        (* The dead EphID is gone from every reuse path. *)
+        Alcotest.(check bool) "dead endpoint purged" true
+          (not
+             (List.exists
+                (fun (e : Host.endpoint) -> Ephid.equal e.cert.Cert.ephid dead)
+                (Host.endpoints alice))));
+    Alcotest.test_case "shutoff-revoked sessions never auto-recover" `Quick
+      (fun () ->
+        (* The inhibition list: a release (deliberate retirement) pins the
+           EphID so ICMP feedback cannot resurrect the flows it backed —
+           same mechanism that keeps a shutoff final. *)
+        let net, alice, bob = make_world ~seed:"survival-inhibit" () in
+        let bep = ref None in
+        Host.request_ephid bob (fun e -> bep := Some e);
+        Network.run net;
+        let session = ref None in
+        Host.connect alice ~remote:(Option.get !bep).Host.cert ~data0:"pre"
+          (fun s -> session := Some s);
+        Network.run net;
+        let session = Option.get !session in
+        let local = Session.local_cert session in
+        let ep =
+          List.find
+            (fun (e : Host.endpoint) -> Ephid.equal e.cert.Cert.ephid local.ephid)
+            (Host.endpoints alice)
+        in
+        ok_or_fail "release" (Host.release_endpoint alice ep);
+        Network.run net;
+        ignore (Host.send alice session "post-release");
+        Network.run net;
+        Alcotest.(check (list string)) "no delivery after release" [ "pre" ]
+          (List.map snd (Host.received bob));
+        Alcotest.(check int) "no recovery" 0 (Host.recoveries alice);
+        Alcotest.(check int) "no migration" 0 (Host.migrations alice));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Issuance brownout: blackholed MS replies open the breaker; sends
+   degrade (per-packet -> per-flow) instead of blackholing; the half-open
+   probe re-closes it after the outage. *)
+
+let brownout_tests =
+  [
+    Alcotest.test_case "breaker opens, sends degrade, breaker re-closes"
+      `Quick (fun () ->
+        let net = Network.create ~seed:"survival-brownout" () in
+        let node = Network.add_as net 100 () in
+        let carol =
+          Host.create ~name:"carol"
+            ~rng:(Apna_crypto.Drbg.split (Network.rng net) "host-carol")
+            ~granularity:Granularity.Per_packet ()
+        in
+        let blackhole = ref false and eaten = ref 0 in
+        As_node.add_host node carol
+          ~deliver:(fun pkt ->
+            if !blackhole && pkt.Packet.proto = Packet.Control then incr eaten
+            else Host.deliver carol pkt)
+          ~credential:"carol-tok" ();
+        let dave =
+          Network.add_host net ~as_number:100 ~name:"dave" ~credential:"dave-tok"
+            ()
+        in
+        ok_or_fail "carol bootstrap" (Host.bootstrap carol);
+        ok_or_fail "dave bootstrap" (Host.bootstrap dave);
+        Network.run net;
+        let dep = ref None in
+        Host.request_ephid dave (fun e -> dep := Some e);
+        Network.run net;
+        let session = ref None in
+        Host.connect carol ~remote:(Option.get !dep).Host.cert ~data0:"hello"
+          (fun s -> session := Some s);
+        Network.run net;
+        let session = Option.get !session in
+        Alcotest.(check bool) "warm" true
+          (List.mem "hello" (List.map snd (Host.received dave)));
+        (* Outage: every MS reply to carol vanishes. The per-packet sends
+           keep going on prefetched stock while the refill requests time
+           out; three consecutive timeouts open the breaker. *)
+        blackhole := true;
+        for i = 1 to 6 do
+          ignore (Host.send carol session (Printf.sprintf "b%d" i))
+        done;
+        Network.run net;
+        Alcotest.(check bool) "breaker open" true
+          (Breaker.state (Host.issuance_breaker carol) = Breaker.Open);
+        Alcotest.(check bool) "replies really were eaten" true (!eaten > 0);
+        (* With the breaker open and the stock draining, issuance fails
+           fast and sends stretch to the session's bound endpoint —
+           degraded, never blackholed. *)
+        for i = 1 to 4 do
+          ignore (Host.send carol session (Printf.sprintf "c%d" i))
+        done;
+        Network.run net;
+        Alcotest.(check bool) "brownout sends happened" true
+          (Host.brownout_sends carol > 0);
+        let got = List.map snd (Host.received dave) in
+        List.iter
+          (fun d ->
+            Alcotest.(check bool) (d ^ " delivered during outage") true
+              (List.mem d got))
+          [ "b1"; "b2"; "b3"; "b4"; "b5"; "b6"; "c1"; "c2"; "c3"; "c4" ];
+        (* Outage ends; once the cooldown elapses a single probe is let
+           through, its reply closes the breaker, and issuance resumes. *)
+        blackhole := false;
+        Network.advance_time net 12.0;
+        ignore (Host.send carol session "d1");
+        Network.run net;
+        Alcotest.(check bool) "breaker closed after probe" true
+          (Breaker.state (Host.issuance_breaker carol) = Breaker.Closed);
+        Alcotest.(check bool) "post-outage delivery" true
+          (List.mem "d1" (List.map snd (Host.received dave)));
+        Alcotest.(check bool) "exactly one open interval" true
+          (Breaker.opens (Host.issuance_breaker carol) >= 1));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bounded-state regressions. *)
+
+let bounds_tests =
+  [
+    Alcotest.test_case "stale prefetched EphIDs are discarded at dequeue"
+      `Quick (fun () ->
+        let net = Network.create ~seed:"survival-stale" () in
+        let _ = Network.add_as net 100 () in
+        let alice =
+          Network.add_host net ~as_number:100 ~name:"alice" ~credential:"a"
+            ~granularity:Granularity.Per_packet ()
+        in
+        let bob =
+          Network.add_host net ~as_number:100 ~name:"bob" ~credential:"b" ()
+        in
+        ok_or_fail "alice" (Host.bootstrap alice);
+        ok_or_fail "bob" (Host.bootstrap bob);
+        Network.run net;
+        let bep = ref None in
+        Host.request_ephid bob ~lifetime:Lifetime.Long (fun e -> bep := Some e);
+        Network.run net;
+        let session = ref None in
+        Host.connect alice ~remote:(Option.get !bep).Host.cert ~data0:"early"
+          (fun s -> session := Some s);
+        Network.run net;
+        let session = Option.get !session in
+        (* One data send warms the per-packet prefetch stock. *)
+        ignore (Host.send alice session "warm");
+        Network.run net;
+        (* The prefetched stock was issued with Medium (900 s) lifetimes;
+           1000 s later all of it is past expiry. The old behaviour sent
+           the next packet under a dead EphID (dropped at egress); now the
+           stock is discarded at dequeue and a fresh EphID is fetched. *)
+        Network.advance_time net 1000.0;
+        ignore (Host.send alice session "late");
+        Network.run net;
+        Alcotest.(check bool) "stale stock discarded" true
+          (Host.stale_prefetch_discards alice > 0);
+        Alcotest.(check bool) "late message delivered" true
+          (List.mem "late" (List.map snd (Host.received bob))));
+    Alcotest.test_case "unreachable ring keeps the last 256 of 300" `Quick
+      (fun () ->
+        let ringo =
+          Host.create ~name:"ringo"
+            ~rng:(Apna_crypto.Drbg.create ~seed:"survival-ring") ()
+        in
+        let header =
+          Apna_header.make ~src_aid:(Addr.aid_of_int 64500)
+            ~src_ephid:(String.make 16 '\000')
+            ~dst_aid:(Addr.aid_of_int 64501)
+            ~dst_ephid:(String.make 16 '\001') ()
+        in
+        for i = 1 to 300 do
+          let reason =
+            if i <= 44 then Icmp.Host_unknown else Icmp.No_route
+          in
+          Host.deliver ringo
+            (Packet.make ~header ~proto:Packet.Icmp
+               ~payload:(Icmp.to_bytes (Icmp.Unreachable { reason; quoted = "" })))
+        done;
+        Alcotest.(check int) "ring bounded" 256
+          (List.length (Host.unreachables ringo));
+        Alcotest.(check int) "total counts everything" 300
+          (Host.unreachable_total ringo);
+        (* Oldest first, and the oldest 44 (the Host_unknowns) fell out. *)
+        Alcotest.(check bool) "oldest evicted" true
+          (List.for_all
+             (fun r -> r = Icmp.No_route)
+             (Host.unreachables ringo)));
+  ]
+
+let () =
+  Logs.set_level (Some Logs.Error);
+  Alcotest.run "apna_survival"
+    [
+      ("breaker", breaker_tests);
+      ("migration", migration_tests);
+      ("brownout", brownout_tests);
+      ("bounds", bounds_tests);
+    ]
