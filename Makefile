@@ -1,6 +1,22 @@
 # Convenience targets; dune does the real work.
 
-.PHONY: all build test bench check clean
+.PHONY: all build test bench check linkage-gate clean
+
+# Linkage exclusivity: the privacy broker is the only sanctioned path from
+# an EphID back to a host identity. Any direct Audit.bindings_of /
+# Audit.find_sender caller outside lib/broker/ (and audit's own
+# definition) bypasses budgets and the decision journal — fail the build.
+linkage-gate:
+	@violations=$$(grep -rn "Audit\.bindings_of\|Audit\.find_sender" \
+	  lib bin bench examples test \
+	  --include='*.ml' --include='*.mli' \
+	  | grep -v "^lib/broker/" | grep -v "^lib/core/audit\." || true); \
+	if [ -n "$$violations" ]; then \
+	  echo "linkage-gate: direct audit linkage outside the broker:"; \
+	  echo "$$violations"; \
+	  exit 1; \
+	fi; \
+	echo "linkage-gate: OK (all EphID->HID linkage goes through lib/broker)"
 
 all: build
 
@@ -21,9 +37,11 @@ bench:
 # EphID expiries under the fault mix, E14), and a smoke run of the
 # benchmark harness that must produce a parseable BENCH_results.json
 # (the harness re-parses the file itself and fails loudly if it is
-# invalid). The chaos and lifetime smokes run first so the final
-# BENCH_results.json is the regular one.
-check:
+# invalid), plus the warrant-storm smoke (E15: brokered linkage under
+# budget pressure against live traffic, with the data-plane regression
+# gate) and the linkage grep gate. The chaos, lifetime and storm smokes
+# run first so the final BENCH_results.json is the regular one.
+check: linkage-gate
 	dune build @all
 	dune runtest
 	dune exec bin/apnad.exe -- trace --loss 0.05 --drops --chrome /tmp/apna_chrome_trace.json > /dev/null
@@ -35,9 +53,14 @@ check:
 	dune exec bench/main.exe -- --lifetimes --quick
 	test -s BENCH_results.json
 	rm -f BENCH_results.json
+	dune exec bench/main.exe -- --storm --quick
+	test -s BENCH_results.json
+	rm -f BENCH_results.json
 	dune exec bench/main.exe -- --quick
 	test -s BENCH_results.json
-	@echo "check: OK (trace + chaos + lifetime smokes passed, BENCH_results.json written and validated)"
+	dune exec bin/apnad.exe -- broker --dump /tmp/apna_broker_journal.txt > /dev/null
+	test -s /tmp/apna_broker_journal.txt
+	@echo "check: OK (trace + chaos + lifetime + warrant-storm smokes passed, linkage gate clean, BENCH_results.json written and validated)"
 
 clean:
 	dune clean

@@ -41,6 +41,10 @@ let faults_only = ref false
 (* --lifetimes: run only the E14 lifetime sweep — the CI survivability
    smoke target. *)
 let lifetimes_only = ref false
+
+(* --storm: run only the E15 warrant-storm sweep — the CI broker smoke
+   target. *)
+let storm_only = ref false
 let iters n = if !quick then max 20 (n / 20) else n
 
 (* Sections accumulated by experiments as they run; flushed to
@@ -1385,6 +1389,276 @@ let e14 () =
   add_json "lifetime_sweep" (J.List (List.map (fun (_, _, j) -> j) rows))
 
 (* ------------------------------------------------------------------ *)
+(* E15: warrant storm — bulk lawful intercept racing live traffic.
+
+   A retention-enabled ISP faces a flood of brokered linkage requests
+   (deanonymize / bindings-of / attribute-packet, from an LE principal and
+   a peer AS) while customer traffic keeps flowing. Sweeps budget capacity
+   against a fixed request count and reports broker throughput, refusal
+   breakdown, journal growth + chain verification, and the data-plane
+   cost of carrying an attached-but-idle broker (gated at +10%). *)
+
+(* Set when a bench acceptance gate fails; the process then exits 1 so CI
+   turns red. *)
+let gate_failed = ref false
+
+let e15 () =
+  banner "E15" "WARRANT-STORM" "brokered linkage under bulk lawful intercept";
+  let module B = Apna_broker.Broker in
+  let module Budget = Apna_broker.Budget in
+  let module Journal = Apna_broker.Journal in
+  let le_key = "le-storm-key" and peer_key = "peer-storm-key" in
+
+  (* A retention ISP with one local and one remote customer, plus a pile
+     of directly-issued EphIDs so the retention log has real depth. *)
+  let build_net () =
+    let net = Network.create ~seed:"warrant-storm" () in
+    let isp = Network.add_as net 100 ~retention:true () in
+    let _ = Network.add_as net 300 () in
+    Network.connect_as net 100 300 ();
+    let alice =
+      Network.add_host net ~as_number:100 ~name:"alice"
+        ~credential:"alice@isp" ()
+    in
+    let bob =
+      Network.add_host net ~as_number:300 ~name:"bob" ~credential:"bob" ()
+    in
+    (match (Host.bootstrap alice, Host.bootstrap bob) with
+    | Ok (), Ok () -> ()
+    | _ -> failwith "bootstrap failed");
+    let bep = ref None in
+    Host.request_ephid bob (fun e -> bep := Some e);
+    Network.run net;
+    (* Live session whose packets race the storm. *)
+    let session = ref None in
+    Host.connect alice ~remote:(Option.get !bep).cert ~data0:"live"
+      (fun s -> session := Some s);
+    Network.run net;
+    (net, isp, alice, Option.get !session)
+  in
+
+  let populate isp ~subscribers ~per_subscriber =
+    let mgmt = As_node.management isp in
+    let now = now0 in
+    let issued = ref [] in
+    for s = 0 to subscribers - 1 do
+      let hid = Apna_net.Addr.hid_of_int (0x0a100000 + s) in
+      for _ = 1 to per_subscriber do
+        let ek = Keys.make_ephid_keys rng in
+        match
+          Management.issue_direct mgmt ~now ~hid ~kx_pub:ek.kx_public
+            ~sig_pub:(Ed25519.public_key ek.sig_keypair)
+            ~lifetime:Lifetime.Long
+        with
+        | Ok cert -> issued := (hid, cert.Cert.ephid) :: !issued
+        | Error e -> failwith (Error.to_string e)
+      done
+    done;
+    let audit = Option.get (As_node.audit isp) in
+    (* Egress evidence for half the issued EphIDs. *)
+    List.iteri
+      (fun i (_, ephid) ->
+        if i mod 2 = 0 then
+          Audit.record_egress audit ~now ~ephid
+            ~digest:(Printf.sprintf "digest-%d" i))
+      !issued;
+    Array.of_list (List.rev !issued)
+  in
+
+  (* One storm at a given budget capacity: [requests] broker calls (80%
+     LE, 20% peer AS) interleaved with live data-plane traffic. *)
+  let run_storm ~net ~isp ~alice ~session ~issued ~capacity ~requests =
+    let broker =
+      B.for_node isp
+        ~budget:
+          (Budget.create ~epoch_s:3600 ~capacity
+             ~refill:(max 1 (capacity / 10)) ())
+    in
+    let now = Network.now_unix net in
+    B.register_requester broker ~id:"le" ~role:B.Law_enforcement ~key:le_key
+      ~now;
+    B.register_requester broker ~id:"peer" ~role:B.Peer_as ~key:peer_key ~now;
+    let pick = Apna_sim.Rng.create (Int64.of_int (0x5702 + capacity)) in
+    let n_issued = Array.length issued in
+    let grants = ref 0 in
+    let refusals = Hashtbl.create 8 in
+    let live_sent = ref 0 in
+    let t0 = Monotonic_clock.now () in
+    for i = 0 to requests - 1 do
+      let le = Apna_sim.Rng.float pick < 0.8 in
+      let id = if le then "le" else "peer" in
+      let key = if le then le_key else peer_key in
+      let query =
+        let r = Apna_sim.Rng.float pick in
+        if le && r < 0.5 then
+          B.Request.Deanonymize (snd issued.(Apna_sim.Rng.int pick n_issued))
+        else if le && r < 0.7 then
+          B.Request.Bindings_of (fst issued.(Apna_sim.Rng.int pick n_issued))
+        else
+          (* Half the attribution probes name digests that were never
+             retained — failed queries are charged too. *)
+          B.Request.Attribute_packet
+            (Printf.sprintf "digest-%d" (Apna_sim.Rng.int pick (2 * n_issued)))
+      in
+      let req =
+        B.Request.sign ~key ~corr:(Int64.of_int i) ~requester:id ~query
+      in
+      (match B.handle broker ~now:(Network.now_unix net) req with
+      | B.Response.Granted _ -> incr grants
+      | B.Response.Refused { reason; _ } ->
+          let k = Error.kind_label reason in
+          Hashtbl.replace refusals k
+            (1 + Option.value ~default:0 (Hashtbl.find_opt refusals k)));
+      (* Live traffic races the storm: one data frame per 50 requests. *)
+      if i mod 50 = 0 then begin
+        (match Host.send alice session (Printf.sprintf "live-%d" i) with
+        | Ok () -> incr live_sent
+        | Error _ -> ());
+        Network.run net
+      end
+    done;
+    let elapsed_ns = Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0) in
+    let throughput = float_of_int requests /. (elapsed_ns /. 1e9) in
+    let j = B.journal broker in
+    let verified = Result.is_ok (B.verify_journal broker) in
+    if not verified then begin
+      line "GATE FAIL: journal chain broken at capacity %d" capacity;
+      gate_failed := true
+    end;
+    let refusal_total = Hashtbl.fold (fun _ n a -> n + a) refusals 0 in
+    ( capacity, requests, !grants, refusal_total,
+      Hashtbl.fold (fun k n a -> (k, n) :: a) refusals [],
+      throughput, Journal.appended j, Journal.length j, verified, !live_sent )
+  in
+
+  let capacities = if !quick then [ 50; 500 ] else [ 50; 500; 5000 ] in
+  let requests = if !quick then 600 else 1500 in
+  let net, isp, alice, session = build_net () in
+  let issued =
+    populate isp
+      ~subscribers:(if !quick then 100 else 400)
+      ~per_subscriber:5
+  in
+  line "retention log: %d issuance / %d egress entries, storm of %d requests"
+    (Audit.issuance_count (Option.get (As_node.audit isp)))
+    (Audit.egress_count (Option.get (As_node.audit isp)))
+    requests;
+  line "";
+  line "%8s | %8s %8s %8s | %10s | %16s %8s | %5s" "capacity" "requests"
+    "grants" "refused" "req/s" "journal app/kept" "live" "ok";
+  line "%s" (String.make 92 '-');
+  let rows =
+    List.map
+      (fun capacity ->
+        let ( cap, reqs, grants, refused, breakdown, rps, appended, kept,
+              verified, live ) =
+          run_storm ~net ~isp ~alice ~session ~issued ~capacity ~requests
+        in
+        line "%8d | %8d %8d %8d | %10.0f | %8d %7d | %5d %5s" cap reqs grants
+          refused rps appended kept live
+          (if verified then "ok" else "BROKEN");
+        List.iter (fun (k, n) -> line "%25s- %s: %d" "" k n) breakdown;
+        (cap, reqs, grants, refused, breakdown, rps, appended, kept, verified)
+      )
+      capacities
+  in
+
+  (* Data-plane gate: an attached-but-idle broker must not tax the ingress
+     path. Same packet, same node, measured with the broker installed
+     (above) vs a twin network that never attached one. *)
+  let ingress_samples net isp =
+    let node300 = Network.node_exn net 300 in
+    ignore node300;
+    let alice_host =
+      List.find (fun h -> Host.name h = "alice") (As_node.hosts isp)
+    in
+    let kha = Option.get (Host.kha alice_host) in
+    let ep = List.hd (Host.endpoints alice_host) in
+    let header =
+      Apna_net.Apna_header.make
+        ~src_aid:(Apna_net.Addr.aid_of_int 300)
+        ~src_ephid:(Ephid.to_bytes ep.Host.cert.Cert.ephid)
+        ~dst_aid:(Apna_net.Addr.aid_of_int 100)
+        ~dst_ephid:(Ephid.to_bytes ep.Host.cert.Cert.ephid)
+        ()
+    in
+    let pkt =
+      Pkt_auth.seal ~auth_key:kha.auth
+        (Apna_net.Packet.make ~header ~proto:Apna_net.Packet.Data
+           ~payload:(String.make 64 'x'))
+    in
+    let br = As_node.border_router isp in
+    let now = Network.now_unix net in
+    latency_samples
+      ~samples:(if !quick then 100 else 400)
+      ~batch:32
+      (fun () -> ignore (Border_router.ingress_check br ~now pkt))
+  in
+  let median samples =
+    let s = Array.copy samples in
+    Array.sort compare s;
+    s.(Array.length s / 2)
+  in
+  let p99 samples =
+    let s = Array.copy samples in
+    Array.sort compare s;
+    s.(min (Array.length s - 1) (Array.length s * 99 / 100))
+  in
+  let with_broker = ingress_samples net isp in
+  let net2, isp2, _alice2, _session2 = build_net () in
+  ignore net2;
+  let without_broker = ingress_samples net2 isp2 in
+  let b50 = median without_broker and w50 = median with_broker in
+  let b99 = p99 without_broker and w99 = p99 with_broker in
+  line "";
+  line "data-plane ingress, 64B frames (broker idle vs absent):";
+  line "  p50 %.0f ns vs %.0f ns (%+.1f%%), p99 %.0f ns vs %.0f ns" w50 b50
+    ((w50 -. b50) /. b50 *. 100.0)
+    w99 b99;
+  (* 10% gate with a small absolute floor so sub-microsecond timer jitter
+     cannot flip CI. *)
+  if w50 -. b50 > Float.max (0.10 *. b50) 150.0 then begin
+    line "GATE FAIL: idle broker added %.0f ns to the cached ingress path"
+      (w50 -. b50);
+    gate_failed := true
+  end
+  else line "  gate ok: idle broker within 10%% of broker-free ingress";
+
+  add_json "warrant_storm"
+    (J.Obj
+       [
+         ( "storms",
+           J.List
+             (List.map
+                (fun ( cap, reqs, grants, refused, breakdown, rps, appended,
+                       kept, verified ) ->
+                  J.Obj
+                    [
+                      ("budget_capacity", J.Int cap);
+                      ("requests", J.Int reqs);
+                      ("grants", J.Int grants);
+                      ("refusals", J.Int refused);
+                      ( "refusals_by_reason",
+                        J.Obj
+                          (List.map (fun (k, n) -> (k, J.Int n)) breakdown) );
+                      ("broker_rps", J.Float rps);
+                      ("journal_appended", J.Int appended);
+                      ("journal_retained", J.Int kept);
+                      ("journal_verified", J.Bool verified);
+                    ])
+                rows) );
+         ( "data_plane",
+           J.Obj
+             [
+               ("idle_broker_p50_ns", J.Float w50);
+               ("no_broker_p50_ns", J.Float b50);
+               ("idle_broker_p99_ns", J.Float w99);
+               ("no_broker_p99_ns", J.Float b99);
+               ("gate_ok", J.Bool (not !gate_failed));
+             ] );
+       ])
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1402,6 +1676,7 @@ let experiments =
     ("E12", e12);
     ("E13", e13);
     ("E14", e14);
+    ("E15", e15);
   ]
 
 let json_path = "BENCH_results.json"
@@ -1449,6 +1724,10 @@ let () =
           lifetimes_only := true;
           false
         end
+        else if a = "--storm" then begin
+          storm_only := true;
+          false
+        end
         else true)
       (List.tl (Array.to_list Sys.argv))
   in
@@ -1458,6 +1737,7 @@ let () =
     | [] ->
         if !faults_only then [ "E13" ]
         else if !lifetimes_only then [ "E14" ]
+        else if !storm_only then [ "E15" ]
         else if !quick then [ "E2" ]
         else List.map fst experiments
   in
@@ -1468,4 +1748,8 @@ let () =
       | Some f -> f ()
       | None -> line "unknown experiment %s" id)
     selected;
-  write_json selected
+  write_json selected;
+  if !gate_failed then begin
+    line "one or more bench gates FAILED";
+    exit 1
+  end

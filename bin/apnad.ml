@@ -433,6 +433,166 @@ let shutoff_cmd =
     Term.(const run $ verbose $ seed $ waves)
 
 (* ------------------------------------------------------------------ *)
+(* broker *)
+
+let broker_cmd =
+  let module B = Apna_broker.Broker in
+  let module Journal = Apna_broker.Journal in
+  let module Budget = Apna_broker.Budget in
+  let requests =
+    Arg.(
+      value & opt int 12
+      & info [ "requests" ] ~docv:"N" ~doc:"Linkage requests to issue.")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 100
+      & info [ "capacity" ] ~docv:"N"
+          ~doc:"Privacy-budget capacity per requester.")
+  in
+  let dump =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dump" ] ~docv:"FILE" ~doc:"Write the decision journal to FILE.")
+  in
+  let tamper =
+    Arg.(
+      value & flag
+      & info [ "tamper" ]
+          ~doc:"Rewrite one journal entry afterwards to show detection.")
+  in
+  let run verbose seed requests capacity dump tamper =
+    setup_logs verbose;
+    let net = Network.create ~seed () in
+    let isp = Network.add_as net 64500 ~retention:true () in
+    let _ = Network.add_as net 64502 () in
+    Network.connect_as net 64500 64502 ();
+    let alice =
+      Network.add_host net ~as_number:64500 ~name:"alice"
+        ~credential:"alice@isp" ()
+    in
+    let bob =
+      Network.add_host net ~as_number:64502 ~name:"bob" ~credential:"bob" ()
+    in
+    List.iter
+      (fun h ->
+        match Host.bootstrap h with
+        | Ok () -> ()
+        | Error e -> failwith (Error.to_string e))
+      [ alice; bob ];
+    let ep = ref None in
+    Host.request_ephid bob (fun e -> ep := Some e);
+    Network.run net;
+    (* Some traffic so the retention log holds issuance + egress entries. *)
+    let captured = ref [] in
+    Network.set_tap net (fun ~from:_ ~to_:_ pkt ->
+        if pkt.Apna_net.Packet.proto = Apna_net.Packet.Data then
+          captured := pkt :: !captured);
+    Host.connect alice ~remote:(Option.get !ep).cert ~data0:"evidence"
+      (fun _ -> ());
+    Network.run net;
+    let broker =
+      B.for_node isp ~budget:(Budget.create ~capacity ~refill:(max 1 (capacity / 4)) ())
+    in
+    let now = Network.now_unix net in
+    B.register_requester broker ~id:"le-alpha" ~role:B.Law_enforcement
+      ~key:"le-alpha-key" ~now;
+    B.register_requester broker ~id:"peer-64502" ~role:B.Peer_as
+      ~key:"peer-key" ~now;
+    let audit = Option.get (As_node.audit isp) in
+    Printf.printf "retention: %d issuance, %d egress entries\n"
+      (Audit.issuance_count audit) (Audit.egress_count audit);
+    let digests =
+      List.map (fun (p : Apna_net.Packet.t) -> p.header.mac) !captured
+    in
+    let rng = Apna_sim.Rng.create 7L in
+    Printf.printf "\n%-4s %-10s %-17s %-40s\n" "#" "requester" "query" "outcome";
+    for i = 1 to requests do
+      let le = i mod 5 <> 0 in
+      let id = if le then "le-alpha" else "peer-64502" in
+      let key = if le then "le-alpha-key" else "peer-key" in
+      let query =
+        match i mod 3 with
+        | 0 when digests <> [] ->
+            B.Request.Attribute_packet
+              (List.nth digests (Apna_sim.Rng.int rng (List.length digests)))
+        | 1 ->
+            B.Request.Bindings_of
+              (Option.get
+                 (Registry.hid_of_credential (As_node.registry isp)
+                    ~credential:"alice@isp"))
+        | _ -> B.Request.Attribute_packet "no-such-digest"
+      in
+      let resp =
+        B.handle broker ~now:(Network.now_unix net)
+          (B.Request.sign ~key ~corr:(Int64.of_int i) ~requester:id ~query)
+      in
+      let outcome =
+        match resp with
+        | B.Response.Granted { cost; remaining; grant; _ } ->
+            let what =
+              match grant with
+              | B.Response.Identity { credential; _ } ->
+                  Printf.sprintf "identity %s"
+                    (Option.value ~default:"?" credential)
+              | B.Response.Bindings bs ->
+                  Printf.sprintf "%d bindings" (List.length bs)
+              | B.Response.Attribution { credential; _ } ->
+                  Printf.sprintf "attributed to %s"
+                    (Option.value ~default:"?" credential)
+            in
+            Printf.sprintf "GRANT %-24s cost=%d left=%d" what cost remaining
+        | B.Response.Refused { reason; remaining; _ } ->
+            Printf.sprintf "REFUSE %-30s left=%d" (Error.kind_label reason)
+              remaining
+      in
+      Printf.printf "%-4d %-10s %-17s %s\n" i id
+        (B.Request.query_label query) outcome
+    done;
+    Printf.printf "\nbudgets:\n";
+    List.iter
+      (fun (id, remaining, cap) ->
+        Printf.printf "  %-12s %4d / %d\n" id remaining cap)
+      (Budget.accounts (B.budget broker) ~now:(Network.now_unix net));
+    Printf.printf "decisions: %d grants, %d refusals\n" (B.grants broker)
+      (B.refusals broker);
+    let j = B.journal broker in
+    if tamper then begin
+      ignore
+        (Journal.tamper_for_test j ~seq:(Journal.length j / 2)
+           ~payload:"grant requester=le-alpha query=bindings-of (rewritten)");
+      Printf.printf "tampered with entry %d...\n" (Journal.length j / 2)
+    end;
+    (match Journal.verify j with
+    | Ok () ->
+        Printf.printf "journal: %d entries, chain verifies, head %s\n"
+          (Journal.length j)
+          (String.sub (Apna_util.Hex.encode (Journal.head j)) 0 16)
+    | Error e -> Printf.printf "journal: TAMPER DETECTED — %s\n" e);
+    match dump with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        List.iter
+          (fun (e : Journal.entry) ->
+            Printf.fprintf oc "%6d %d %s %s\n" e.seq e.at
+              (Apna_util.Hex.encode e.hash)
+              e.payload)
+          (Journal.to_list j);
+        close_out oc;
+        Printf.printf "journal dumped to %s (%d entries)\n" file
+          (Journal.length j)
+  in
+  Cmd.v
+    (Cmd.info "broker"
+       ~doc:
+         "Privacy-broker scenario: metered deanonymization requests against \
+          a retention-enabled AS, with budget refusals, the hash-chained \
+          decision journal ($(b,--dump)), and tamper detection \
+          ($(b,--tamper)).")
+    Term.(const run $ verbose $ seed $ requests $ capacity $ dump $ tamper)
+
+(* ------------------------------------------------------------------ *)
 (* stats *)
 
 let stats_cmd =
@@ -451,7 +611,7 @@ let stats_cmd =
     M.set_enabled M.default true;
     Span.set_enabled Span.default true;
     let net = Network.create ~seed () in
-    let _ = Network.add_as net 64500 () in
+    let isp = Network.add_as net 64500 ~retention:true () in
     let _ = Network.add_as net 64501 () in
     let _ = Network.add_as net 64502 () in
     Network.connect_as net 64500 64501 ();
@@ -487,6 +647,35 @@ let stats_cmd =
       (fun s -> ignore (Host.send alice s "renewal-probe"))
       (Host.sessions alice);
     Network.run net;
+    (* A few brokered linkage requests so the broker series are live: a
+       tight budget makes the last request hit Budget_exhausted. *)
+    let module B = Apna_broker.Broker in
+    let module Budget = Apna_broker.Budget in
+    let module Journal = Apna_broker.Journal in
+    let broker =
+      B.for_node isp ~budget:(Budget.create ~capacity:60 ~refill:10 ())
+    in
+    let bnow = Network.now_unix net in
+    B.register_requester broker ~id:"le" ~role:B.Law_enforcement ~key:"le-key"
+      ~now:bnow;
+    B.register_requester broker ~id:"peer-64502" ~role:B.Peer_as
+      ~key:"peer-key" ~now:bnow;
+    let alice_hid =
+      Option.get
+        (Registry.hid_of_credential (As_node.registry isp) ~credential:"a")
+    in
+    List.iteri
+      (fun i (id, key, query) ->
+        ignore
+          (B.handle broker ~now:(Network.now_unix net)
+             (B.Request.sign ~key ~corr:(Int64.of_int (i + 1)) ~requester:id
+                ~query)))
+      [
+        ("le", "le-key", B.Request.Bindings_of alice_hid);
+        ("le", "le-key", B.Request.Bindings_of alice_hid);
+        ("peer-64502", "peer-key", B.Request.Attribute_packet "no-such-digest");
+        ("le", "le-key", B.Request.Bindings_of alice_hid);
+      ];
     if json then
       print_endline
         (Apna_obs.Json.to_string ~pretty:true (M.to_json M.default))
@@ -504,6 +693,20 @@ let stats_cmd =
             (Host.migrations h) (Host.recoveries h) (Host.brownout_sends h)
             (Host.stale_prefetch_discards h))
         [ alice; bob ];
+      print_newline ();
+      Printf.printf "# privacy broker (AS 64500)\n";
+      Printf.printf "  decisions: %d grants, %d refusals\n" (B.grants broker)
+        (B.refusals broker);
+      List.iter
+        (fun (id, remaining, cap) ->
+          Printf.printf "  budget %-12s %4d / %d\n" id remaining cap)
+        (Budget.accounts (B.budget broker) ~now:(Network.now_unix net));
+      let j = B.journal broker in
+      Printf.printf "  journal: %d entries, head %s, %s\n" (Journal.length j)
+        (String.sub (Apna_util.Hex.encode (Journal.head j)) 0 16)
+        (match B.verify_journal broker with
+        | Ok () -> "chain verifies"
+        | Error e -> "TAMPERED: " ^ e);
       print_newline ();
       Printf.printf "# trace spans (%d recorded, %d retained)\n"
         (Span.recorded Span.default)
@@ -549,4 +752,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ demo_cmd; ephid_cmd; workload_cmd; trace_cmd; shutoff_cmd; stats_cmd ]))
+          [
+            demo_cmd; ephid_cmd; workload_cmd; trace_cmd; shutoff_cmd;
+            broker_cmd; stats_cmd;
+          ]))

@@ -87,28 +87,71 @@ let () =
   Printf.printf "payload bytes readable      : %d packets matched plaintext\n"
     !plaintext_hits;
 
-  Printf.printf "\n== Targeted request to the issuing AS ==\n";
-  (* A court order names one recorded flow; AS64500 cooperates. *)
+  Printf.printf "\n== Targeted request, brokered by the issuing AS ==\n";
+  (* A court order names one recorded flow. AS64500 cooperates — but only
+     through its privacy broker: the request is authenticated, charged
+     against a privacy budget, and journaled. *)
+  let module B = Apna_broker.Broker in
+  let module Budget = Apna_broker.Budget in
+  let module Journal = Apna_broker.Journal in
   let target =
     List.find
       (fun (p : Apna_net.Packet.t) -> p.proto = Apna_net.Packet.Data)
       (List.rev !recorded)
   in
   let isp = Network.node_exn net 64500 in
-  (match Ephid.of_bytes target.header.src_ephid with
-  | Error e -> Printf.printf "bad ephid: %s\n" e
-  | Ok ephid -> begin
-      match Ephid.parse (As_node.keys isp) ephid with
-      | Error e -> Printf.printf "parse failed: %s\n" (Error.to_string e)
-      | Ok info ->
-          Format.printf "EphID decrypts to HID %a (expires %d)@."
-            Apna_net.Addr.pp_hid info.hid info.expiry;
-          (match Registry.credential_of_hid (As_node.registry isp) info.hid with
-          | Some credential ->
-              Printf.printf "subscriber record: %s\n" credential
-          | None -> Printf.printf "no subscriber record\n")
-    end);
+  let broker =
+    B.for_node isp ~budget:(Budget.create ~capacity:25 ~refill:5 ())
+  in
+  let now () = Network.now_unix net in
+  B.register_requester broker ~id:"court-order-7" ~role:B.Law_enforcement
+    ~key:"warrant-key" ~now:(now ());
+  let ephid =
+    match Ephid.of_bytes target.header.src_ephid with
+    | Ok e -> e
+    | Error e -> failwith ("bad ephid: " ^ e)
+  in
+  let ask corr =
+    B.handle broker ~now:(now ())
+      (B.Request.sign ~key:"warrant-key" ~corr ~requester:"court-order-7"
+         ~query:(B.Request.Deanonymize ephid))
+  in
+  (match ask 1L with
+  | B.Response.Granted { grant = B.Response.Identity { hid; credential; _ }; cost; remaining; _ } ->
+      Format.printf "broker grants: EphID -> HID %a (cost %d, budget left %d)@."
+        Apna_net.Addr.pp_hid hid cost remaining;
+      Printf.printf "subscriber record: %s\n"
+        (Option.value ~default:"(none)" credential)
+  | _ -> Printf.printf "unexpected broker response\n");
+
+  Printf.printf "\n== Privacy budget caps even lawful linkage ==\n";
+  let rec drain corr =
+    match ask corr with
+    | B.Response.Granted { remaining; _ } ->
+        Printf.printf "request %Ld granted (budget left %d)\n" corr remaining;
+        drain (Int64.add corr 1L)
+    | B.Response.Refused { reason; _ } ->
+        Printf.printf "request %Ld REFUSED: %s\n" corr (Error.to_string reason)
+  in
+  drain 2L;
+  (* And a requester without credentials gets nothing at all. *)
+  (match
+     B.handle broker ~now:(now ())
+       (B.Request.sign ~key:"wrong-key" ~corr:99L ~requester:"court-order-7"
+          ~query:(B.Request.Deanonymize ephid))
+   with
+  | B.Response.Refused { reason; _ } ->
+      Printf.printf "forged MAC REFUSED: %s\n" (Error.kind_label reason)
+  | B.Response.Granted _ -> Printf.printf "BUG: forged request granted\n");
+  let j = B.journal broker in
+  Printf.printf "journal: %d decisions, chain %s, head %s\n"
+    (Journal.length j)
+    (match B.verify_journal broker with Ok () -> "verifies" | Error e -> e)
+    (String.sub (Apna_util.Hex.encode (Journal.head j)) 0 16);
+
   print_endline
-    "\nresult: pervasive encryption frustrates dragnet collection, while the\n\
-     issuing AS can still satisfy a lawful, targeted request — and PFS keeps\n\
-     even that cooperation from opening previously recorded payloads."
+    "\nresult: pervasive encryption frustrates dragnet collection; the issuing\n\
+     AS can still satisfy a lawful, targeted request — but only through its\n\
+     broker, which meters linkage against a privacy budget and commits every\n\
+     decision to a tamper-evident journal. PFS keeps even that cooperation\n\
+     from opening previously recorded payloads."

@@ -1,0 +1,50 @@
+(** Append-only, hash-chained decision journal — the accountability half
+    of the broker.
+
+    Every broker decision (grant or refusal) is one entry; each entry's
+    hash covers the previous entry's hash, so removing, reordering or
+    editing any record breaks the chain and {!verify} reports where. The
+    journal is bounded: past [cap] entries the oldest are trimmed, but
+    their final hash is kept as the anchor, so the retained window still
+    verifies end-to-end and the head hash still commits to the full
+    history. *)
+
+type entry = {
+  seq : int;  (** position in the full (untrimmed) history, from 0 *)
+  at : int;  (** decision time, Unix seconds *)
+  mutable payload : string;
+      (** one-line decision record; mutable only so tests can tamper *)
+  hash : string;  (** SHA-256 over (previous hash ‖ seq ‖ at ‖ payload) *)
+}
+
+type t
+
+val create : ?cap:int -> ?owner:string -> unit -> t
+(** [cap] (default 65536) bounds retained entries. [owner] labels the
+    [apna_broker_journal_entries] gauge. *)
+
+val append : t -> now:int -> string -> entry
+
+val head : t -> string
+(** Hash of the newest entry (the chain head); the genesis anchor when
+    empty. Publishing this commits the broker to its whole history. *)
+
+val length : t -> int
+(** Retained entries (≤ cap). *)
+
+val appended : t -> int
+(** Entries ever appended (may exceed [length] after trimming). *)
+
+val trimmed : t -> int
+
+val to_list : t -> entry list
+(** Retained entries, oldest first. *)
+
+val verify : t -> (unit, string) result
+(** Recomputes the chain over the retained window from the anchor;
+    [Error _] names the first entry whose hash does not match. *)
+
+val tamper_for_test : t -> seq:int -> payload:string -> bool
+(** Overwrites the payload of the retained entry [seq] {e without}
+    re-hashing — exists so tests can prove {!verify} catches it. Returns
+    false when [seq] is not retained. *)

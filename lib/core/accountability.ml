@@ -7,6 +7,10 @@ type t = {
   trust : Trust.t;
   max_revocations_per_host : int;
   revocation_counts : int Apna_net.Addr.Hid_tbl.t;
+  (* Legal-plane accountability: every shutoff decision (grant or refusal)
+     is reported here; the privacy broker installs its hash-chained journal
+     so the AA's disclosures share the broker's tamper-evident record. *)
+  mutable decision_sink : (now:int -> string -> unit) option;
 }
 
 let create ~keys ~host_info ~revoked ~trust ?(max_revocations_per_host = 6) () =
@@ -17,7 +21,10 @@ let create ~keys ~host_info ~revoked ~trust ?(max_revocations_per_host = 6) () =
     trust;
     max_revocations_per_host;
     revocation_counts = Apna_net.Addr.Hid_tbl.create 16;
+    decision_sink = None;
   }
+
+let set_decision_sink t sink = t.decision_sink <- Some sink
 
 let revocations_of t hid =
   Option.value ~default:0 (Apna_net.Addr.Hid_tbl.find_opt t.revocation_counts hid)
@@ -94,6 +101,20 @@ let handle_shutoff t ~now msg =
       let result =
         match check_cert with Error e -> Error e | Ok () -> continue_after_cert ()
       in
+      (* Legal plane: report the decision (either way) to the installed
+         journal sink before returning. *)
+      (match t.decision_sink with
+      | None -> ()
+      | Some sink -> (
+          match result with
+          | Ok (hid, ephid) ->
+              sink ~now
+                (Printf.sprintf "shutoff grant hid=%d ephid=%s"
+                   (Apna_net.Addr.hid_to_int hid)
+                   (Apna_util.Hex.encode (Ephid.to_bytes ephid)))
+          | Error e ->
+              sink ~now
+                (Printf.sprintf "shutoff refusal reason=%s" (Error.kind_label e))));
       (* Flight recorder: a granted shutoff is the final event of the
          offending packet's journey — keyed on the evidence packet's MAC. *)
       (match result with

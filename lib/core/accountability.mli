@@ -26,6 +26,11 @@ val handle_shutoff :
 
 val revocations_of : t -> Apna_net.Addr.hid -> int
 
+val set_decision_sink : t -> (now:int -> string -> unit) -> unit
+(** Installs a sink that receives a one-line record of every shutoff
+    decision (grant or refusal). The privacy broker attaches its
+    hash-chained journal here so AA disclosures are tamper-evident too. *)
+
 (** The AA → border-router revoke command of Fig. 5, authenticated with the
     infrastructure key kAS. Exposed for the NAT-mode access point, which
     runs the same machinery inside its own small domain. *)

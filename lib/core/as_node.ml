@@ -7,6 +7,7 @@ let ms_hid = Addr.hid_of_int 1
 let dns_hid = Addr.hid_of_int 2
 let aa_hid = Addr.hid_of_int 3
 let br_hid = Addr.hid_of_int 4
+let broker_hid = Addr.hid_of_int 5
 let first_customer_hid = 0x0a000001
 let service_lifetime_s = 30 * 86_400
 
@@ -16,6 +17,7 @@ type obs = {
   m_dns : M.Counter.m;
   m_shutoff : M.Counter.m;
   m_icmp : M.Counter.m;
+  m_broker : M.Counter.m;
 }
 
 type t = {
@@ -37,6 +39,11 @@ type t = {
   aa_ephid : Ephid.t;
   ms_cert : Cert.t;
   br_ephid : Ephid.t;
+  broker_ephid : Ephid.t;
+  (* The privacy broker lives in its own library (apna_broker, which
+     depends on this one); it installs its wire handler here so the AS can
+     dispatch broker-addressed packets without a dependency cycle. *)
+  mutable broker_handler : (now:int -> string -> string option) option;
   now : unit -> int;
   now_f : unit -> float;
   schedule : (delay:float -> (unit -> unit) -> unit) option;
@@ -63,10 +70,15 @@ let create ~rng ~aid ~trust ~topology ~now ~now_f ?schedule ?dns_zone
      destination. *)
   List.iter
     (fun hid -> Host_info.register host_info hid (service_kha rng))
-    [ ms_hid; dns_hid; aa_hid; br_hid ];
+    [ ms_hid; dns_hid; aa_hid; br_hid; broker_hid ];
   let aa_ephid = Ephid.issue_random keys rng ~hid:aa_hid ~expiry in
   let br_ephid = Ephid.issue_random keys rng ~hid:br_hid ~expiry in
-  let audit = if retention then Some (Audit.create ()) else None in
+  let broker_ephid = Ephid.issue_random keys rng ~hid:broker_hid ~expiry in
+  let audit =
+    if retention then
+      Some (Audit.create ~owner:(string_of_int (Addr.aid_to_int aid)) ())
+    else None
+  in
   let cert_cache =
     if icmp_encryption then Some (Cert_cache.create ~capacity:4096) else None
   in
@@ -121,6 +133,8 @@ let create ~rng ~aid ~trust ~topology ~now ~now_f ?schedule ?dns_zone
     aa_ephid;
     ms_cert;
     br_ephid;
+    broker_ephid;
+    broker_handler = None;
     now;
     now_f;
     schedule;
@@ -150,6 +164,10 @@ let create ~rng ~aid ~trust ~topology ~now ~now_f ?schedule ?dns_zone
            M.Counter.register M.default ~labels
              ~help:"ICMP feedback packets sent to sources"
              "apna_as_icmp_sent_total";
+         m_broker =
+           M.Counter.register M.default ~labels
+             ~help:"Requests dispatched to the privacy broker"
+             "apna_as_broker_requests_total";
        });
   }
 
@@ -165,6 +183,8 @@ let dns t = t.dns
 let audit t = t.audit
 let cert_cache t = t.cert_cache
 let aa_ephid t = t.aa_ephid
+let broker_ephid t = t.broker_ephid
+let set_broker_handler t handler = t.broker_handler <- Some handler
 let set_emit t emit = t.emit <- emit
 let hosts t = t.attached_hosts
 
@@ -271,6 +291,7 @@ and deliver_local t hid (pkt : Packet.t) =
   (if Addr.hid_equal hid ms_hid then dispatch_ms t pkt
    else if Addr.hid_equal hid dns_hid then dispatch_dns t pkt
    else if Addr.hid_equal hid aa_hid then dispatch_aa t pkt
+   else if Addr.hid_equal hid broker_hid then dispatch_broker t pkt
    else if Addr.hid_equal hid br_hid then ()
    else begin
      match Addr.Hid_tbl.find_opt t.deliver_by_hid hid with
@@ -343,6 +364,21 @@ and dispatch_aa t (pkt : Packet.t) =
           in
           deliver_local t hid notice
       | Error e -> Logs.info (fun m -> m "AS %a: shutoff refused: %a" Addr.pp_aid t.aid Error.pp e)
+    end
+
+and dispatch_broker t (pkt : Packet.t) =
+  M.Counter.incr t.obs.m_broker;
+  match t.broker_handler with
+  | None ->
+      Logs.debug (fun m -> m "AS %a: no privacy broker attached" Addr.pp_aid t.aid)
+  | Some handler -> begin
+      match handler ~now:(t.now ()) pkt.payload with
+      | None -> ()
+      | Some reply ->
+          route t
+            (service_packet t ~src_ephid:t.broker_ephid
+               ~dst_aid:pkt.header.src_aid ~dst_ephid:pkt.header.src_ephid
+               ~proto:Packet.Control ~payload:reply)
     end
 
 and unreachable_feedback t (pkt : Packet.t) reason =

@@ -4,7 +4,7 @@
     AS keys, the [host_info] database and the revocation list.
 
     Reserved HIDs: 1 = MS, 2 = DNS, 3 = AA, 4 = border router (ICMP
-    source); customer HIDs start above. *)
+    source), 5 = privacy broker; customer HIDs start above. *)
 
 type t
 
@@ -46,6 +46,17 @@ val audit : t -> Audit.t option
     (§VIII-H); [None] otherwise. *)
 
 val aa_ephid : t -> Ephid.t
+
+val broker_ephid : t -> Ephid.t
+(** Service EphID of the privacy broker (reserved HID 5) — the address
+    requesters send {!Apna_broker.Broker} wire requests to. *)
+
+val set_broker_handler : t -> (now:int -> string -> string option) -> unit
+(** Installs the privacy broker's wire handler: packets delivered to the
+    broker HID have their payload passed to it; a [Some reply] is routed
+    back to the requester as a Control packet from {!broker_ephid}.
+    Installed by [Apna_broker.Broker.attach] — the broker library depends
+    on this one, so the hook keeps the dependency acyclic. *)
 
 val set_emit : t -> (next:Apna_net.Addr.aid -> Apna_net.Packet.t -> unit) -> unit
 (** Wires the inter-domain output; installed by {!Network}. *)

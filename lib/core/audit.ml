@@ -1,45 +1,99 @@
+module M = Apna_obs.Metrics
+
 type issuance = { at : int; ephid : Ephid.t; hid : Apna_net.Addr.hid }
 type egress = { at : int; ephid : Ephid.t }
 
 type t = {
   retain_s : int;
-  (* Newest first; GC trims from the tail. *)
-  mutable issuances : issuance list;
+  (* Issuance indexed by HID (each bucket newest first) so bindings_of is
+     O(|bucket|), not O(|stream|) — broker-era query volume must not go
+     quadratic. Egress is indexed by packet digest for the same reason. *)
+  issuance_by_hid : issuance list ref Apna_net.Addr.Hid_tbl.t;
+  mutable issuance_total : int;
   egress_by_digest : (string, egress) Hashtbl.t;
+  mutable last_query_cost : int;
+  g_issuance : M.Gauge.m;
+  g_egress : M.Gauge.m;
 }
 
-let create ?(retain_s = 7 * 86_400) () =
-  { retain_s; issuances = []; egress_by_digest = Hashtbl.create 256 }
+let create ?(retain_s = 7 * 86_400) ?(owner = "default") () =
+  let labels = [ ("owner", owner) ] in
+  {
+    retain_s;
+    issuance_by_hid = Apna_net.Addr.Hid_tbl.create 256;
+    issuance_total = 0;
+    egress_by_digest = Hashtbl.create 256;
+    last_query_cost = 0;
+    g_issuance =
+      M.Gauge.register M.default ~labels
+        ~help:"Issuance (EphID -> HID) entries retained in the audit log"
+        "apna_audit_issuance_entries";
+    g_egress =
+      M.Gauge.register M.default ~labels
+        ~help:"Egress (digest -> EphID) entries retained in the audit log"
+        "apna_audit_egress_entries";
+  }
+
+let update_gauges t =
+  M.Gauge.set t.g_issuance (float_of_int t.issuance_total);
+  M.Gauge.set t.g_egress (float_of_int (Hashtbl.length t.egress_by_digest))
 
 let record_issuance t ~now ~ephid ~hid =
-  t.issuances <- { at = now; ephid; hid } :: t.issuances
+  let bucket =
+    match Apna_net.Addr.Hid_tbl.find_opt t.issuance_by_hid hid with
+    | Some b -> b
+    | None ->
+        let b = ref [] in
+        Apna_net.Addr.Hid_tbl.replace t.issuance_by_hid hid b;
+        b
+  in
+  bucket := { at = now; ephid; hid } :: !bucket;
+  t.issuance_total <- t.issuance_total + 1;
+  update_gauges t
 
 let record_egress t ~now ~ephid ~digest =
-  Hashtbl.replace t.egress_by_digest digest { at = now; ephid }
+  Hashtbl.replace t.egress_by_digest digest { at = now; ephid };
+  update_gauges t
 
 let bindings_of t hid =
-  List.filter_map
-    (fun i ->
-      if Apna_net.Addr.hid_equal i.hid hid then Some (i.at, i.ephid) else None)
-    t.issuances
-  |> List.rev
+  match Apna_net.Addr.Hid_tbl.find_opt t.issuance_by_hid hid with
+  | None ->
+      t.last_query_cost <- 0;
+      []
+  | Some bucket ->
+      t.last_query_cost <- List.length !bucket;
+      List.rev_map (fun (i : issuance) -> (i.at, i.ephid)) !bucket
 
 let find_sender t ~digest =
+  t.last_query_cost <- 1;
   Option.map
     (fun (e : egress) -> (e.at, e.ephid))
     (Hashtbl.find_opt t.egress_by_digest digest)
 
+let last_query_cost t = t.last_query_cost
+
 let gc t ~now =
   let horizon = now - t.retain_s in
-  let before = List.length t.issuances + Hashtbl.length t.egress_by_digest in
-  t.issuances <- List.filter (fun (i : issuance) -> i.at >= horizon) t.issuances;
+  let before = t.issuance_total + Hashtbl.length t.egress_by_digest in
+  let empty = ref [] in
+  let total = ref 0 in
+  Apna_net.Addr.Hid_tbl.iter
+    (fun hid bucket ->
+      bucket := List.filter (fun (i : issuance) -> i.at >= horizon) !bucket;
+      match !bucket with
+      | [] -> empty := hid :: !empty
+      | kept -> total := !total + List.length kept)
+    t.issuance_by_hid;
+  List.iter (Apna_net.Addr.Hid_tbl.remove t.issuance_by_hid) !empty;
+  t.issuance_total <- !total;
   let stale =
     Hashtbl.fold
       (fun digest (e : egress) acc -> if e.at < horizon then digest :: acc else acc)
       t.egress_by_digest []
   in
   List.iter (Hashtbl.remove t.egress_by_digest) stale;
-  before - (List.length t.issuances + Hashtbl.length t.egress_by_digest)
+  update_gauges t;
+  before - (t.issuance_total + Hashtbl.length t.egress_by_digest)
 
-let issuance_count t = List.length t.issuances
+let issuance_count t = t.issuance_total
 let egress_count t = Hashtbl.length t.egress_by_digest

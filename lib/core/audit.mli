@@ -15,20 +15,33 @@
 
 type t
 
-val create : ?retain_s:int -> unit -> t
-(** [retain_s] defaults to 7 days. *)
+val create : ?retain_s:int -> ?owner:string -> unit -> t
+(** [retain_s] defaults to 7 days. [owner] labels the
+    [apna_audit_{issuance,egress}_entries] gauges (the AS node passes its
+    AID) so retained-entry counts stay attributable per log. *)
 
 val record_issuance : t -> now:int -> ephid:Ephid.t -> hid:Apna_net.Addr.hid -> unit
 val record_egress : t -> now:int -> ephid:Ephid.t -> digest:string -> unit
 
 val bindings_of : t -> Apna_net.Addr.hid -> (int * Ephid.t) list
 (** All EphIDs issued to a subscriber in the window, oldest first —
-    answering "what identifiers did customer X hold?". *)
+    answering "what identifiers did customer X hold?".
+
+    Linkage discipline: the {e only} sanctioned caller is the privacy
+    broker ([Apna_broker.Broker]), which authenticates the requester,
+    charges its budget and journals the disclosure. [make check] runs a
+    grep gate that fails the build on any other caller. *)
 
 val find_sender : t -> digest:string -> (int * Ephid.t) option
 (** Attribution of a retained packet digest: when it left and under which
     EphID — answering "did this packet leave your network, and who sent
-    it?" (combined with {!bindings_of}/EphID decryption, the subscriber). *)
+    it?" (combined with {!bindings_of}/EphID decryption, the subscriber).
+    Same linkage discipline as {!bindings_of}: broker-only. *)
+
+val last_query_cost : t -> int
+(** Entries examined by the most recent [bindings_of]/[find_sender] call —
+    a count-based (not timing-based) probe the perf regression tests use
+    to prove queries stay proportional to the answer, not the stream. *)
 
 val gc : t -> now:int -> int
 (** Drops entries older than the retention window; returns the count. *)

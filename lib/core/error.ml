@@ -10,6 +10,7 @@ type t =
   | Crypto of string
   | Rejected of string
   | Timeout of string
+  | Budget_exhausted of string
 
 let to_string = function
   | Auth_failed -> "authentication failed"
@@ -23,6 +24,7 @@ let to_string = function
   | Crypto what -> "crypto failure: " ^ what
   | Rejected why -> "rejected: " ^ why
   | Timeout what -> "timed out: " ^ what
+  | Budget_exhausted what -> "privacy budget exhausted: " ^ what
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 let equal (a : t) (b : t) = a = b
@@ -39,3 +41,36 @@ let kind_label = function
   | Crypto _ -> "crypto"
   | Rejected _ -> "rejected"
   | Timeout _ -> "timeout"
+  | Budget_exhausted _ -> "budget-exhausted"
+
+(* Stable wire codec, used by the broker's refusal responses. The payload
+   string of payload-less variants is ignored on decode. *)
+let to_wire = function
+  | Auth_failed -> (0, "")
+  | Expired s -> (1, s)
+  | Revoked s -> (2, s)
+  | Unknown_host -> (3, "")
+  | Bad_mac -> (4, "")
+  | Bad_signature s -> (5, s)
+  | Malformed s -> (6, s)
+  | No_route -> (7, "")
+  | Crypto s -> (8, s)
+  | Rejected s -> (9, s)
+  | Timeout s -> (10, s)
+  | Budget_exhausted s -> (11, s)
+
+let of_wire tag payload =
+  match tag with
+  | 0 -> Ok Auth_failed
+  | 1 -> Ok (Expired payload)
+  | 2 -> Ok (Revoked payload)
+  | 3 -> Ok Unknown_host
+  | 4 -> Ok Bad_mac
+  | 5 -> Ok (Bad_signature payload)
+  | 6 -> Ok (Malformed payload)
+  | 7 -> Ok No_route
+  | 8 -> Ok (Crypto payload)
+  | 9 -> Ok (Rejected payload)
+  | 10 -> Ok (Timeout payload)
+  | 11 -> Ok (Budget_exhausted payload)
+  | n -> Error (Printf.sprintf "unknown error tag %d" n)

@@ -17,11 +17,19 @@ type t =
   | Rejected of string  (** policy refusal (quota, unauthorized requester) *)
   | Timeout of string
       (** a round-trip request exhausted its retransmission budget *)
+  | Budget_exhausted of string
+      (** a privacy-broker request exceeded the requester's budget *)
 
 val to_string : t -> string
 
 val kind_label : t -> string
 (** Short stable label of the error kind, for counters and metrics. *)
+
+val to_wire : t -> int * string
+(** Stable (tag, payload) pair for wire encodings (broker refusals). *)
+
+val of_wire : int -> string -> (t, string) result
+(** Inverse of {!to_wire}; total — an unknown tag is [Error _]. *)
 
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool

@@ -15,7 +15,8 @@ let pid_of_kind = function
   | Event.Br_ingress { aid; _ }
   | Event.Deliver { aid; _ }
   | Event.Shutoff { aid }
-  | Event.Migrate { aid; _ } ->
+  | Event.Migrate { aid; _ }
+  | Event.Broker_decision { aid; _ } ->
       aid
   | Event.Link_transit { src; _ } -> src
   | Event.Gw_encap _ | Event.Gw_decap _ -> 0

@@ -21,6 +21,7 @@ type kind =
   | Gw_decap of { gateway : string }
   | Shutoff of { aid : int }
   | Migrate of { aid : int; host : string; reason : string }
+  | Broker_decision of { aid : int; granted : bool; query : string }
 
 type record = { key : int64; time : float; seq : int; kind : kind }
 
@@ -84,6 +85,7 @@ let stage_label = function
   | Gw_decap _ -> "gw.decap"
   | Shutoff _ -> "shutoff"
   | Migrate _ -> "host.migrate"
+  | Broker_decision _ -> "broker.decide"
 
 let where = function
   | Host_send { aid; _ }
@@ -91,7 +93,8 @@ let where = function
   | Br_ingress { aid; _ }
   | Deliver { aid; _ }
   | Shutoff { aid }
-  | Migrate { aid; _ } ->
+  | Migrate { aid; _ }
+  | Broker_decision { aid; _ } ->
       Printf.sprintf "AS%d" aid
   | Link_transit { src; dst; _ } -> Printf.sprintf "AS%d->AS%d" src dst
   | Gw_encap { gateway } | Gw_decap { gateway } -> "gw:" ^ gateway
@@ -115,3 +118,7 @@ let describe = function
   | Shutoff { aid } -> Printf.sprintf "shutoff executed @ AS%d" aid
   | Migrate { aid; host; reason } ->
       Printf.sprintf "session migrated by host %s [%s] @ AS%d" host reason aid
+  | Broker_decision { aid; granted; query } ->
+      Printf.sprintf "broker %s [%s] @ AS%d"
+        (if granted then "grant" else "refusal")
+        query aid

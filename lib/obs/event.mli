@@ -59,6 +59,10 @@ type kind =
           connection id, so all migrations of one session share a
           timeline); [reason] is "renewal-margin" for proactive renewal or
           the ICMP reason label for reactive recovery. *)
+  | Broker_decision of { aid : int; granted : bool; query : string }
+      (** The privacy broker granted or refused a linkage request (keyed
+          on the request correlation id); [query] is the query label
+          ("deanonymize", "bindings-of", "attribute-packet"). *)
 
 type record = { key : int64; time : float; seq : int; kind : kind }
 (** [time] is the sink clock (simulated seconds inside a simulation);

@@ -432,11 +432,26 @@ let mtu_tests =
 (* Data retention / lawful request (§VIII-H) *)
 
 let audit_tests =
+  let module B = Apna_broker.Broker in
+  (* All linkage goes through the privacy broker — Audit queries are
+     broker-only (the make-check grep gate enforces it). *)
+  let ask broker ~now q =
+    B.handle broker ~now
+      (B.Request.sign ~key:"le-key" ~corr:1L ~requester:"le" ~query:q)
+  in
+  let bindings broker ~now h =
+    match ask broker ~now (B.Request.Bindings_of h) with
+    | B.Response.Granted { grant = B.Response.Bindings bs; _ } -> bs
+    | _ -> Alcotest.fail "expected a bindings grant"
+  in
   [
     Alcotest.test_case "unit: bindings, attribution, retention window" `Quick
       (fun () ->
         let a = Audit.create ~retain_s:3600 () in
         let keys = Keys.make_as rng ~aid:(aid 64500) in
+        let broker = B.create ~keys ~audit:a () in
+        B.register_requester broker ~id:"le" ~role:B.Law_enforcement
+          ~key:"le-key" ~now:now0;
         let h1 = hid 0x0a000001 and h2 = hid 0x0a000002 in
         let e1 = Ephid.issue_random keys rng ~hid:h1 ~expiry:(now0 + 900) in
         let e2 = Ephid.issue_random keys rng ~hid:h1 ~expiry:(now0 + 900) in
@@ -444,20 +459,31 @@ let audit_tests =
         Audit.record_issuance a ~now:now0 ~ephid:e1 ~hid:h1;
         Audit.record_issuance a ~now:(now0 + 10) ~ephid:e2 ~hid:h1;
         Audit.record_issuance a ~now:(now0 + 20) ~ephid:e3 ~hid:h2;
-        Alcotest.(check int) "h1 bindings" 2 (List.length (Audit.bindings_of a h1));
-        Alcotest.(check int) "h2 bindings" 1 (List.length (Audit.bindings_of a h2));
+        Alcotest.(check int) "h1 bindings" 2
+          (List.length (bindings broker ~now:(now0 + 40) h1));
+        Alcotest.(check int) "h2 bindings" 1
+          (List.length (bindings broker ~now:(now0 + 40) h2));
         Audit.record_egress a ~now:(now0 + 30) ~ephid:e1 ~digest:"digest-1";
-        (match Audit.find_sender a ~digest:"digest-1" with
-        | Some (at, e) ->
+        (match ask broker ~now:(now0 + 40) (B.Request.Attribute_packet "digest-1") with
+        | B.Response.Granted
+            { grant = B.Response.Attribution { at; ephid; _ }; _ } ->
             Alcotest.(check int) "when" (now0 + 30) at;
-            Alcotest.(check bool) "which" true (Ephid.equal e e1)
-        | None -> Alcotest.fail "retained digest not found");
-        Alcotest.(check (option (pair int reject))) "unknown digest" None
-          (Option.map (fun (at, _) -> (at, ())) (Audit.find_sender a ~digest:"nope"));
+            Alcotest.(check bool) "which" true (Ephid.equal ephid e1)
+        | _ -> Alcotest.fail "retained digest not found");
+        (match ask broker ~now:(now0 + 40) (B.Request.Attribute_packet "nope") with
+        | B.Response.Refused { reason = Error.Rejected _; _ } -> ()
+        | _ -> Alcotest.fail "unknown digest should be refused");
         (* Retention window: everything ages out after retain_s. *)
         let removed = Audit.gc a ~now:(now0 + 3700) in
         Alcotest.(check int) "all gone" 4 removed;
-        Alcotest.(check int) "no bindings" 0 (List.length (Audit.bindings_of a h1)));
+        Alcotest.(check int) "no bindings" 0
+          (List.length (bindings broker ~now:(now0 + 3700) h1));
+        (* Every query above — including the refusal — is journaled, and
+           the chain verifies. *)
+        Alcotest.(check int) "journal entries" 5
+          (Apna_broker.Journal.length (B.journal broker));
+        Alcotest.(check bool) "journal verifies" true
+          (Result.is_ok (B.verify_journal broker)));
     Alcotest.test_case "lawful targeted request end to end" `Quick (fun () ->
         (* A retention-enabled ISP answers: "did this packet leave your
            network, and which subscriber sent it?" *)
@@ -481,21 +507,36 @@ let audit_tests =
         Network.run net;
         let pkt = Option.get !captured in
         let isp = Network.node_exn net 100 in
-        let audit = Option.get (As_node.audit isp) in
-        (* Step 1: the digest (packet MAC) is in the egress log. *)
-        let _, logged_ephid =
-          Option.get (Audit.find_sender audit ~digest:pkt.header.mac)
+        (* The ISP's broker is the lawful interface: the investigator is
+           registered, budgeted, and every answer is journaled. *)
+        let module B = Apna_broker.Broker in
+        let broker = B.for_node isp in
+        B.register_requester broker ~id:"le" ~role:B.Law_enforcement
+          ~key:"le-key" ~now:now0;
+        let ask q =
+          B.handle broker ~now:now0
+            (B.Request.sign ~key:"le-key" ~corr:7L ~requester:"le" ~query:q)
         in
-        (* Step 2: the EphID decrypts to a HID... *)
-        let info = ok_or_fail "parse" (Ephid.parse (As_node.keys isp) logged_ephid) in
-        (* ...which the issuance log corroborates... *)
-        Alcotest.(check bool) "issuance binding present" true
-          (List.exists
-             (fun (_, e) -> Ephid.equal e logged_ephid)
-             (Audit.bindings_of audit info.hid));
-        (* ...and the registry names the subscriber. *)
-        Alcotest.(check (option string)) "subscriber" (Some "alice@isp")
-          (Registry.credential_of_hid (As_node.registry isp) info.hid);
+        (* Step 1: attribute the captured packet's digest (its MAC). *)
+        let logged_ephid, hid_of_sender =
+          match ask (B.Request.Attribute_packet pkt.header.mac) with
+          | B.Response.Granted
+              { grant = B.Response.Attribution { ephid; hid; credential; _ }; _ }
+            ->
+              (* The grant already names the subscriber. *)
+              Alcotest.(check (option string)) "subscriber" (Some "alice@isp")
+                credential;
+              (ephid, hid)
+          | _ -> Alcotest.fail "attribution refused"
+        in
+        (* Step 2: the issuance log corroborates the binding. *)
+        (match ask (B.Request.Bindings_of hid_of_sender) with
+        | B.Response.Granted { grant = B.Response.Bindings bs; _ } ->
+            Alcotest.(check bool) "issuance binding present" true
+              (List.exists (fun (_, e) -> Ephid.equal e logged_ephid) bs)
+        | _ -> Alcotest.fail "bindings refused");
+        Alcotest.(check bool) "journal verifies" true
+          (Result.is_ok (B.verify_journal broker));
         (* But retention holds no plaintext: the payload stays sealed. *)
         let contains needle hay =
           let nl = String.length needle and hl = String.length hay in
