@@ -39,8 +39,11 @@ bench:
 # (the harness re-parses the file itself and fails loudly if it is
 # invalid), plus the warrant-storm smoke (E15: brokered linkage under
 # budget pressure against live traffic, with the data-plane regression
-# gate) and the linkage grep gate. The chaos, lifetime and storm smokes
-# run first so the final BENCH_results.json is the regular one.
+# gate), the trace-scale smoke (E16: reduced-population million-host
+# replay with its peak-rate and baseline gates, writing
+# trace_scale.json) and the linkage grep gate. The chaos, lifetime,
+# storm and scale smokes run first so the final BENCH_results.json is
+# the regular one.
 check: linkage-gate
 	dune build @all
 	dune runtest
@@ -55,6 +58,10 @@ check: linkage-gate
 	rm -f BENCH_results.json
 	dune exec bench/main.exe -- --storm --quick
 	test -s BENCH_results.json
+	rm -f BENCH_results.json trace_scale.json
+	dune exec bench/main.exe -- --trace-scale --quick
+	test -s BENCH_results.json
+	test -s trace_scale.json
 	rm -f BENCH_results.json
 	dune exec bench/main.exe -- --quick
 	test -s BENCH_results.json

@@ -110,7 +110,7 @@ let handle_internal_ms t (pkt : Packet.t) =
             match Host_info.find domain.host_info info.hid with
             | Error e -> Error e
             | Ok entry -> begin
-                match Aead.open_ ~key:entry.kha.ctrl ~nonce sealed with
+                match Aead.open_ ~key:(Keys.ctrl entry.kha) ~nonce sealed with
                 | Error e -> Error (Error.Crypto e)
                 | Ok body_bytes -> begin
                     match Msgs.Request_body.of_bytes body_bytes with
@@ -184,7 +184,7 @@ let handle_relayed_reply t msg =
                 corr = relay.host_corr;
                 nonce;
                 sealed =
-                  Aead.seal ~key:relay.host_kha.ctrl ~nonce (Cert.to_bytes cert);
+                  Aead.seal ~key:(Keys.ctrl relay.host_kha) ~nonce (Cert.to_bytes cert);
               }
           in
           match Hashtbl.find_opt t.internal_hosts relay.host_name with

@@ -59,10 +59,10 @@ let service_kha rng = Keys.derive_host_as ~shared_secret:(Drbg.generate rng 32)
 
 let create ~rng ~aid ~trust ~topology ~now ~now_f ?schedule ?dns_zone
     ?(lifetime_policy = Lifetime.default_policy) ?(retention = false)
-    ?(icmp_encryption = false) () =
+    ?(icmp_encryption = false) ?expected_hosts () =
   let keys = Keys.make_as rng ~aid in
   Trust.register_as trust aid ~pub:(Ed25519.public_key keys.signing);
-  let host_info = Host_info.create () in
+  let host_info = Host_info.create ?expected_hosts () in
   let revoked = Revocation.create () in
   let expiry = now () + service_lifetime_s in
   (* Service identities: EphIDs bound to the reserved HIDs, registered in

@@ -20,12 +20,15 @@ val create :
   ?lifetime_policy:Lifetime.policy ->
   ?retention:bool ->
   ?icmp_encryption:bool ->
+  ?expected_hosts:int ->
   unit ->
   t
 (** Creates the AS, generates its keys, registers its signing key in
     [trust] (the RPKI stand-in), brings up the services and issues their
     EphIDs/certificates. [dns_zone] additionally runs a DNS service whose
-    zone key is registered in [trust]. *)
+    zone key is registered in [trust]. [expected_hosts] pre-sizes the
+    sharded host_info database for a known population (the scale
+    harness). *)
 
 val aid : t -> Apna_net.Addr.aid
 val keys : t -> Keys.as_keys

@@ -44,7 +44,15 @@ val last_query_cost : t -> int
     to prove queries stay proportional to the answer, not the stream. *)
 
 val gc : t -> now:int -> int
-(** Drops entries older than the retention window; returns the count. *)
+(** Drops entries older than the retention window; returns the count.
+    Buckets carry their own length and oldest timestamp and gc pops an
+    expiry heap, so a sweep touches only buckets that can contain expired
+    entries — never the whole log. *)
+
+val last_gc_cost : t -> int
+(** Heap candidates examined plus bucket entries rebuilt by the most
+    recent {!gc} — the count-based probe proving sweeps scale with what
+    expired, not with what is retained. *)
 
 val issuance_count : t -> int
 val egress_count : t -> int

@@ -88,7 +88,14 @@ type t = {
   mutable gran : Granularity.t;
   mutable att : attachment option;
   mutable identity : identity option;
-  mutable all_endpoints : endpoint list;
+  (* Every live endpoint, keyed by raw EphID bytes: delivery looks the
+     local endpoint up per packet and removal must not rebuild a list —
+     both were O(#endpoints) when this was a list, quadratic over a
+     host's lifetime. *)
+  endpoints_by_ephid : (string, endpoint) Hashtbl.t;
+  (* Entries examined by the last endpoint add/remove — the count-based
+     sentinel the quadratic-cost regression tests read. *)
+  mutable last_endpoint_op_cost : int;
   (* Reuse pools, keyed by Granularity.pool_key, with waiters queued while
      the pool's first issuance round trip is in flight. *)
   pools : (string, endpoint) Hashtbl.t;
@@ -187,7 +194,8 @@ let create ~name ~rng ?(granularity = Granularity.Per_flow) () =
       gran = granularity;
       att = None;
       identity = None;
-      all_endpoints = [];
+      endpoints_by_ephid = Hashtbl.create 16;
+      last_endpoint_op_cost = 0;
       pools = Hashtbl.create 4;
       pool_waiters = Hashtbl.create 4;
       prefetched = Queue.create ();
@@ -247,7 +255,18 @@ let aa_ephid t = Option.map (fun i -> i.aa_ephid) t.identity
 let ms_cert t = Option.map (fun i -> i.ms_cert) t.identity
 let dns_cert t = Option.bind t.identity (fun i -> i.dns_cert)
 let kha t = Option.map (fun i -> i.kha) t.identity
-let endpoints t = t.all_endpoints
+let endpoints t =
+  Hashtbl.fold (fun _ ep acc -> ep :: acc) t.endpoints_by_ephid []
+
+let last_endpoint_op_cost t = t.last_endpoint_op_cost
+
+let add_endpoint t (ep : endpoint) =
+  t.last_endpoint_op_cost <- 1;
+  Hashtbl.replace t.endpoints_by_ephid (Ephid.to_bytes ep.cert.Cert.ephid) ep
+
+let remove_endpoint t (ep : endpoint) =
+  t.last_endpoint_op_cost <- 1;
+  Hashtbl.remove t.endpoints_by_ephid (Ephid.to_bytes ep.cert.Cert.ephid)
 let received t = List.rev t.received_rev
 let unreachables t = List.of_seq (Queue.to_seq t.unreachables_q)
 let unreachable_total t = t.unreachable_total
@@ -479,7 +498,7 @@ let request_ephid_r t ?lifetime ?(receive_only = false) k =
           | Error e -> k (Error e)
           | Ok cert ->
               let endpoint = { cert; keys; receive_only } in
-              t.all_endpoints <- endpoint :: t.all_endpoints;
+              add_endpoint t endpoint;
               k (Ok endpoint))
         ~on_timeout:(fun () ->
           Breaker.failure t.breaker ~now:(att.now_f ());
@@ -491,6 +510,54 @@ let request_ephid t ?lifetime ?receive_only k =
     | Ok endpoint -> k endpoint
     | Error e -> warn t "request_ephid" (Error e))
 
+(* Batched acquisition: one sealed round trip and one MS validation for
+   [count] grants. The prefetcher uses this to refill its whole stock per
+   round trip instead of [count] independent request/reply exchanges. *)
+let request_ephid_batch_r t ~count ?lifetime k =
+  let lifetime = Option.value lifetime ~default:t.ephid_lifetime in
+  match (require_att t, require_identity t) with
+  | Error e, _ | _, Error e -> k (Error e)
+  | Ok att, Ok id when not (Breaker.acquire t.breaker ~now:(att.now_f ())) ->
+      ignore id;
+      k (Error (Error.Rejected "EphID issuance circuit breaker open"))
+  | Ok att, Ok id ->
+      let keys = List.init count (fun _ -> Keys.make_ephid_keys t.rng) in
+      let corr = fresh_corr t in
+      let msg =
+        Management.Client.make_batch_request ~rng:t.rng ~corr ~kha:id.kha
+          ~keys ~lifetime
+      in
+      let payload = Msgs.to_bytes msg in
+      t.ephid_requests <- t.ephid_requests + 1;
+      let resend () =
+        warn t "batch request send"
+          (send_packet t ~src_ephid:(Ephid.to_bytes id.ctrl_ephid)
+             ~dst_aid:id.ms_cert.aid
+             ~dst_ephid:(Ephid.to_bytes id.ms_cert.ephid)
+             ~proto:Packet.Control ~payload)
+      in
+      start_rpc t t.rpcs corr ~what:"EphID batch request" ~resend
+        ~on_reply:(fun msg ->
+          Breaker.success t.breaker;
+          match Management.Client.read_batch_reply ~kha:id.kha msg with
+          | Error e -> k (Error e)
+          | Ok certs when List.length certs <> count ->
+              k (Error (Error.Malformed "batch reply count mismatch"))
+          | Ok certs ->
+              (* Certificates arrive in request order: pair them back with
+                 the key material they certify. *)
+              let endpoints =
+                List.map2
+                  (fun cert keys -> { cert; keys; receive_only = false })
+                  certs keys
+              in
+              List.iter (add_endpoint t) endpoints;
+              k (Ok endpoints))
+        ~on_timeout:(fun () ->
+          Breaker.failure t.breaker ~now:(att.now_f ());
+          k (Error (Error.Timeout "EphID batch issuance")))
+        ()
+
 let release_endpoint t (endpoint : endpoint) =
   match require_identity t with
   | Error e -> Error e
@@ -499,10 +566,7 @@ let release_endpoint t (endpoint : endpoint) =
         Management.Client.make_release ~rng:t.rng ~kha:id.kha
           ~ephid:endpoint.cert.Cert.ephid
       in
-      t.all_endpoints <-
-        List.filter
-          (fun e -> not (Cert.equal e.cert endpoint.cert))
-          t.all_endpoints;
+      remove_endpoint t endpoint;
       Hashtbl.iter
         (fun key (e : endpoint) ->
           if Cert.equal e.cert endpoint.cert then Hashtbl.remove t.pools key)
@@ -582,19 +646,34 @@ let with_source_endpoint t ?app k =
 let prefetch_target = 8
 
 let rec refill_prefetch t =
-  if
-    Queue.length t.prefetched + t.prefetch_inflight < prefetch_target
-    && is_bootstrapped t
-  then begin
-    t.prefetch_inflight <- t.prefetch_inflight + 1;
-    request_ephid_r t (function
-      | Error e ->
-          t.prefetch_inflight <- t.prefetch_inflight - 1;
-          warn t "prefetch" (Error e)
-      | Ok endpoint ->
-          t.prefetch_inflight <- t.prefetch_inflight - 1;
-          Queue.add endpoint t.prefetched;
-          refill_prefetch t)
+  let stock = Queue.length t.prefetched + t.prefetch_inflight in
+  if stock < prefetch_target && is_bootstrapped t then begin
+    let want = prefetch_target - stock in
+    if want = 1 then begin
+      t.prefetch_inflight <- t.prefetch_inflight + 1;
+      request_ephid_r t (function
+        | Error e ->
+            t.prefetch_inflight <- t.prefetch_inflight - 1;
+            warn t "prefetch" (Error e)
+        | Ok endpoint ->
+            t.prefetch_inflight <- t.prefetch_inflight - 1;
+            Queue.add endpoint t.prefetched;
+            refill_prefetch t)
+    end
+    else begin
+      (* Refill the whole deficit with one batched round trip: the MS
+         validates the control EphID once and amortizes its DRBG pool
+         across the grants. *)
+      t.prefetch_inflight <- t.prefetch_inflight + want;
+      request_ephid_batch_r t ~count:want (function
+        | Error e ->
+            t.prefetch_inflight <- t.prefetch_inflight - want;
+            warn t "prefetch" (Error e)
+        | Ok endpoints ->
+            t.prefetch_inflight <- t.prefetch_inflight - want;
+            List.iter (fun ep -> Queue.add ep t.prefetched) endpoints;
+            refill_prefetch t)
+    end
   end
 
 (* Discard-at-dequeue: stock prefetched long ago may have aged past the
@@ -613,8 +692,7 @@ let rec pop_usable_prefetched t =
     else begin
       t.stale_discards <- t.stale_discards + 1;
       M.Counter.incr m_stale_discards;
-      t.all_endpoints <-
-        List.filter (fun e -> not (Cert.equal e.cert ep.cert)) t.all_endpoints;
+      remove_endpoint t ep;
       pop_usable_prefetched t
     end
   end
@@ -1077,10 +1155,10 @@ let request_shutoff t ~session ~evidence =
 (* ------------------------------------------------------------------ *)
 (* Delivery *)
 
+(* O(1) on the delivery path: every inbound packet resolves its local
+   endpoint here. *)
 let local_endpoint_for t raw_ephid =
-  List.find_opt
-    (fun e -> String.equal (Ephid.to_bytes e.cert.Cert.ephid) raw_ephid)
-    t.all_endpoints
+  Hashtbl.find_opt t.endpoints_by_ephid raw_ephid
 
 let handle_init t (pkt : Packet.t) ~conn_id ~(cert : Cert.t) ~seq ~sealed =
   match require_att t with
@@ -1296,18 +1374,24 @@ let record_unreachable t reason =
    per-packet prefetch stock, and the endpoint list. Session bindings are
    replaced by the migration itself. *)
 let invalidate_endpoint t raw =
-  t.all_endpoints <-
-    List.filter (fun e -> not (String.equal (ephid_raw e) raw)) t.all_endpoints;
+  (* Cost is 1 index removal + the (granularity-bounded) pools + the
+     (target-bounded) prefetch stock — never the endpoint population. *)
+  let cost = ref 1 in
+  Hashtbl.remove t.endpoints_by_ephid raw;
   Hashtbl.iter
     (fun key (e : endpoint) ->
+      incr cost;
       if String.equal (ephid_raw e) raw then Hashtbl.remove t.pools key)
     (Hashtbl.copy t.pools);
   let keep = Queue.create () in
   Queue.iter
-    (fun e -> if not (String.equal (ephid_raw e) raw) then Queue.add e keep)
+    (fun e ->
+      incr cost;
+      if not (String.equal (ephid_raw e) raw) then Queue.add e keep)
     t.prefetched;
   Queue.clear t.prefetched;
-  Queue.transfer keep t.prefetched
+  Queue.transfer keep t.prefetched;
+  t.last_endpoint_op_cost <- !cost
 
 (* All session frames lead with tag(1) ‖ conn_id(8). *)
 let conn_of_quoted quoted =
@@ -1427,6 +1511,8 @@ let deliver t (pkt : Packet.t) =
       | Error e -> warn t "control" (Error e)
       | Ok (Msgs.Ephid_reply { corr; _ } as msg) ->
           dispatch_reply t ~what:"EphID" corr msg
+      | Ok (Msgs.Ephid_batch_reply { corr; _ } as msg) ->
+          dispatch_reply t ~what:"EphID batch" corr msg
       | Ok (Msgs.Dns_reply { corr; _ } as msg) ->
           dispatch_reply t ~what:"DNS" corr msg
       | Ok (Msgs.Revocation_notice { ephid }) -> begin

@@ -82,7 +82,24 @@ val request_ephid :
 (** {!request_ephid_r} with errors logged instead of delivered: on failure
     the continuation never fires. *)
 
+val request_ephid_batch_r :
+  t -> count:int -> ?lifetime:Lifetime.t ->
+  ((endpoint list, Error.t) result -> unit) -> unit
+(** [count] fresh EphIDs in one sealed round trip (the prefetcher's refill
+    path): the MS validates the control EphID once and amortizes its DRBG
+    pool across the grants. Same retransmission/breaker semantics as
+    {!request_ephid_r}; the batch succeeds or fails atomically. *)
+
 val endpoints : t -> endpoint list
+(** Every live endpoint (unspecified order). Endpoints live in a
+    raw-EphID-keyed index, so per-packet delivery lookups and removals are
+    O(1) — a host that churns thousands of per-packet EphIDs must not pay
+    a list rebuild per retirement. *)
+
+val last_endpoint_op_cost : t -> int
+(** Entries examined by the most recent endpoint add/remove/invalidate —
+    count-based probe for the quadratic-cost regression tests; stays
+    constant as the endpoint population grows. *)
 
 val release_endpoint : t -> endpoint -> (unit, Error.t) result
 (** Preemptively retires an EphID the host no longer needs (§VIII-G2):

@@ -1,17 +1,48 @@
 type entry = { kha : Keys.host_as; mutable revoked : bool }
-type t = { table : entry Apna_net.Addr.Hid_tbl.t; mutable generation : int }
 
-let create () = { table = Apna_net.Addr.Hid_tbl.create 64; generation = 0 }
+(* Sharded by HID hash into a fixed number of buckets: a national-ISP
+   population (the paper's §V-A3 trace is 1.27 M hosts) in one Hashtbl
+   means multi-hundred-MB resize copies at unpredictable moments; fixed
+   shards bound each resize pause and give every lookup a single O(1)
+   probe of a small table. *)
+type t = {
+  shards : entry Apna_net.Addr.Hid_tbl.t array;
+  mask : int;
+  mutable population : int;
+  mutable generation : int;
+}
+
+let default_shards = 256
+
+(* Round up to a power of two so shard selection is a mask, not a div. *)
+let pow2_at_least n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(shards = default_shards) ?(expected_hosts = 4096) () =
+  let shards = pow2_at_least (max 1 shards) in
+  let per_shard = max 16 (expected_hosts / shards) in
+  {
+    shards = Array.init shards (fun _ -> Apna_net.Addr.Hid_tbl.create per_shard);
+    mask = shards - 1;
+    population = 0;
+    generation = 0;
+  }
+
+let shard t hid = t.shards.(Hashtbl.hash hid land t.mask)
+let shard_count t = Array.length t.shards
 
 let register t hid kha =
+  let s = shard t hid in
   (* Re-registering an existing HID replaces its kHA keys, so any cached
      (EphID -> entry) binding is stale; a first registration cannot be (an
      unknown HID never validated), so don't flush caches for it. *)
-  if Apna_net.Addr.Hid_tbl.mem t.table hid then t.generation <- t.generation + 1;
-  Apna_net.Addr.Hid_tbl.replace t.table hid { kha; revoked = false }
+  if Apna_net.Addr.Hid_tbl.mem s hid then t.generation <- t.generation + 1
+  else t.population <- t.population + 1;
+  Apna_net.Addr.Hid_tbl.replace s hid { kha; revoked = false }
 
 let find t hid =
-  match Apna_net.Addr.Hid_tbl.find_opt t.table hid with
+  match Apna_net.Addr.Hid_tbl.find_opt (shard t hid) hid with
   | None -> Error Error.Unknown_host
   | Some entry when entry.revoked -> Error (Error.Revoked "HID")
   | Some entry -> Ok entry
@@ -19,11 +50,11 @@ let find t hid =
 let mem_valid t hid = Result.is_ok (find t hid)
 
 let revoke_hid t hid =
-  match Apna_net.Addr.Hid_tbl.find_opt t.table hid with
+  match Apna_net.Addr.Hid_tbl.find_opt (shard t hid) hid with
   | Some entry ->
       entry.revoked <- true;
       t.generation <- t.generation + 1
   | None -> ()
 
 let generation t = t.generation
-let count t = Apna_net.Addr.Hid_tbl.length t.table
+let count t = t.population

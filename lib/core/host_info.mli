@@ -10,7 +10,14 @@ type entry = {
 
 type t
 
-val create : unit -> t
+val create : ?shards:int -> ?expected_hosts:int -> unit -> t
+(** The database is sharded by HID hash into a fixed number of buckets
+    ([shards], rounded up to a power of two, default 256) so a
+    paper-scale population (§V-A3: 1.27 M hosts) never pays a single
+    monolithic Hashtbl resize; [expected_hosts] pre-sizes each shard. *)
+
+val shard_count : t -> int
+
 val register : t -> Apna_net.Addr.hid -> Keys.host_as -> unit
 
 val find : t -> Apna_net.Addr.hid -> (entry, Error.t) result

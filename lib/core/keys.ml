@@ -27,12 +27,18 @@ let make_as rng ~aid =
     dh_public;
   }
 
-type host_as = { ctrl : Aead.key; ctrl_raw : string; auth : string }
+type host_as = { ctrl : Aead.key Lazy.t; ctrl_raw : string; auth : string }
 
+(* The expanded AEAD key (AES round-key schedule) costs ~1 KB per host;
+   at the paper's 1.27 M-host population (§V-A3) eager expansion is >1 GB
+   of registry state for hosts that may never send a control message.
+   Deriving lazily keeps a dormant host at two 32-byte strings. *)
 let derive_host_as ~shared_secret =
   let okm = Hkdf.derive ~info:"apna:kha:v1" ~len:64 shared_secret in
   let ctrl_raw = String.sub okm 0 32 in
-  { ctrl = Aead.of_secret ctrl_raw; ctrl_raw; auth = String.sub okm 32 32 }
+  { ctrl = lazy (Aead.of_secret ctrl_raw); ctrl_raw; auth = String.sub okm 32 32 }
+
+let ctrl (k : host_as) = Lazy.force k.ctrl
 
 type ephid_keys = {
   kx_secret : string;

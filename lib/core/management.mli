@@ -36,8 +36,23 @@ val issue_direct :
 (** Issuance without the message wrapper: used for AS services' own
     EphIDs, NAT-mode access points (§VII-B) and gateways (§VII-D). *)
 
+val issue_batch :
+  t -> now:int -> hid:Apna_net.Addr.hid ->
+  items:Msgs.Batch_request_body.item list -> lifetime:Lifetime.t ->
+  (Cert.t list, Error.t) result
+(** N grants for one validation: certificates in item order. Both paths
+    draw IVs from one shared DRBG pool, so [issue_batch n] grants exactly
+    the EphIDs/certs n sequential {!issue_direct} calls would have under
+    the same DRBG state (property-tested). Whole batch fails atomically.
+    [Error (Malformed _)] when the count is 0 or exceeds
+    {!Msgs.Batch_request_body.max_batch}. *)
+
 val issued_count : t -> int
 (** Total EphIDs issued — the statistic of the §V-A3 evaluation. *)
+
+val batch_request_count : t -> int
+(** Batched issuance requests served (also exported as the
+    [apna_ms_issuance_batch_requests_total] counter). *)
 
 val handle_release :
   t -> now:int -> src_ephid:string -> Msgs.t -> (unit, Error.t) result
@@ -60,6 +75,16 @@ module Client : sig
       point sends on behalf of a client (§VII-B). *)
 
   val read_reply : kha:Keys.host_as -> Msgs.t -> (Cert.t, Error.t) result
+
+  val make_batch_request :
+    rng:Apna_crypto.Drbg.t -> corr:int64 -> kha:Keys.host_as ->
+    keys:Keys.ephid_keys list -> lifetime:Lifetime.t -> Msgs.t
+  (** One request for one EphID per element of [keys] — the prefetcher
+      refills its whole stock in a single round trip. *)
+
+  val read_batch_reply :
+    kha:Keys.host_as -> Msgs.t -> (Cert.t list, Error.t) result
+  (** Certificates in the same order as the request's [keys]. *)
 
   val make_release :
     rng:Apna_crypto.Drbg.t -> kha:Keys.host_as -> ephid:Ephid.t -> Msgs.t

@@ -14,6 +14,10 @@ type t =
     }
   | Revocation_notice of { ephid : string }
   | Ephid_release of { nonce : string; sealed : string }
+  (* Batched issuance (one request, N grants): same envelope as the single
+     forms — the sealed body carries the batch. *)
+  | Ephid_batch_request of { corr : int64; nonce : string; sealed : string }
+  | Ephid_batch_reply of { corr : int64; nonce : string; sealed : string }
 
 let nonce_size = 16
 
@@ -26,13 +30,17 @@ let tag = function
   | Dns_register _ -> 5
   | Revocation_notice _ -> 6
   | Ephid_release _ -> 7
+  | Ephid_batch_request _ -> 8
+  | Ephid_batch_reply _ -> 9
 
 let corr = function
   | Ephid_request { corr; _ }
   | Ephid_reply { corr; _ }
   | Dns_query { corr; _ }
   | Dns_reply { corr; _ }
-  | Dns_register { corr; _ } ->
+  | Dns_register { corr; _ }
+  | Ephid_batch_request { corr; _ }
+  | Ephid_batch_reply { corr; _ } ->
       Some corr
   | Shutoff_request _ | Revocation_notice _ | Ephid_release _ -> None
 
@@ -50,7 +58,9 @@ let to_bytes t =
   (match t with
   | Ephid_request { corr; nonce; sealed }
   | Ephid_reply { corr; nonce; sealed }
-  | Dns_reply { corr; nonce; sealed } ->
+  | Dns_reply { corr; nonce; sealed }
+  | Ephid_batch_request { corr; nonce; sealed }
+  | Ephid_batch_reply { corr; nonce; sealed } ->
       Writer.u64 w corr;
       Writer.bytes w nonce;
       write_var w sealed
@@ -76,7 +86,7 @@ let of_bytes s =
     let* kind = Reader.u8 r in
     let* msg =
       match kind with
-      | 0 | 1 | 4 ->
+      | 0 | 1 | 4 | 8 | 9 ->
           let* corr = Reader.u64 r in
           let* nonce = Reader.bytes r nonce_size in
           let* sealed = read_var r in
@@ -84,7 +94,9 @@ let of_bytes s =
             (match kind with
             | 0 -> Ephid_request { corr; nonce; sealed }
             | 1 -> Ephid_reply { corr; nonce; sealed }
-            | _ -> Dns_reply { corr; nonce; sealed })
+            | 4 -> Dns_reply { corr; nonce; sealed }
+            | 8 -> Ephid_batch_request { corr; nonce; sealed }
+            | _ -> Ephid_batch_reply { corr; nonce; sealed })
       | 7 ->
           let* nonce = Reader.bytes r nonce_size in
           let* sealed = read_var r in
@@ -135,4 +147,91 @@ module Request_body = struct
       Ok { kx_pub; sig_pub; lifetime }
     in
     Result.map_error (fun e -> Error.Malformed ("ephid request: " ^ e)) parse
+end
+
+(* Sealed body of an [Ephid_batch_request]: one lifetime class and up to
+   [max_batch] per-EphID key pairs. One round trip and one kHA seal/open
+   then cover N grants — the amortization the prefetcher relies on. *)
+module Batch_request_body = struct
+  type item = { kx_pub : string; sig_pub : string }
+  type t = { items : item list; lifetime : Lifetime.t }
+
+  let max_batch = 64
+
+  let to_bytes t =
+    let n = List.length t.items in
+    if n = 0 || n > max_batch then invalid_arg "Batch_request_body: count";
+    List.iter
+      (fun i ->
+        if String.length i.kx_pub <> 32 || String.length i.sig_pub <> 32 then
+          invalid_arg "Batch_request_body: key size")
+      t.items;
+    let w = Writer.create ~capacity:(2 + (64 * n)) () in
+    Writer.u8 w n;
+    Writer.u8 w (Lifetime.to_int t.lifetime);
+    List.iter
+      (fun i ->
+        Writer.bytes w i.kx_pub;
+        Writer.bytes w i.sig_pub)
+      t.items;
+    Writer.contents w
+
+  let of_bytes s =
+    let r = Reader.of_string s in
+    let parse =
+      let* n = Reader.u8 r in
+      let* () =
+        if n = 0 || n > max_batch then Error "batch count out of range" else Ok ()
+      in
+      let* lifetime_int = Reader.u8 r in
+      let* lifetime = Lifetime.of_int lifetime_int in
+      let rec items acc = function
+        | 0 -> Ok (List.rev acc)
+        | k ->
+            let* kx_pub = Reader.bytes r 32 in
+            let* sig_pub = Reader.bytes r 32 in
+            items ({ kx_pub; sig_pub } :: acc) (k - 1)
+      in
+      let* items = items [] n in
+      let* () = Reader.expect_end r in
+      Ok { items; lifetime }
+    in
+    Result.map_error (fun e -> Error.Malformed ("ephid batch request: " ^ e)) parse
+end
+
+(* Sealed body of an [Ephid_batch_reply]: the certificates, in request
+   order, as opaque length-prefixed byte strings (the client runs
+   [Cert.of_bytes] on each). *)
+module Batch_reply_body = struct
+  type t = string list
+
+  let to_bytes certs =
+    let n = List.length certs in
+    if n = 0 || n > Batch_request_body.max_batch then
+      invalid_arg "Batch_reply_body: count";
+    let w = Writer.create () in
+    Writer.u8 w n;
+    List.iter (fun c -> write_var w c) certs;
+    Writer.contents w
+
+  let of_bytes s =
+    let r = Reader.of_string s in
+    let parse =
+      let* n = Reader.u8 r in
+      let* () =
+        if n = 0 || n > Batch_request_body.max_batch then
+          Error "batch count out of range"
+        else Ok ()
+      in
+      let rec certs acc = function
+        | 0 -> Ok (List.rev acc)
+        | k ->
+            let* c = read_var r in
+            certs (c :: acc) (k - 1)
+      in
+      let* certs = certs [] n in
+      let* () = Reader.expect_end r in
+      Ok certs
+    in
+    Result.map_error (fun e -> Error.Malformed ("ephid batch reply: " ^ e)) parse
 end

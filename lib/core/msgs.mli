@@ -36,6 +36,12 @@ type t =
           needs, revoked preemptively (§VIII-G2). The seal proves the
           request comes from the key-holder, and the MS additionally checks
           the EphID belongs to the requesting HID. *)
+  | Ephid_batch_request of { corr : int64; nonce : string; sealed : string }
+      (** host → MS, sealed under kHA-ctrl: {!Batch_request_body} — N
+          grants for one validation + round trip (the prefetcher's
+          amortized path). *)
+  | Ephid_batch_reply of { corr : int64; nonce : string; sealed : string }
+      (** MS → host, sealed under kHA-ctrl: {!Batch_reply_body}. *)
 
 val to_bytes : t -> string
 val of_bytes : string -> (t, Error.t) result
@@ -47,6 +53,28 @@ val corr : t -> int64 option
 (** EphID request body (the confidential part). *)
 module Request_body : sig
   type t = { kx_pub : string; sig_pub : string; lifetime : Lifetime.t }
+
+  val to_bytes : t -> string
+  val of_bytes : string -> (t, Error.t) result
+end
+
+(** Batched EphID request body: one lifetime class, up to {!max_batch}
+    per-EphID key pairs. [to_bytes] raises [Invalid_argument] on an empty
+    or oversized batch or mis-sized keys; [of_bytes] is total. *)
+module Batch_request_body : sig
+  type item = { kx_pub : string; sig_pub : string }
+  type t = { items : item list; lifetime : Lifetime.t }
+
+  val max_batch : int
+  (** 64. *)
+
+  val to_bytes : t -> string
+  val of_bytes : string -> (t, Error.t) result
+end
+
+(** Batched reply body: certificates in request order, as opaque bytes. *)
+module Batch_reply_body : sig
+  type t = string list
 
   val to_bytes : t -> string
   val of_bytes : string -> (t, Error.t) result

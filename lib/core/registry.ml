@@ -8,8 +8,12 @@ type t = {
   rng : Drbg.t;
   ctrl_lifetime_s : int;
   credentials : (string, Apna_net.Addr.hid option) Hashtbl.t;
+  (* Reverse index for credential_of_hid: the lawful-request path (§VIII-H)
+     used to fold over every subscriber — O(customers) per broker query. *)
+  credential_by_hid : string Apna_net.Addr.Hid_tbl.t;
   mutable next_hid : int;
   mutable services : services option;
+  mutable last_lookup_cost : int;
 }
 
 let create ~keys ~host_info ~rng ?(ctrl_lifetime_s = 86_400) ?(first_hid = 0x0a000001)
@@ -20,8 +24,10 @@ let create ~keys ~host_info ~rng ?(ctrl_lifetime_s = 86_400) ?(first_hid = 0x0a0
     rng;
     ctrl_lifetime_s;
     credentials = Hashtbl.create 64;
+    credential_by_hid = Apna_net.Addr.Hid_tbl.create 64;
     next_hid = first_hid;
     services = None;
+    last_lookup_cost = 0;
   }
 
 let set_service_certs t ~ms_cert ~dns_cert ~aa_ephid =
@@ -47,6 +53,26 @@ let id_info_bytes ~ctrl_ephid ~ctrl_expiry =
   Apna_util.Rw.Writer.u32_of_int w ctrl_expiry;
   Apna_util.Rw.Writer.contents w
 
+(* Shared core of bootstrap and admit: retire any previous identity, mint
+   the HID, derive + register kHA, and issue the control EphID. *)
+let assign_identity t ~now ~credential ~previous_hid ~shared_secret =
+  (* One live identity per subscriber: a fresh bootstrap revokes the old
+     HID and every EphID bound to it (§VI-A). *)
+  Option.iter
+    (fun old ->
+      Host_info.revoke_hid t.host_info old;
+      Apna_net.Addr.Hid_tbl.remove t.credential_by_hid old)
+    previous_hid;
+  let hid = Apna_net.Addr.hid_of_int t.next_hid in
+  t.next_hid <- t.next_hid + 1;
+  Hashtbl.replace t.credentials credential (Some hid);
+  Apna_net.Addr.Hid_tbl.replace t.credential_by_hid hid credential;
+  let kha = Keys.derive_host_as ~shared_secret in
+  Host_info.register t.host_info hid kha;
+  let ctrl_expiry = now + t.ctrl_lifetime_s in
+  let ctrl_ephid = Ephid.issue_random t.keys t.rng ~hid ~expiry:ctrl_expiry in
+  (hid, kha, ctrl_ephid, ctrl_expiry)
+
 let bootstrap t ~now ~credential ~host_dh_pub =
   match Hashtbl.find_opt t.credentials credential with
   | None -> Error Error.Auth_failed
@@ -57,17 +83,8 @@ let bootstrap t ~now ~credential ~host_dh_pub =
           match X25519.shared_secret ~secret:t.keys.dh_secret ~peer:host_dh_pub with
           | Error e -> Error (Error.Crypto e)
           | Ok shared_secret ->
-              (* One live identity per subscriber: a fresh bootstrap revokes
-                 the old HID and every EphID bound to it (§VI-A). *)
-              Option.iter (Host_info.revoke_hid t.host_info) previous_hid;
-              let hid = Apna_net.Addr.hid_of_int t.next_hid in
-              t.next_hid <- t.next_hid + 1;
-              Hashtbl.replace t.credentials credential (Some hid);
-              let kha = Keys.derive_host_as ~shared_secret in
-              Host_info.register t.host_info hid kha;
-              let ctrl_expiry = now + t.ctrl_lifetime_s in
-              let ctrl_ephid =
-                Ephid.issue_random t.keys t.rng ~hid ~expiry:ctrl_expiry
+              let hid, _kha, ctrl_ephid, ctrl_expiry =
+                assign_identity t ~now ~credential ~previous_hid ~shared_secret
               in
               let id_info_signature =
                 Ed25519.sign t.keys.signing (id_info_bytes ~ctrl_ephid ~ctrl_expiry)
@@ -86,15 +103,26 @@ let bootstrap t ~now ~credential ~host_dh_pub =
         end
     end
 
+type admission = {
+  hid : Apna_net.Addr.hid;
+  kha : Keys.host_as;
+  ctrl_ephid : Ephid.t;
+  ctrl_expiry : int;
+}
+
+let admit t ~now ~credential ~shared_secret =
+  let previous_hid = Option.join (Hashtbl.find_opt t.credentials credential) in
+  let hid, kha, ctrl_ephid, ctrl_expiry =
+    assign_identity t ~now ~credential ~previous_hid ~shared_secret
+  in
+  { hid; kha; ctrl_ephid; ctrl_expiry }
+
 let hid_of_credential t ~credential =
   Option.join (Hashtbl.find_opt t.credentials credential)
 
 let credential_of_hid t hid =
-  Hashtbl.fold
-    (fun credential bound acc ->
-      match bound with
-      | Some h when Apna_net.Addr.hid_equal h hid -> Some credential
-      | _ -> acc)
-    t.credentials None
+  t.last_lookup_cost <- 1;
+  Apna_net.Addr.Hid_tbl.find_opt t.credential_by_hid hid
 
+let last_lookup_cost t = t.last_lookup_cost
 let customer_count t = Hashtbl.length t.credentials

@@ -52,10 +52,34 @@ val bootstrap :
     returned for the caller ({!As_node}) to index the host; the host itself
     never needs it. *)
 
+type admission = {
+  hid : Apna_net.Addr.hid;
+  kha : Keys.host_as;  (** Both sides of the shared secret derivation. *)
+  ctrl_ephid : Ephid.t;
+  ctrl_expiry : int;
+}
+
+val admit :
+  t -> now:int -> credential:string -> shared_secret:string -> admission
+(** Trusted bulk admission: the same state transitions as {!bootstrap} —
+    previous identity revoked, HID minted, kHA derived and registered,
+    control EphID issued — but with the DH exchange replaced by a
+    caller-supplied shared secret and no id_info signature. This is the
+    path for migrating a subscriber database in bulk and for the
+    paper-scale trace replay (bench E16), where a 1.27 M-host population
+    must enter host_info without 1.27 M signature + DH operations.
+    Enrolls the credential if it is new. *)
+
 val hid_of_credential : t -> credential:string -> Apna_net.Addr.hid option
 
 val credential_of_hid : t -> Apna_net.Addr.hid -> string option
 (** The subscriber behind a HID — the mapping an AS reveals under a lawful,
-    targeted request (§VIII-H). *)
+    targeted request (§VIII-H). Served by a reverse index: O(1), never a
+    fold over the subscriber table. *)
+
+val last_lookup_cost : t -> int
+(** Entries examined by the most recent {!credential_of_hid} — the
+    count-based probe proving the broker-facing lookup costs the answer,
+    not the customer population. *)
 
 val customer_count : t -> int

@@ -1,9 +1,32 @@
-type t = { table : int Ephid.Tbl.t; mutable generation : int }
+let dummy_ephid =
+  match Ephid.of_bytes (String.make Ephid.size '\000') with
+  | Ok e -> e
+  | Error _ -> assert false
 
-let create () = { table = Ephid.Tbl.create 64; generation = 0 }
+type t = {
+  table : int Ephid.Tbl.t;
+  (* Expiry index: every revoke pushes an (expiry, ephid) candidate so gc
+     pops exactly the entries that can be stale instead of folding the
+     whole table — the million-host revocation path must stay O(changes).
+     Re-revoking with a different expiry leaves the older candidate in the
+     heap; pops revalidate against the table's current expiry and discard
+     candidates that no longer match. *)
+  expiries : Ephid.t Apna_util.Heap.t;
+  mutable generation : int;
+  mutable last_gc_cost : int;
+}
+
+let create () =
+  {
+    table = Ephid.Tbl.create 64;
+    expiries = Apna_util.Heap.create ~dummy:dummy_ephid ();
+    generation = 0;
+    last_gc_cost = 0;
+  }
 
 let revoke t ephid ~expiry =
   Ephid.Tbl.replace t.table ephid expiry;
+  Apna_util.Heap.push t.expiries ~prio:expiry ephid;
   (* Any cached "this EphID is valid" conclusion may now be wrong. *)
   t.generation <- t.generation + 1
 
@@ -12,13 +35,28 @@ let size t = Ephid.Tbl.length t.table
 let generation t = t.generation
 
 let gc t ~now =
-  let stale =
-    Ephid.Tbl.fold
-      (fun e expiry acc -> if expiry < now then e :: acc else acc)
-      t.table []
+  let removed = ref 0 and examined = ref 0 in
+  let rec drain () =
+    match Apna_util.Heap.peek_min t.expiries with
+    | Some (expiry, _) when expiry < now ->
+        let _, ephid = Option.get (Apna_util.Heap.pop_min t.expiries) in
+        incr examined;
+        (match Ephid.Tbl.find_opt t.table ephid with
+        | Some current when current < now ->
+            Ephid.Tbl.remove t.table ephid;
+            incr removed
+        | Some _ | None ->
+            (* Re-revoked with a later expiry (a fresher candidate is still
+               queued) or already collected — stale candidate, drop it. *)
+            ());
+        drain ()
+    | Some _ | None -> ()
   in
-  List.iter (Ephid.Tbl.remove t.table) stale;
+  drain ();
+  t.last_gc_cost <- !examined;
   (* Removal changes is_revoked answers; only bump when something moved so
      an idle GC sweep does not flush downstream caches. *)
-  if stale <> [] then t.generation <- t.generation + 1;
-  List.length stale
+  if !removed > 0 then t.generation <- t.generation + 1;
+  !removed
+
+let last_gc_cost t = t.last_gc_cost

@@ -18,7 +18,13 @@ val size : t -> int
 
 val gc : t -> now:int -> int
 (** [gc t ~now] drops entries whose EphID has expired; returns how many
-    were removed. *)
+    were removed. Driven by an expiry min-heap, so a sweep costs
+    O(stale · log n) — it never folds over the live table. *)
+
+val last_gc_cost : t -> int
+(** Heap candidates examined by the most recent {!gc} — a count-based
+    probe the perf regression tests use to prove gc cost scales with the
+    stale entries, not the table size. *)
 
 val generation : t -> int
 (** Monotone counter bumped by every {!revoke} and by any {!gc} that

@@ -1,0 +1,73 @@
+(* Binary min-heap on integer priorities, backed by a growable array.
+   Used by the gc paths (audit retention, revocation lists) to find the
+   next-expiring entry in O(log n) instead of scanning whole tables. *)
+
+type 'a t = {
+  mutable prios : int array;
+  mutable elts : 'a array;
+  mutable len : int;
+  dummy : 'a;
+}
+
+let create ~dummy () =
+  { prios = Array.make 16 0; elts = Array.make 16 dummy; len = 0; dummy }
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = Array.length t.prios in
+  let prios = Array.make (2 * cap) 0 and elts = Array.make (2 * cap) t.dummy in
+  Array.blit t.prios 0 prios 0 t.len;
+  Array.blit t.elts 0 elts 0 t.len;
+  t.prios <- prios;
+  t.elts <- elts
+
+let swap t i j =
+  let p = t.prios.(i) and e = t.elts.(i) in
+  t.prios.(i) <- t.prios.(j);
+  t.elts.(i) <- t.elts.(j);
+  t.prios.(j) <- p;
+  t.elts.(j) <- e
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.prios.(i) < t.prios.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && t.prios.(l) < t.prios.(!smallest) then smallest := l;
+  if r < t.len && t.prios.(r) < t.prios.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~prio v =
+  if t.len = Array.length t.prios then grow t;
+  t.prios.(t.len) <- prio;
+  t.elts.(t.len) <- v;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let peek_min t = if t.len = 0 then None else Some (t.prios.(0), t.elts.(0))
+
+let pop_min t =
+  if t.len = 0 then None
+  else begin
+    let prio = t.prios.(0) and v = t.elts.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.prios.(0) <- t.prios.(t.len);
+      t.elts.(0) <- t.elts.(t.len);
+      sift_down t 0
+    end;
+    t.elts.(t.len) <- t.dummy;
+    Some (prio, v)
+  end

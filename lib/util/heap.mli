@@ -1,0 +1,16 @@
+(** Binary min-heap keyed on integer priorities.
+
+    The gc paths (audit retention, revocation lists) keep one of these as
+    an expiry index so a sweep touches only the entries that can actually
+    be stale — O(changes · log n) — instead of folding over every live
+    entry. [dummy] is stored in vacated slots so popped elements do not
+    keep their values alive. *)
+
+type 'a t
+
+val create : dummy:'a -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> prio:int -> 'a -> unit
+val peek_min : 'a t -> (int * 'a) option
+val pop_min : 'a t -> (int * 'a) option

@@ -20,12 +20,26 @@ let paper_config =
 type flow = { start : float; host : int; duration : float }
 
 (* Sinusoidal diurnal shape: peak_rate at peak_at_s, trough_ratio*peak at
-   the opposite phase. *)
+   the opposite phase. The period is the configured window, so a
+   time-compressed config (see [compress]) keeps the same day shape. *)
 let rate_at config t =
-  let phase = 2.0 *. Float.pi *. (t -. config.peak_at_s) /. 86_400.0 in
+  let phase = 2.0 *. Float.pi *. (t -. config.peak_at_s) /. config.duration_s in
   let lo = config.trough_ratio *. config.peak_rate in
   let hi = config.peak_rate in
   lo +. ((hi -. lo) *. (0.5 *. (1.0 +. cos phase)))
+
+(* Time compression for replay: the 24-hour day squeezed into
+   duration_s/factor with rates (and the population) unchanged — every
+   wall-second of replay stands for [factor] trace-seconds, and the total
+   flow count scales by 1/factor while the diurnal profile, the
+   peak-vs-trough contrast and the peak arrival rate stay the paper's. *)
+let compress config ~factor =
+  if factor < 1.0 then invalid_arg "Trace.compress: factor must be >= 1";
+  {
+    config with
+    duration_s = config.duration_s /. factor;
+    peak_at_s = config.peak_at_s /. factor;
+  }
 
 (* Inhomogeneous Poisson by thinning against the peak rate. *)
 let iter ?window rng config f =

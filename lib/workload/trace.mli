@@ -26,7 +26,15 @@ type flow = {
 }
 
 val rate_at : config -> float -> float
-(** Instantaneous arrival rate (flows/s) at a given time. *)
+(** Instantaneous arrival rate (flows/s) at a given time. The diurnal
+    period equals [duration_s], so compressed configs keep the day
+    shape. *)
+
+val compress : config -> factor:float -> config
+(** Time-compressed replay config: the same population, peak rate and
+    diurnal shape over [duration_s / factor] — each replay second stands
+    for [factor] trace seconds and the total flow count scales by
+    [1/factor]. @raise Invalid_argument when [factor < 1]. *)
 
 val iter : ?window:float * float -> Apna_sim.Rng.t -> config -> (flow -> unit) -> unit
 (** [iter rng config f] draws the inhomogeneous-Poisson arrival process and
