@@ -34,7 +34,9 @@ bench:
 # array whose every element carries name/ph/ts), the chaos smoke
 # (control-plane convergence under injected loss, E13), the
 # short-lifetime survivability smoke (sessions migrating across Short
-# EphID expiries under the fault mix, E14), and a smoke run of the
+# EphID expiries under the fault mix, E14), the burst-pipeline smoke
+# (E17: batched egress with its allocation and regression gates, writing
+# burst.json), and a smoke run of the
 # benchmark harness that must produce a parseable BENCH_results.json
 # (the harness re-parses the file itself and fails loudly if it is
 # invalid), plus the warrant-storm smoke (E15: brokered linkage under
@@ -62,6 +64,10 @@ check: linkage-gate
 	dune exec bench/main.exe -- --trace-scale --quick
 	test -s BENCH_results.json
 	test -s trace_scale.json
+	rm -f BENCH_results.json burst.json
+	dune exec bench/main.exe -- --burst --quick
+	test -s BENCH_results.json
+	test -s burst.json
 	rm -f BENCH_results.json
 	dune exec bench/main.exe -- --quick
 	test -s BENCH_results.json

@@ -49,6 +49,10 @@ let storm_only = ref false
 (* --trace-scale: run only the E16 million-host trace replay; combine
    with --quick for the reduced CI smoke tier. *)
 let trace_scale_only = ref false
+
+(* --burst: run only the E17 batched fast-path comparison; combine with
+   --quick for the CI smoke tier. *)
+let burst_only = ref false
 let iters n = if !quick then max 20 (n / 20) else n
 
 (* Sections accumulated by experiments as they run; flushed to
@@ -2141,6 +2145,216 @@ let e16 () =
   M.set_enabled M.default false
 
 (* ------------------------------------------------------------------ *)
+(* E17: batched fast path — burst vs packet-at-a-time egress at 64B
+   (where per-packet overhead weighs most, the Fig. 8 worst case). The
+   cached burst row is the allocation headline: steady state must run at
+   ~0 GC minor words per packet. Gated in-run (allocs, burst no slower
+   than single) and against bench/burst_baseline.json (10%). *)
+
+let burst_baseline_path = "bench/burst_baseline.json"
+
+let e17 () =
+  banner "E17" "BURST-PIPELINE" "batched allocation-free egress (DESIGN.md, Batched fast path)";
+  M.set_enabled M.default false;
+  Span.set_enabled Span.default false;
+  let n = Border_router.max_burst in
+  let frame = 64 in
+  let cores = 16.0 in
+  let samples = if !quick then 100 else 400 in
+  let median s =
+    let s = Array.copy s in
+    Array.sort compare s;
+    s.(Array.length s / 2)
+  in
+  let build ~cached =
+    let fx = make_br_fixture ~ephid_cache:(if cached then 8192 else 0) () in
+    let pkts = Array.init n (fun _ -> make_packet fx ~frame) in
+    (fx, pkts)
+  in
+  let cached = build ~cached:true and uncached = build ~cached:false in
+  let store = Border_router.Burst.create () in
+  let run_single (fx, pkts) () =
+    for i = 0 to n - 1 do
+      match Border_router.egress_check fx.br ~now:now0 pkts.(i) with
+      | Ok _ -> ()
+      | Error e -> failwith (Error.to_string e)
+    done
+  in
+  let run_burst (fx, pkts) () =
+    Border_router.egress_burst fx.br ~now:now0 pkts ~n store;
+    for i = 0 to n - 1 do
+      match Border_router.Burst.error store i with
+      | None -> ()
+      | Some e -> failwith (Error.to_string e)
+    done
+  in
+  (* One f () = n packets; median of monotonic batch samples, like E2's
+     cache comparison. *)
+  let ns_per_pkt f =
+    median (latency_samples ~samples ~batch:4 f) /. float_of_int n
+  in
+  let allocs_per_pkt f =
+    f () (* warm: caches filled, burst store grown *);
+    let rounds = if !quick then 50 else 200 in
+    let w0 = Gc.minor_words () in
+    for _ = 1 to rounds do
+      f ()
+    done;
+    (Gc.minor_words () -. w0) /. float_of_int (rounds * n)
+  in
+  let rows =
+    [
+      ("single cached", run_single cached);
+      ("burst  cached", run_burst cached);
+      ("single uncached", run_single uncached);
+      ("burst  uncached", run_burst uncached);
+    ]
+    |> List.map (fun (name, f) -> (name, ns_per_pkt f, allocs_per_pkt f))
+  in
+  let mpps ns = cores /. ns *. 1e3 in
+  line "";
+  line "%dB frames, bursts of %d, p50 of %d batches:" frame n samples;
+  line "%-16s | %10s %10s | %10s" "path" "ns/pkt" "Mpps (16c)" "allocs/pkt";
+  line "%s" (String.make 56 '-');
+  List.iter
+    (fun (name, ns, a) ->
+      line "%-16s | %10.0f %10.2f | %10.2f" name ns (mpps ns) a)
+    rows;
+  let get name =
+    let _, ns, a = List.find (fun (r, _, _) -> r = name) rows in
+    (ns, a)
+  in
+  let single_cached_ns, _ = get "single cached" in
+  let burst_cached_ns, burst_cached_allocs = get "burst  cached" in
+  let single_uncached_ns, _ = get "single uncached" in
+  line "";
+  line "burst speedup: %.2fx vs single cached, %.2fx vs single uncached (the E2 full pipeline)"
+    (single_cached_ns /. burst_cached_ns)
+    (single_uncached_ns /. burst_cached_ns);
+  let overflows = Border_router.arena_overflows (fst cached).br in
+  line "arena overflows: %d (scratch stayed in the preallocated slots)" overflows;
+
+  (* The allocs-per-packet gauge, demonstrated live: one instrumented
+     burst, then read the series back through the registry. *)
+  M.set_enabled M.default true;
+  run_burst cached ();
+  let gauge =
+    M.Gauge.register M.default
+      ~labels:
+        [ ("aid", string_of_int (Apna_net.Addr.aid_to_int (fst cached).keys.aid)) ]
+      "apna_br_allocs_per_packet"
+  in
+  let gauge_v = M.Gauge.value gauge in
+  M.set_enabled M.default false;
+  line "gauge apna_br_allocs_per_packet after one instrumented burst: %.1f w/pkt" gauge_v;
+  line "  (includes what the enabled instrumentation itself allocates)";
+
+  (* In-run gates: the cached burst steady state is allocation-free, and
+     batching never costs throughput. *)
+  if burst_cached_allocs > 0.5 then begin
+    line "GATE FAIL: cached burst allocates %.2f minor words/pkt (want ~0)"
+      burst_cached_allocs;
+    gate_failed := true
+  end
+  else line "gate ok: cached burst allocs/pkt %.2f <= 0.5" burst_cached_allocs;
+  if burst_cached_ns > 1.10 *. single_cached_ns then begin
+    line "GATE FAIL: burst %.0f ns/pkt slower than single-packet %.0f ns/pkt"
+      burst_cached_ns single_cached_ns;
+    gate_failed := true
+  end
+  else
+    line "gate ok: burst %.0f ns/pkt <= single-packet %.0f ns/pkt (+10%% margin)"
+      burst_cached_ns single_cached_ns;
+
+  (* Regression gate vs the recorded baseline, 10% tolerance on time and
+     an absolute margin on the (near-zero) allocation count. *)
+  let tier = if !quick then "quick" else "full" in
+  let baseline =
+    try
+      let ic = open_in_bin burst_baseline_path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match J.parse text with
+      | Ok doc -> (
+          match J.member tier doc with
+          | Some t ->
+              let num k = Option.bind (J.member k t) J.number in
+              Some
+                ( num "burst_cached_ns_per_pkt",
+                  num "burst_cached_allocs_per_pkt" )
+          | None -> None)
+      | Error _ -> None
+    with Sys_error _ -> None
+  in
+  let baseline_checked =
+    match baseline with
+    | None ->
+        line "  baseline: %s has no '%s' tier -- regression gate skipped"
+          burst_baseline_path tier;
+        false
+    | Some (ns_base, allocs_base) ->
+        (match ns_base with
+        | Some b when burst_cached_ns > 1.10 *. b ->
+            line "GATE FAIL: cached burst regressed to %.0f ns/pkt (baseline %.0f, +%.1f%%)"
+              burst_cached_ns b
+              ((burst_cached_ns -. b) /. b *. 100.0);
+            gate_failed := true
+        | Some b ->
+            line "  baseline ok: cached burst %.0f ns/pkt within 10%% of %.0f"
+              burst_cached_ns b
+        | None -> ());
+        (match allocs_base with
+        | Some b when burst_cached_allocs > b +. 0.5 ->
+            line "GATE FAIL: cached burst allocs/pkt %.2f above baseline %.2f + 0.5"
+              burst_cached_allocs b;
+            gate_failed := true
+        | Some b ->
+            line "  baseline ok: cached burst allocs/pkt %.2f within %.2f + 0.5"
+              burst_cached_allocs b
+        | None -> ());
+        true
+  in
+  let section =
+    J.Obj
+      [
+        ("tier", J.Str tier);
+        ("frame_bytes", J.Int frame);
+        ("burst_size", J.Int n);
+        ( "paths",
+          J.Obj
+            (List.map
+               (fun (name, ns, a) ->
+                 ( String.concat "_"
+                     (List.filter
+                        (fun s -> s <> "")
+                        (String.split_on_char ' ' name)),
+                   J.Obj
+                     [
+                       ("ns_per_pkt", J.Float ns);
+                       ("mpps_16core", J.Float (mpps ns));
+                       ("allocs_per_pkt", J.Float a);
+                     ] ))
+               rows) );
+        ("burst_cached_ns_per_pkt", J.Float burst_cached_ns);
+        ("burst_cached_allocs_per_pkt", J.Float burst_cached_allocs);
+        ( "speedup_vs_single_cached",
+          J.Float (single_cached_ns /. burst_cached_ns) );
+        ( "speedup_vs_single_uncached",
+          J.Float (single_uncached_ns /. burst_cached_ns) );
+        ("allocs_gauge_one_instrumented_burst", J.Float gauge_v);
+        ("arena_overflows", J.Int overflows);
+        ("baseline_gate_checked", J.Bool baseline_checked);
+      ]
+  in
+  add_json "burst_pipeline" section;
+  (* Standalone artifact for CI upload. *)
+  let oc = open_out "burst.json" in
+  output_string oc (J.to_string ~pretty:true section);
+  output_char oc '\n';
+  close_out oc;
+  line "wrote burst.json"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -2160,6 +2374,7 @@ let experiments =
     ("E14", e14);
     ("E15", e15);
     ("E16", e16);
+    ("E17", e17);
   ]
 
 let json_path = "BENCH_results.json"
@@ -2215,6 +2430,10 @@ let () =
           trace_scale_only := true;
           false
         end
+        else if a = "--burst" then begin
+          burst_only := true;
+          false
+        end
         else true)
       (List.tl (Array.to_list Sys.argv))
   in
@@ -2226,6 +2445,7 @@ let () =
         else if !lifetimes_only then [ "E14" ]
         else if !storm_only then [ "E15" ]
         else if !trace_scale_only then [ "E16" ]
+        else if !burst_only then [ "E17" ]
         else if !quick then [ "E2" ]
         else List.map fst experiments
   in

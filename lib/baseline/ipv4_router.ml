@@ -17,14 +17,12 @@ let forward t packet =
         match Lpm.lookup t.table (Addr.hid_to_int header.dst) with
         | None -> Dropped "no route"
         | Some next_hop ->
-            let payload =
-              String.sub packet Ipv4_header.size
-                (String.length packet - Ipv4_header.size)
-            in
-            let rewritten =
-              Ipv4_header.to_bytes { header with ttl = header.ttl - 1 } ^ payload
-            in
-            Forwarded { next_hop; packet = rewritten }
+            (* One copy of the frame, then the per-hop rewrite happens in
+               place with the RFC 1624 incremental checksum — no header
+               re-encode, no payload concat. *)
+            let b = Bytes.of_string packet in
+            Ipv4_header.decrement_ttl b;
+            Forwarded { next_hop; packet = Bytes.unsafe_to_string b }
       end
 
 let synthetic_table t ~seed ~routes =

@@ -55,6 +55,61 @@ let parse_checked (keys : Keys.as_keys) e =
         Ok { hid; expiry }
   end
 
+(* Reusable buffers for the non-allocating parse below: MAC input,
+   CBC-MAC accumulator and counter/keystream block, 16 bytes each. *)
+type scratch = { mi : Bytes.t; tag : Bytes.t; blk : Bytes.t }
+
+let scratch () =
+  { mi = Bytes.create size; tag = Bytes.create size; blk = Bytes.create size }
+
+let be32 b off =
+  (Char.code (Bytes.get b off) lsl 24)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 8)
+  lor Char.code (Bytes.get b (off + 3))
+
+let be32_s s off =
+  (Char.code s.[off] lsl 24)
+  lor (Char.code s.[off + 1] lsl 16)
+  lor (Char.code s.[off + 2] lsl 8)
+  lor Char.code s.[off + 3]
+
+let err_tag = Error (Error.Malformed "ephid: tag verification failed")
+let err_size = Error (Error.Malformed "ephid: wrong size")
+
+(* Same computation as [parse_checked] without the intermediate strings:
+   the burst pipeline's cache-miss path. Only the [Ok info] result cell
+   allocates. *)
+let parse_fast (keys : Keys.as_keys) sc e =
+  if String.length e <> size then err_size
+  else begin
+    (* mac_input = ciphertext ‖ IV ‖ 0^4 *)
+    Bytes.blit_string e iv_size sc.mi 0 ct_size;
+    Bytes.blit_string e 0 sc.mi ct_size iv_size;
+    Bytes.fill sc.mi (ct_size + iv_size) (size - ct_size - iv_size) '\000';
+    Aes.Cbc_mac.mac_into ~key:keys.ephid_mac ~src:sc.mi ~off:0 ~len:size
+      ~out:sc.tag ~out_off:0;
+    (* Constant-time tag comparison, first [tag_size] bytes. *)
+    let acc = ref 0 in
+    for i = 0 to tag_size - 1 do
+      acc :=
+        !acc
+        lor (Char.code (Bytes.get sc.tag i)
+            lxor Char.code e.[iv_size + ct_size + i])
+    done;
+    if !acc <> 0 then err_tag
+    else begin
+      (* Keystream block = AES(counter = IV ‖ 0^12); xor-extract fields. *)
+      Bytes.blit_string e 0 sc.blk 0 iv_size;
+      Bytes.fill sc.blk iv_size (size - iv_size) '\000';
+      Aes.encrypt_block_into keys.ephid_enc ~src:sc.blk ~src_off:0 ~dst:sc.blk
+        ~dst_off:0;
+      let hid = be32 sc.blk 0 lxor be32_s e iv_size in
+      let expiry = be32 sc.blk 4 lxor be32_s e (iv_size + 4) in
+      Ok { hid = Apna_net.Addr.hid_of_int hid; expiry }
+    end
+  end
+
 let parse (keys : Keys.as_keys) e =
   (* Total on any byte string: wire-derived input must never raise, even
      though well-typed callers go through [of_bytes] first. *)

@@ -40,6 +40,18 @@ val parse : Keys.as_keys -> t -> (info, Error.t) result
     not produced by this AS. Expiry is {e not} checked here. Total: never
     raises, whatever the input length. *)
 
+type scratch
+(** Reusable working buffers for {!parse_fast} (three 16-byte blocks).
+    Not safe to share across concurrent parses. *)
+
+val scratch : unit -> scratch
+
+val parse_fast : Keys.as_keys -> scratch -> string -> (info, Error.t) result
+(** [parse_fast keys sc s] is [parse] on the raw 16-byte token [s] with
+    all intermediate buffers drawn from [sc] — the border router's
+    cache-miss path runs this once per unseen EphID. Total like
+    [parse]; only the result cell itself is allocated. *)
+
 val parse_bytes : Keys.as_keys -> string -> (t * info, Error.t) result
 (** [parse_bytes keys s] is [of_bytes] followed by [parse] — the pattern
     every wire-facing caller (MS, AA, AP, border router) runs on untrusted

@@ -105,9 +105,12 @@ and rewrite_addrs bytes ~src ~dst =
   | Error e -> Error e
   | Ok header ->
       (* Honour the header's length field: bytes past total_len are link
-         padding and must not be re-framed as payload. *)
-      let payload = String.sub bytes Ipv4_header.size header.payload_len in
-      Ok (Ipv4_header.to_bytes { header with src; dst } ^ payload)
+         padding and must not be re-framed as payload. The NAT rewrite is
+         done in place on one copy, checksum patched incrementally
+         (RFC 1624) instead of recomputed over a rebuilt header. *)
+      let b = Bytes.of_string (String.sub bytes 0 (Ipv4_header.size + header.payload_len)) in
+      Ipv4_header.rewrite_addrs_inplace b ~src ~dst;
+      Ok (Bytes.unsafe_to_string b)
 
 and handle_tunnel_data t session data =
   match decode_tunnel data with

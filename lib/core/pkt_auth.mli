@@ -13,3 +13,17 @@ val seal : auth_key:string -> Apna_net.Packet.t -> Apna_net.Packet.t
 (** Returns the packet with its header MAC filled in. *)
 
 val verify : auth_key:string -> Apna_net.Packet.t -> bool
+
+type verifier
+(** An auth key prepared for repeated verification: the HMAC pads are
+    expanded once and the digest buffer is reused, so each {!verify_in}
+    is allocation-free. A verifier holds mutable state — one MAC in
+    flight per value. *)
+
+val make_verifier : auth_key:string -> verifier
+
+val verify_in : scratch:Bytes.t -> verifier -> Apna_net.Packet.t -> bool
+(** [verify_in ~scratch v pkt] is {!verify} with the MAC input assembled
+    in [scratch] — the border router passes an arena slot. Falls back to
+    the allocating path when [scratch] is smaller than the packet's wire
+    size. *)

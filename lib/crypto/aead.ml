@@ -1,7 +1,11 @@
 type scheme = Encrypt_then_mac | Gcm
 
+(* Both subkeys are expanded/prepared once per key: the AES schedule at
+   derivation, the HMAC ipad/opad blocks (plus a reusable hash context)
+   likewise — so per-packet seal/open never re-runs key setup. The
+   prepared MAC is mutable state, which keeps a key single-domain. *)
 type key =
-  | Etm of { enc : Aes.key; mac : string }
+  | Etm of { enc : Aes.key; mac : Hmac.Sha256.prepared }
   | Gcm_key of Aes.key
 
 let key_size = 32
@@ -13,7 +17,11 @@ let of_secret ?(scheme = Encrypt_then_mac) ikm =
   match scheme with
   | Encrypt_then_mac ->
       let okm = Hkdf.derive ~info:"apna:aead:v1" ~len:64 ikm in
-      Etm { enc = Aes.expand (String.sub okm 0 32); mac = String.sub okm 32 32 }
+      Etm
+        {
+          enc = Aes.expand (String.sub okm 0 32);
+          mac = Hmac.Sha256.prepare ~key:(String.sub okm 32 32);
+        }
   | Gcm ->
       Gcm_key (Aes.expand (Hkdf.derive ~info:"apna:aead:gcm:v1" ~len:32 ikm))
 
@@ -25,7 +33,7 @@ let length_prefix s =
 let etm_tag ~mac ~nonce ~aad ciphertext =
   (* Unambiguous MAC input: len(aad) | aad | nonce | ciphertext. *)
   String.sub
-    (Hmac.Sha256.mac_list ~key:mac
+    (Hmac.Sha256.mac_list_prepared mac
        [ length_prefix aad; aad; nonce; ciphertext ])
     0 tag_size
 

@@ -136,14 +136,20 @@ let inv_mix_column st c =
   st.(3 + (4 * c)) <- gf_mul 11 s0 lxor gf_mul 13 s1 lxor gf_mul 9 s2 lxor gf_mul 14 s3
 
 (* Encryption works on four column words with the T-tables; two word
-   buffers are threaded through the rounds without per-round allocation. *)
-let encrypt_block k block =
-  if String.length block <> 16 then invalid_arg "Aes.encrypt_block: block size";
+   buffers are threaded through the rounds without per-round allocation.
+   All 16 source bytes are read into the column words before anything is
+   written, so [src] and [dst] may overlap exactly (in-place encryption,
+   which CBC-MAC exploits for its accumulator). *)
+let encrypt_block_into k ~src ~src_off ~dst ~dst_off =
+  if src_off < 0 || src_off + 16 > Bytes.length src then
+    invalid_arg "Aes.encrypt_block_into: src range";
+  if dst_off < 0 || dst_off + 16 > Bytes.length dst then
+    invalid_arg "Aes.encrypt_block_into: dst range";
   let word i =
-    (Char.code block.[4 * i] lsl 24)
-    lor (Char.code block.[(4 * i) + 1] lsl 16)
-    lor (Char.code block.[(4 * i) + 2] lsl 8)
-    lor Char.code block.[(4 * i) + 3]
+    (Char.code (Bytes.unsafe_get src (src_off + (4 * i))) lsl 24)
+    lor (Char.code (Bytes.unsafe_get src (src_off + (4 * i) + 1)) lsl 16)
+    lor (Char.code (Bytes.unsafe_get src (src_off + (4 * i) + 2)) lsl 8)
+    lor Char.code (Bytes.unsafe_get src (src_off + (4 * i) + 3))
   in
   let rk0 = k.round_keys.(0) in
   let c0 = ref (word 0 lxor rk0.(0)) and c1 = ref (word 1 lxor rk0.(1)) in
@@ -191,17 +197,22 @@ let encrypt_block k block =
   in
   let o0 = final !c0 !c1 !c2 !c3 rk.(0) and o1 = final !c1 !c2 !c3 !c0 rk.(1) in
   let o2 = final !c2 !c3 !c0 !c1 rk.(2) and o3 = final !c3 !c0 !c1 !c2 rk.(3) in
-  let out = Bytes.create 16 in
   let put i w =
-    Bytes.unsafe_set out (4 * i) (Char.unsafe_chr ((w lsr 24) land 0xff));
-    Bytes.unsafe_set out ((4 * i) + 1) (Char.unsafe_chr ((w lsr 16) land 0xff));
-    Bytes.unsafe_set out ((4 * i) + 2) (Char.unsafe_chr ((w lsr 8) land 0xff));
-    Bytes.unsafe_set out ((4 * i) + 3) (Char.unsafe_chr (w land 0xff))
+    Bytes.unsafe_set dst (dst_off + (4 * i)) (Char.unsafe_chr ((w lsr 24) land 0xff));
+    Bytes.unsafe_set dst (dst_off + (4 * i) + 1) (Char.unsafe_chr ((w lsr 16) land 0xff));
+    Bytes.unsafe_set dst (dst_off + (4 * i) + 2) (Char.unsafe_chr ((w lsr 8) land 0xff));
+    Bytes.unsafe_set dst (dst_off + (4 * i) + 3) (Char.unsafe_chr (w land 0xff))
   in
   put 0 o0;
   put 1 o1;
   put 2 o2;
-  put 3 o3;
+  put 3 o3
+
+let encrypt_block k block =
+  if String.length block <> 16 then invalid_arg "Aes.encrypt_block: block size";
+  let out = Bytes.create 16 in
+  encrypt_block_into k ~src:(Bytes.unsafe_of_string block) ~src_off:0 ~dst:out
+    ~dst_off:0;
   Bytes.unsafe_to_string out
 
 let decrypt_block k block =
@@ -250,13 +261,30 @@ module Ctr = struct
 end
 
 module Cbc_mac = struct
-  let mac ~key data =
-    let n = String.length data in
-    if n = 0 || n mod 16 <> 0 then
+  (* [out.(out_off..+16)] doubles as the CBC accumulator: xor the next
+     block in, encrypt in place (sound per [encrypt_block_into]). *)
+  let mac_into ~key ~src ~off ~len ~out ~out_off =
+    if len = 0 || len mod 16 <> 0 then
       invalid_arg "Aes.Cbc_mac: input must be a non-empty multiple of 16";
-    let acc = ref (String.make 16 '\000') in
-    for i = 0 to (n / 16) - 1 do
-      acc := encrypt_block key (Apna_util.Ct.xor !acc (String.sub data (16 * i) 16))
-    done;
-    !acc
+    if off < 0 || off + len > Bytes.length src then
+      invalid_arg "Aes.Cbc_mac.mac_into: src range";
+    if out_off < 0 || out_off + 16 > Bytes.length out then
+      invalid_arg "Aes.Cbc_mac.mac_into: out range";
+    Bytes.fill out out_off 16 '\000';
+    for b = 0 to (len / 16) - 1 do
+      for j = 0 to 15 do
+        Bytes.unsafe_set out (out_off + j)
+          (Char.unsafe_chr
+             (Char.code (Bytes.unsafe_get out (out_off + j))
+             lxor Char.code (Bytes.unsafe_get src (off + (16 * b) + j))))
+      done;
+      encrypt_block_into key ~src:out ~src_off:out_off ~dst:out ~dst_off:out_off
+    done
+
+  let mac ~key data =
+    let out = Bytes.create 16 in
+    mac_into ~key
+      ~src:(Bytes.unsafe_of_string data)
+      ~off:0 ~len:(String.length data) ~out ~out_off:0;
+    Bytes.unsafe_to_string out
 end

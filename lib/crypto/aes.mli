@@ -18,6 +18,13 @@ val key_size : key -> int
 val encrypt_block : key -> string -> string
 (** [encrypt_block k block] enciphers one 16-byte block. *)
 
+val encrypt_block_into :
+  key -> src:Bytes.t -> src_off:int -> dst:Bytes.t -> dst_off:int -> unit
+(** Allocation-free {!encrypt_block} over buffer ranges; the expanded
+    schedule in [key] is reused across calls, which is how the burst
+    pipeline amortizes key setup. [src] and [dst] may be the same
+    buffer at the same offset (in-place). *)
+
 val decrypt_block : key -> string -> string
 
 module Ctr : sig
@@ -34,4 +41,11 @@ module Cbc_mac : sig
   (** [mac ~key data] is the 16-byte CBC-MAC tag. [data] must be a non-empty
       multiple of 16 bytes: CBC-MAC is only secure for fixed-length inputs,
       which is how the EphID construction uses it (fixed 16-byte input). *)
+
+  val mac_into :
+    key:key -> src:Bytes.t -> off:int -> len:int -> out:Bytes.t ->
+    out_off:int -> unit
+  (** Allocation-free {!mac} over a buffer range, writing the 16-byte tag
+      at [out.(out_off)]. [out] doubles as the accumulator, so it must not
+      overlap [src.(off..off+len)]. *)
 end

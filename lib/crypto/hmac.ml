@@ -27,12 +27,64 @@ module Make (H : HASH) = struct
     else Apna_util.Ct.equal tag (String.sub (mac ~key msg) 0 n)
 end
 
-module Sha256 = Make (struct
-  let digest_size = Sha256.digest_size
-  let block_size = Sha256.block_size
-  let digest = Sha256.digest
-  let digest_list = Sha256.digest_list
-end)
+module Sha256 = struct
+  include Make (struct
+    let digest_size = Sha256.digest_size
+    let block_size = Sha256.block_size
+    let digest = Sha256.digest
+    let digest_list = Sha256.digest_list
+  end)
+
+  (* Prepared key: the ipad/opad blocks are computed once and the hash
+     context and inner-digest scratch are owned by the value, so a MAC
+     over bytes already in a buffer allocates nothing. One context per
+     prepared key means a prepared key is NOT reentrant: a single MAC
+     must finish before the same key starts another (fine for the
+     per-entry keys of the border router's single-domain fast path). *)
+  type prepared = {
+    ipad : string;
+    opad : string;
+    ctx : Sha256.ctx;
+    inner : Bytes.t;
+  }
+
+  let prepare ~key =
+    let key =
+      if String.length key > Sha256.block_size then Sha256.digest key else key
+    in
+    let pad b =
+      String.init Sha256.block_size (fun i ->
+          Char.chr ((if i < String.length key then Char.code key.[i] else 0) lxor b))
+    in
+    {
+      ipad = pad 0x36;
+      opad = pad 0x5c;
+      ctx = Sha256.init ();
+      inner = Bytes.create Sha256.digest_size;
+    }
+
+  let mac_into p ~src ~off ~len ~out ~out_off =
+    Sha256.reset p.ctx;
+    Sha256.feed p.ctx p.ipad;
+    Sha256.feed_bytes p.ctx src ~off ~len;
+    Sha256.finalize_into p.ctx p.inner ~off:0;
+    Sha256.reset p.ctx;
+    Sha256.feed p.ctx p.opad;
+    Sha256.feed_bytes p.ctx p.inner ~off:0 ~len:Sha256.digest_size;
+    Sha256.finalize_into p.ctx out ~off:out_off
+
+  let mac_list_prepared p parts =
+    Sha256.reset p.ctx;
+    Sha256.feed p.ctx p.ipad;
+    List.iter (Sha256.feed p.ctx) parts;
+    Sha256.finalize_into p.ctx p.inner ~off:0;
+    Sha256.reset p.ctx;
+    Sha256.feed p.ctx p.opad;
+    Sha256.feed_bytes p.ctx p.inner ~off:0 ~len:Sha256.digest_size;
+    let out = Bytes.create Sha256.digest_size in
+    Sha256.finalize_into p.ctx out ~off:0;
+    Bytes.unsafe_to_string out
+end
 
 module Sha512 = Make (struct
   let digest_size = Sha512.digest_size

@@ -22,6 +22,24 @@ module Sha256 : sig
   val mac : key:string -> string -> string
   val mac_list : key:string -> string list -> string
   val verify : key:string -> tag:string -> string -> bool
+
+  type prepared
+  (** A key with its ipad/opad blocks precomputed and a reusable hash
+      context attached: repeated MACs under the same key skip the
+      per-call key padding and allocate nothing ({!mac_into}). A
+      prepared key is mutable state — one MAC at a time per value. *)
+
+  val prepare : key:string -> prepared
+
+  val mac_into :
+    prepared -> src:Bytes.t -> off:int -> len:int -> out:Bytes.t ->
+    out_off:int -> unit
+  (** [mac_into p ~src ~off ~len ~out ~out_off] writes the 32-byte tag
+      over [src.(off..off+len)] at [out.(out_off)], allocation-free.
+      Equal to [mac ~key (Bytes.sub_string src off len)]. *)
+
+  val mac_list_prepared : prepared -> string list -> string
+  (** [mac_list] under a prepared key; allocates only the result. *)
 end
 
 module Sha512 : sig

@@ -73,50 +73,73 @@ let compress w h block off =
   h.(6) <- (h.(6) + !g) land mask;
   h.(7) <- (h.(7) + !hh) land mask
 
-let feed ctx s =
+let reset ctx =
+  Array.blit Sha2_constants.sha256_h 0 ctx.h 0 8;
+  ctx.buf_len <- 0;
+  ctx.total <- 0;
+  ctx.finalized <- false
+
+let feed_bytes ctx b ~off ~len =
   if ctx.finalized then invalid_arg "Sha256.feed: finalized context";
-  ctx.total <- ctx.total + String.length s;
-  let pos = ref 0 and len = String.length s in
+  if off < 0 || len < 0 || off + len > Bytes.length b then
+    invalid_arg "Sha256.feed_bytes: range";
+  ctx.total <- ctx.total + len;
+  let pos = ref off and stop = off + len in
   (* Top up a partial block first. *)
   if ctx.buf_len > 0 then begin
     let need = min (block_size - ctx.buf_len) len in
-    Bytes.blit_string s 0 ctx.buf ctx.buf_len need;
+    Bytes.blit b off ctx.buf ctx.buf_len need;
     ctx.buf_len <- ctx.buf_len + need;
-    pos := need;
+    pos := off + need;
     if ctx.buf_len = block_size then begin
       compress ctx.sched ctx.h ctx.buf 0;
       ctx.buf_len <- 0
     end
   end;
-  while len - !pos >= block_size do
-    Bytes.blit_string s !pos ctx.buf 0 block_size;
-    compress ctx.sched ctx.h ctx.buf 0;
+  while stop - !pos >= block_size do
+    compress ctx.sched ctx.h b !pos;
     pos := !pos + block_size
   done;
-  if len - !pos > 0 then begin
-    Bytes.blit_string s !pos ctx.buf 0 (len - !pos);
-    ctx.buf_len <- len - !pos
+  if stop - !pos > 0 then begin
+    Bytes.blit b !pos ctx.buf 0 (stop - !pos);
+    ctx.buf_len <- stop - !pos
   end
 
-let finalize ctx =
+let feed ctx s =
+  (* The context only reads the buffer, so the unsafe view is sound. *)
+  feed_bytes ctx (Bytes.unsafe_of_string s) ~off:0 ~len:(String.length s)
+
+(* Padding and length trailer built in the context's own block buffer —
+   no allocation, which is what lets an HMAC prepared key run a full
+   MAC without touching the minor heap. *)
+let finalize_into ctx out ~off =
   if ctx.finalized then invalid_arg "Sha256.finalize: finalized context";
+  if off < 0 || off + digest_size > Bytes.length out then
+    invalid_arg "Sha256.finalize_into: range";
   ctx.finalized <- true;
   let bit_len = ctx.total * 8 in
-  let pad_len =
-    let rem = (ctx.total + 1 + 8) mod block_size in
-    if rem = 0 then 1 + 8 else 1 + 8 + (block_size - rem)
-  in
-  let pad = Bytes.make pad_len '\000' in
-  Bytes.set pad 0 '\x80';
+  let bl = ctx.buf_len in
+  Bytes.set ctx.buf bl '\x80';
+  if bl + 1 > block_size - 8 then begin
+    Bytes.fill ctx.buf (bl + 1) (block_size - bl - 1) '\000';
+    compress ctx.sched ctx.h ctx.buf 0;
+    Bytes.fill ctx.buf 0 (block_size - 8) '\000'
+  end
+  else Bytes.fill ctx.buf (bl + 1) (block_size - 8 - (bl + 1)) '\000';
   for i = 0 to 7 do
-    Bytes.set pad (pad_len - 1 - i) (Char.chr ((bit_len lsr (8 * i)) land 0xff))
+    Bytes.set ctx.buf (block_size - 1 - i)
+      (Char.chr ((bit_len lsr (8 * i)) land 0xff))
   done;
-  ctx.finalized <- false;
-  feed ctx (Bytes.unsafe_to_string pad);
-  ctx.finalized <- true;
-  assert (ctx.buf_len = 0);
-  String.init digest_size (fun i ->
-      Char.chr ((ctx.h.(i / 4) lsr (8 * (3 - (i mod 4)))) land 0xff))
+  compress ctx.sched ctx.h ctx.buf 0;
+  for i = 0 to digest_size - 1 do
+    Bytes.unsafe_set out (off + i)
+      (Char.unsafe_chr ((ctx.h.(i / 4) lsr (8 * (3 - (i mod 4)))) land 0xff))
+  done
+
+let finalize ctx =
+  let out = Bytes.create digest_size in
+  finalize_into ctx out ~off:0;
+  Bytes.unsafe_to_string out
 
 let digest s =
   let c = init () in

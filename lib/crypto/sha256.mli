@@ -12,8 +12,22 @@ type ctx
 val init : unit -> ctx
 val feed : ctx -> string -> unit
 
+val feed_bytes : ctx -> Bytes.t -> off:int -> len:int -> unit
+(** Like {!feed} over a [Bytes] range, without copying the range out
+    first — the burst fast path hashes arena buffers through this.
+    @raise Invalid_argument on an out-of-bounds range. *)
+
 val finalize : ctx -> string
 (** [finalize c] pads, returns the 32-byte digest, and invalidates [c]. *)
+
+val finalize_into : ctx -> Bytes.t -> off:int -> unit
+(** [finalize_into c out ~off] writes the 32-byte digest at [out.(off)]
+    and invalidates [c] — allocation-free, padding is built in the
+    context's own block buffer. *)
+
+val reset : ctx -> unit
+(** Return [c] to the freshly-initialized state so it can hash again;
+    the reusable-context cycle is [reset]/[feed]/[finalize_into]. *)
 
 val digest : string -> string
 val digest_list : string list -> string

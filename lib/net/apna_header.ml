@@ -37,6 +37,26 @@ let encode t ~mac =
 let to_bytes t = encode t ~mac:t.mac
 let bytes_for_mac t = encode t ~mac:(String.make mac_size '\000')
 
+(* In-place encode with a zeroed MAC field: byte-identical to
+   [bytes_for_mac] but written into a caller buffer without allocating —
+   the first [size] bytes of the burst pipeline's MAC input. *)
+(* Top level (not a local closure capturing [buf]): the burst fast path
+   calls this per packet and must not allocate. *)
+let put_u32 buf at v =
+  Bytes.unsafe_set buf (at + 0) (Char.unsafe_chr ((v lsr 24) land 0xff));
+  Bytes.unsafe_set buf (at + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
+  Bytes.unsafe_set buf (at + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
+  Bytes.unsafe_set buf (at + 3) (Char.unsafe_chr (v land 0xff))
+
+let write_for_mac t buf ~off =
+  if off < 0 || off + size > Bytes.length buf then
+    invalid_arg "Apna_header.write_for_mac: range";
+  put_u32 buf off (Addr.aid_to_int t.src_aid);
+  Bytes.blit_string t.src_ephid 0 buf (off + 4) ephid_size;
+  Bytes.blit_string t.dst_ephid 0 buf (off + 4 + ephid_size) ephid_size;
+  put_u32 buf (off + 4 + (2 * ephid_size)) (Addr.aid_to_int t.dst_aid);
+  Bytes.fill buf (off + 4 + (2 * ephid_size) + 4) mac_size '\000'
+
 let of_bytes s =
   let open Apna_util.Rw in
   let r = Reader.of_string s in

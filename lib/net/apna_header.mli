@@ -43,6 +43,12 @@ val of_bytes : string -> (t, string) result
 val bytes_for_mac : t -> string
 (** Header serialization with the MAC field zeroed — the MAC input prefix. *)
 
+val write_for_mac : t -> Bytes.t -> off:int -> unit
+(** [write_for_mac t buf ~off] writes exactly what {!bytes_for_mac}
+    returns at [buf.(off)], without allocating — the in-place header
+    encode of the burst fast path.
+    @raise Invalid_argument if [size] bytes do not fit at [off]. *)
+
 val reverse : t -> t
 (** [reverse h] swaps the endpoints (for replies); clears the MAC. *)
 

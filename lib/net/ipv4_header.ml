@@ -45,6 +45,51 @@ let encode t ~cksum =
 
 let to_bytes t = encode t ~cksum:(checksum (encode t ~cksum:0))
 
+(* RFC 1624 incremental update, eqn 3: HC' = ~(~HC + ~m + m'). Folding
+   the carries twice is enough: three 16-bit terms sum below 0x30000. *)
+let checksum_update ~cksum ~old16 ~new16 =
+  let sum =
+    (lnot cksum land 0xffff) + (lnot old16 land 0xffff) + (new16 land 0xffff)
+  in
+  let sum = (sum land 0xffff) + (sum lsr 16) in
+  let sum = (sum land 0xffff) + (sum lsr 16) in
+  lnot sum land 0xffff
+
+let get16 b off =
+  (Char.code (Bytes.get b off) lsl 8) lor Char.code (Bytes.get b (off + 1))
+
+let set16 b off v =
+  Bytes.set b off (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set b (off + 1) (Char.chr (v land 0xff))
+
+let cksum_off = 10
+
+(* Replace the 16-bit field at [off] and patch the checksum incrementally
+   instead of recomputing over the rebuilt header. The caller must have
+   validated the buffer (e.g. via [of_bytes]) — these helpers trust it. *)
+let set16_inplace b ~off v =
+  if off < 0 || off + 2 > size || Bytes.length b < size then
+    invalid_arg "Ipv4_header.set16_inplace: range";
+  let old16 = get16 b off in
+  set16 b cksum_off (checksum_update ~cksum:(get16 b cksum_off) ~old16 ~new16:v);
+  set16 b off v
+
+let decrement_ttl b =
+  if Bytes.length b < size then invalid_arg "Ipv4_header.decrement_ttl: buffer";
+  let ttl = Char.code (Bytes.get b 8) in
+  if ttl = 0 then invalid_arg "Ipv4_header.decrement_ttl: ttl 0";
+  (* TTL shares its 16-bit checksum word with the protocol byte. *)
+  set16_inplace b ~off:8 (((ttl - 1) lsl 8) lor Char.code (Bytes.get b 9))
+
+let rewrite_addrs_inplace b ~src ~dst =
+  if Bytes.length b < size then
+    invalid_arg "Ipv4_header.rewrite_addrs_inplace: buffer";
+  let src = Addr.hid_to_int src and dst = Addr.hid_to_int dst in
+  set16_inplace b ~off:12 (src lsr 16);
+  set16_inplace b ~off:14 (src land 0xffff);
+  set16_inplace b ~off:16 (dst lsr 16);
+  set16_inplace b ~off:18 (dst land 0xffff)
+
 let of_bytes s =
   let open Apna_util.Rw in
   let r = Reader.of_string s in

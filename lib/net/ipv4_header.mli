@@ -26,3 +26,19 @@ val of_bytes : string -> (t, string) result
 
 val checksum : string -> int
 (** The Internet checksum (RFC 1071) over a byte string. *)
+
+val checksum_update : cksum:int -> old16:int -> new16:int -> int
+(** RFC 1624 incremental update (eqn 3, [HC' = ~(~HC + ~m + m')]): the
+    header checksum after the 16-bit field [old16] becomes [new16],
+    without touching the other header bytes. In-place rewrites use this
+    instead of recomputing RFC 1071 over a rebuilt header. *)
+
+val decrement_ttl : Bytes.t -> unit
+(** In-place TTL decrement on a validated header (first {!size} bytes),
+    checksum patched incrementally — the per-hop rewrite of the IPv4
+    baseline router. @raise Invalid_argument on a short buffer or TTL 0
+    (the caller drops those packets before rewriting). *)
+
+val rewrite_addrs_inplace : Bytes.t -> src:Addr.hid -> dst:Addr.hid -> unit
+(** In-place source/destination rewrite on a validated header, checksum
+    patched incrementally — the gateway NAT path. *)

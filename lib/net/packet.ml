@@ -27,6 +27,17 @@ let encode header_bytes t =
 let to_bytes t = encode (Apna_header.to_bytes t.header) t
 let bytes_for_mac t = encode (Apna_header.bytes_for_mac t.header) t
 
+(* [bytes_for_mac] assembled in place: header with zeroed MAC, protocol
+   shim, payload. Returns the length written (= [wire_size t]). *)
+let write_for_mac t buf =
+  let len = wire_size t in
+  if len > Bytes.length buf then invalid_arg "Packet.write_for_mac: buffer";
+  Apna_header.write_for_mac t.header buf ~off:0;
+  Bytes.unsafe_set buf Apna_header.size (Char.unsafe_chr (proto_to_int t.proto));
+  Bytes.blit_string t.payload 0 buf (Apna_header.size + 1)
+    (String.length t.payload);
+  len
+
 let of_bytes s =
   let open Apna_util.Rw in
   if String.length s < Apna_header.size + 1 then Error "packet: truncated"

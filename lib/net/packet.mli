@@ -27,4 +27,10 @@ val bytes_for_mac : t -> string
 (** Serialization with a zeroed MAC field — the input the source host and
     its AS agree to authenticate (§IV-D2). *)
 
+val write_for_mac : t -> Bytes.t -> int
+(** [write_for_mac t buf] assembles {!bytes_for_mac} in place at the
+    start of [buf] and returns the length written ([wire_size t]) —
+    what the burst pipeline feeds the packet MAC without allocating.
+    @raise Invalid_argument if [buf] is too small. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,6 +1,9 @@
-(* Intrusive doubly-linked list + hash table. The node both carries the
-   value and is the list link, so one table lookup reaches everything an
-   operation needs. *)
+(* Intrusive circular doubly-linked list + hash table. The node both
+   carries the value and is the list link, so one table lookup reaches
+   everything an operation needs. Links are direct node references (a
+   detached node points to itself), not options: touching an
+   already-most-recent entry is pure pointer reads, and any other touch
+   is pointer swaps — the burst fast path stays allocation-free. *)
 
 module type S = sig
   type key
@@ -10,6 +13,7 @@ module type S = sig
   val create : capacity:int -> 'a t
   val set : 'a t -> key -> 'a -> unit
   val find : 'a t -> key -> 'a option
+  val find_exn : 'a t -> key -> 'a
   val peek : 'a t -> key -> 'a option
   val remove : 'a t -> key -> unit
   val clear : 'a t -> unit
@@ -27,47 +31,65 @@ module Make (Key : Hashtbl.HashedType) = struct
   type 'a node = {
     key : key;
     mutable value : 'a;
-    mutable prev : 'a node option;
-    mutable next : 'a node option;
+    mutable prev : 'a node;
+    mutable next : 'a node;
   }
 
   type 'a t = {
     cap : int;
     table : 'a node Tbl.t;
-    mutable head : 'a node option; (* most recent *)
-    mutable tail : 'a node option; (* least recent *)
+    (* Most recent; the nodes form a circle, so tail = head.prev. *)
+    mutable head : 'a node option;
     mutable evicted : int;
   }
 
   let create ~capacity =
     if capacity < 1 then invalid_arg "Lru.create: capacity";
-    { cap = capacity; table = Tbl.create capacity; head = None; tail = None; evicted = 0 }
+    { cap = capacity; table = Tbl.create capacity; head = None; evicted = 0 }
+
+  let make_node key value =
+    let rec n = { key; value; prev = n; next = n } in
+    n
 
   let unlink t node =
-    (match node.prev with
-    | Some p -> p.next <- node.next
-    | None -> t.head <- node.next);
-    (match node.next with
-    | Some n -> n.prev <- node.prev
-    | None -> t.tail <- node.prev);
-    node.prev <- None;
-    node.next <- None
+    if node.next == node then t.head <- None
+    else begin
+      let next = node.next in
+      node.prev.next <- next;
+      next.prev <- node.prev;
+      (match t.head with
+      | Some h when h == node -> t.head <- Some next
+      | _ -> ());
+      node.prev <- node;
+      node.next <- node
+    end
 
+  (* [node] must be detached (self-linked). *)
   let push_front t node =
-    node.next <- t.head;
-    (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+    (match t.head with
+    | None -> ()
+    | Some h ->
+        let tail = h.prev in
+        node.next <- h;
+        node.prev <- tail;
+        tail.next <- node;
+        h.prev <- node);
     t.head <- Some node
 
   let touch t node =
-    unlink t node;
-    push_front t node
+    match t.head with
+    | Some h when h == node -> () (* already most recent: no writes at all *)
+    | _ ->
+        unlink t node;
+        push_front t node
 
   let evict_lru t =
-    match t.tail with
+    match t.head with
     | None -> ()
-    | Some node ->
-        unlink t node;
-        Tbl.remove t.table node.key;
+    | Some h ->
+        let tail = h.prev in
+        unlink t tail;
+        Tbl.remove t.table tail.key;
         t.evicted <- t.evicted + 1
 
   let set t key value =
@@ -77,7 +99,7 @@ module Make (Key : Hashtbl.HashedType) = struct
         touch t node
     | None ->
         if Tbl.length t.table >= t.cap then evict_lru t;
-        let node = { key; value; prev = None; next = None } in
+        let node = make_node key value in
         Tbl.replace t.table key node;
         push_front t node
 
@@ -87,6 +109,14 @@ module Make (Key : Hashtbl.HashedType) = struct
         touch t node;
         Some node.value
     | None -> None
+
+  (* Allocation-free probe for the burst fast path: [Not_found] is a
+     preallocated constant, unlike the [Some] box [find] returns, and a
+     repeat hit leaves the recency order (and the heap) untouched. *)
+  let find_exn t key =
+    let node = Tbl.find t.table key in
+    touch t node;
+    node.value
 
   let peek t key =
     match Tbl.find_opt t.table key with
@@ -102,17 +132,19 @@ module Make (Key : Hashtbl.HashedType) = struct
 
   let clear t =
     Tbl.reset t.table;
-    t.head <- None;
-    t.tail <- None
+    t.head <- None
 
   let size t = Tbl.length t.table
   let capacity t = t.cap
   let evictions t = t.evicted
 
   let fold f t acc =
-    let rec go acc = function
-      | None -> acc
-      | Some node -> go (f node.key node.value acc) node.next
-    in
-    go acc t.head
+    match t.head with
+    | None -> acc
+    | Some h ->
+        let rec go acc node =
+          let acc = f node.key node.value acc in
+          if node.next == h then acc else go acc node.next
+        in
+        go acc h
 end

@@ -22,6 +22,13 @@ module type S = sig
   val find : 'a t -> key -> 'a option
   (** Lookup; refreshes recency on hit. *)
 
+  val find_exn : 'a t -> key -> 'a
+  (** Like {!find} but allocation-free: hits return the value directly
+      and misses raise the constant [Not_found] — the probe the
+      border router's burst path uses to keep the steady state off the
+      GC entirely.
+      @raise Not_found on a miss. *)
+
   val peek : 'a t -> key -> 'a option
   (** Lookup without touching recency. *)
 

@@ -560,6 +560,69 @@ let util_tests =
       (fun (a, b) -> Apna_util.Ct.xor (Apna_util.Ct.xor a b) b = a);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Allocation-free variants (the burst fast path): each _into / prepared
+   entry point must agree byte-for-byte with its allocating original. *)
+
+let into_tests =
+  let gen_msg = QCheck2.Gen.(string_size (int_range 0 300)) in
+  let gen_key = QCheck2.Gen.(string_size (int_range 1 80)) in
+  [
+    qtest "sha256 feed_bytes/finalize_into == digest"
+      QCheck2.Gen.(pair gen_msg (int_range 0 8))
+      (fun (msg, pad) ->
+        let c = Sha256.init () in
+        let src = Bytes.of_string (String.make pad '!' ^ msg) in
+        Sha256.feed_bytes c src ~off:pad ~len:(String.length msg);
+        let out = Bytes.make (Sha256.digest_size + pad) '\xff' in
+        Sha256.finalize_into c out ~off:pad;
+        Bytes.sub_string out pad Sha256.digest_size = Sha256.digest msg);
+    qtest "sha256 reset reuses a context" QCheck2.Gen.(pair gen_msg gen_msg)
+      (fun (a, b) ->
+        let c = Sha256.init () in
+        Sha256.feed c a;
+        let first = Sha256.finalize c in
+        Sha256.reset c;
+        Sha256.feed c b;
+        first = Sha256.digest a && Sha256.finalize c = Sha256.digest b);
+    qtest "hmac mac_into == mac" QCheck2.Gen.(pair gen_key gen_msg)
+      (fun (key, msg) ->
+        let p = Hmac.Sha256.prepare ~key in
+        let out = Bytes.make 32 '\x00' in
+        let src = Bytes.of_string msg in
+        Hmac.Sha256.mac_into p ~src ~off:0 ~len:(Bytes.length src) ~out ~out_off:0;
+        let again = Bytes.make 32 '\x00' in
+        Hmac.Sha256.mac_into p ~src ~off:0 ~len:(Bytes.length src) ~out:again ~out_off:0;
+        (* The prepared key is reusable: a second MAC must not be polluted
+           by the first one's context state. *)
+        Bytes.to_string out = Hmac.Sha256.mac ~key msg
+        && Bytes.to_string again = Bytes.to_string out);
+    qtest "hmac mac_list_prepared == mac_list"
+      QCheck2.Gen.(pair gen_key (list_size (int_range 0 6) gen_msg))
+      (fun (key, parts) ->
+        let p = Hmac.Sha256.prepare ~key in
+        Hmac.Sha256.mac_list_prepared p parts = Hmac.Sha256.mac_list ~key parts);
+    qtest "aes encrypt_block_into == encrypt_block (incl. in place)"
+      QCheck2.Gen.(pair (string_size (return 16)) (string_size (return 16)))
+      (fun (key, block) ->
+        let k = Aes.expand key in
+        let expected = Aes.encrypt_block k block in
+        let dst = Bytes.make 16 '\x00' in
+        Aes.encrypt_block_into k ~src:(Bytes.of_string block) ~src_off:0 ~dst ~dst_off:0;
+        let in_place = Bytes.of_string block in
+        Aes.encrypt_block_into k ~src:in_place ~src_off:0 ~dst:in_place ~dst_off:0;
+        Bytes.to_string dst = expected && Bytes.to_string in_place = expected);
+    qtest "cbc_mac mac_into == mac"
+      QCheck2.Gen.(pair (string_size (return 16)) (int_range 1 4))
+      (fun (key, blocks) ->
+        let k = Aes.expand key in
+        let msg = String.concat "" (List.init blocks (fun i -> String.make 16 (Char.chr (0x20 + i)))) in
+        let out = Bytes.make 16 '\x00' in
+        Aes.Cbc_mac.mac_into ~key:k ~src:(Bytes.of_string msg) ~off:0
+          ~len:(String.length msg) ~out ~out_off:0;
+        Bytes.to_string out = Aes.Cbc_mac.mac ~key:k msg);
+  ]
+
 let () =
   Alcotest.run "apna_crypto"
     [
@@ -573,4 +636,5 @@ let () =
       ("fe25519", fe_tests);
       ("ed25519", ed25519_tests);
       ("aead", aead_tests);
+      ("into", into_tests);
     ]

@@ -89,6 +89,15 @@ let packet_tests =
         in
         let pkt = Packet.make ~header:h ~proto:Packet.Icmp ~payload:"12345" in
         Alcotest.(check int) "size" (48 + 1 + 5) (Packet.wire_size pkt));
+    qtest "write_for_mac assembles bytes_for_mac in place"
+      QCheck2.Gen.(pair gen_header (string_size (int_range 0 100)))
+      (fun (header, payload) ->
+        let pkt = Packet.make ~header ~proto:Packet.Data ~payload in
+        (* Dirty buffer: stale bytes must not leak into the MAC input. *)
+        let buf = Bytes.make (Packet.wire_size pkt + 7) '\xff' in
+        let len = Packet.write_for_mac pkt buf in
+        len = Packet.wire_size pkt
+        && Bytes.sub_string buf 0 len = Packet.bytes_for_mac pkt);
   ]
 
 let ipv4_tests =
@@ -152,6 +161,68 @@ let ipv4_tests =
             ignore
               (Ipv4_header.make ~protocol:6 ~src:(hid 1) ~dst:(hid 2)
                  ~payload_len:70_000 ())));
+    (* RFC 1624 eqn 3: patching the checksum for a 16-bit field change must
+       agree with recomputing RFC 1071 over the rewritten header — for any
+       header and any field position, including the old16 = new16 and
+       all-ones corner cases the end-around carry gets wrong if folded
+       naively. *)
+    qtest "rfc1624 incremental == full recompute"
+      QCheck2.Gen.(
+        let* ttl = int_range 1 255 in
+        let* protocol = int_range 0 255 in
+        let* src = int_range 0 0xffffffff in
+        let* dst = int_range 0 0xffffffff in
+        let* len = int_range 0 1000 in
+        let* field = int_range 0 9 in
+        let* new16 = int_range 0 0xffff in
+        return (ttl, protocol, src, dst, len, field, new16))
+      (fun (ttl, protocol, src, dst, payload_len, field, new16) ->
+        let h =
+          Ipv4_header.make ~ttl ~protocol ~src:(hid src) ~dst:(hid dst)
+            ~payload_len ()
+        in
+        let b = Bytes.of_string (Ipv4_header.to_bytes h) in
+        let off = 2 * field in
+        let get16 at = (Char.code (Bytes.get b at) lsl 8) lor Char.code (Bytes.get b (at + 1)) in
+        let old_cksum = get16 10 in
+        let old16 = get16 off in
+        if off = 10 then true (* rewriting the checksum field itself is out of scope *)
+        else begin
+          Bytes.set b off (Char.chr (new16 lsr 8));
+          Bytes.set b (off + 1) (Char.chr (new16 land 0xff));
+          let patched = Ipv4_header.checksum_update ~cksum:old_cksum ~old16 ~new16 in
+          Bytes.set b 10 (Char.chr (patched lsr 8));
+          Bytes.set b 11 (Char.chr (patched land 0xff));
+          (* RFC 1071 invariant: a header with a correct checksum sums to 0. *)
+          Ipv4_header.checksum (Bytes.unsafe_to_string b) = 0
+        end);
+    qtest "decrement_ttl == rebuild" QCheck2.Gen.(pair (int_range 1 255) (int_range 0 255))
+      (fun (ttl, protocol) ->
+        let h = Ipv4_header.make ~ttl ~protocol ~src:(hid 0x0a000001) ~dst:(hid 0x0a0000fe) ~payload_len:32 () in
+        let b = Bytes.of_string (Ipv4_header.to_bytes h) in
+        Ipv4_header.decrement_ttl b;
+        let rebuilt = Ipv4_header.make ~ttl:(ttl - 1) ~protocol ~src:(hid 0x0a000001) ~dst:(hid 0x0a0000fe) ~payload_len:32 () in
+        Bytes.to_string b = Ipv4_header.to_bytes rebuilt);
+    qtest "rewrite_addrs_inplace == rebuild"
+      QCheck2.Gen.(
+        let* src = int_range 0 0xffffffff in
+        let* dst = int_range 0 0xffffffff in
+        let* src' = int_range 0 0xffffffff in
+        let* dst' = int_range 0 0xffffffff in
+        return (src, dst, src', dst'))
+      (fun (src, dst, src', dst') ->
+        let h = Ipv4_header.make ~protocol:47 ~src:(hid src) ~dst:(hid dst) ~payload_len:64 () in
+        let b = Bytes.of_string (Ipv4_header.to_bytes h) in
+        Ipv4_header.rewrite_addrs_inplace b ~src:(hid src') ~dst:(hid dst');
+        let rebuilt = Ipv4_header.make ~protocol:47 ~src:(hid src') ~dst:(hid dst') ~payload_len:64 () in
+        Bytes.to_string b = Ipv4_header.to_bytes rebuilt);
+    Alcotest.test_case "decrement_ttl refuses ttl 0" `Quick (fun () ->
+        let h = Ipv4_header.make ~ttl:1 ~protocol:6 ~src:(hid 1) ~dst:(hid 2) ~payload_len:0 () in
+        let b = Bytes.of_string (Ipv4_header.to_bytes h) in
+        Ipv4_header.decrement_ttl b;
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Ipv4_header.decrement_ttl: ttl 0") (fun () ->
+            Ipv4_header.decrement_ttl b));
   ]
 
 let gre_tests =
