@@ -39,7 +39,9 @@ bench:
 # burst.json), and a smoke run of the
 # benchmark harness that must produce a parseable BENCH_results.json
 # (the harness re-parses the file itself and fails loudly if it is
-# invalid), plus the warrant-storm smoke (E15: brokered linkage under
+# invalid; the --faults smoke must also produce a telemetry.json whose
+# fault-sweep rows fired the replay-flood alert), plus the
+# warrant-storm smoke (E15: brokered linkage under
 # budget pressure against live traffic, with the data-plane regression
 # gate), the trace-scale smoke (E16: reduced-population million-host
 # replay with its peak-rate and baseline gates, writing
@@ -51,9 +53,11 @@ check: linkage-gate
 	dune runtest
 	dune exec bin/apnad.exe -- trace --loss 0.05 --drops --chrome /tmp/apna_chrome_trace.json > /dev/null
 	dune exec bin/trace_check.exe /tmp/apna_chrome_trace.json
-	rm -f BENCH_results.json
+	rm -f BENCH_results.json telemetry.json
 	dune exec bench/main.exe -- --faults --quick
 	test -s BENCH_results.json
+	test -s telemetry.json
+	grep -q '"replay-flood"' telemetry.json
 	rm -f BENCH_results.json
 	dune exec bench/main.exe -- --lifetimes --quick
 	test -s BENCH_results.json

@@ -60,6 +60,20 @@ let iters n = if !quick then max 20 (n / 20) else n
 let json_sections : (string * J.t) list ref = ref []
 let add_json name section = json_sections := (name, section) :: !json_sections
 
+(* Set when a bench acceptance gate fails; the process then exits 1 so CI
+   turns red. *)
+let gate_failed = ref false
+
+(* Telemetry timelines (sampler + alert engine) accumulated by the
+   experiments that attach the sampler; flushed to telemetry.json at exit
+   when non-empty (schema in docs/OBSERVABILITY.md). *)
+let telemetry_sections : (string * J.t) list ref = ref []
+
+let add_telemetry name section =
+  telemetry_sections := (name, section) :: !telemetry_sections
+
+let fired_json fired = J.List (List.map (fun r -> J.Str r) (List.sort String.compare fired))
+
 let banner id title paper_ref =
   line "";
   line "================================================================";
@@ -1252,6 +1266,35 @@ let e13 () =
                      (Apna_obs.Journey.summary journeys)) );
             ]
         in
+        (* Telemetry phase: with the convergence row measured and its
+           journeys banked, pace a data flood through the same faulted
+           links with the sampler + alert engine attached. Duplicated
+           frames hit the session replay windows (replay-flood), lost
+           frames feed the link-loss rate rule — the live-detection
+           demonstration of ROADMAP item 4. *)
+        let telemetry =
+          if loss <= 0.0 then None
+          else
+            match
+              List.find_opt Session.established (Host.sessions alice)
+            with
+            | None -> None
+            | Some s ->
+                let tel = Telemetry.attach net in
+                let eng = Network.engine net in
+                let msgs = 2000 and span_s = 3.0 in
+                for i = 0 to msgs - 1 do
+                  Apna_sim.Engine.schedule_in eng
+                    ~delay:(span_s *. float_of_int i /. float_of_int msgs)
+                    (fun () ->
+                      ignore (Host.send alice s (Printf.sprintf "f%04d" i)))
+                done;
+                Network.run net;
+                Telemetry.stop tel;
+                Some
+                  ( Apna_obs.Alert.fired_rules (Telemetry.alerts tel),
+                    Telemetry.export tel )
+        in
         ( loss,
           J.Obj
             [
@@ -1266,21 +1309,68 @@ let e13 () =
               ("frames_reordered", J.Int reordered);
             ],
           journeys_json,
-          converged ))
+          converged,
+          telemetry ))
       losses
   in
   Apna_obs.Event.clear Apna_obs.Event.default;
   let converged_at p =
-    List.exists (fun (l, _, _, c) -> l = p && c) rows
+    List.exists (fun (l, _, _, c, _) -> l = p && c) rows
   in
   line "";
   if converged_at 0.10 then
     line "acceptance: full control plane converges at 10%% loss via retries"
   else line "ACCEPTANCE FAILURE: control plane did not converge at 10%% loss";
+  (* Alert gate: the 10% row's flood must trip both attack signatures. *)
+  let fired_at p =
+    match List.find_opt (fun (l, _, _, _, _) -> l = p) rows with
+    | Some (_, _, _, _, Some (fired, _)) -> fired
+    | _ -> []
+  in
+  let fired10 = fired_at 0.10 in
+  List.iter
+    (fun (l, _, _, _, t) ->
+      match t with
+      | Some (fired, _) ->
+          line "  telemetry at %2.0f%% loss: rules fired: %s" (l *. 100.0)
+            (match List.sort String.compare fired with
+            | [] -> "(none)"
+            | fs -> String.concat ", " fs)
+      | None -> ())
+    rows;
+  if List.mem "replay-flood" fired10 && List.mem "link-loss" fired10 then
+    line "  alert gate ok: replay-flood + link-loss fired at 10%% loss"
+  else begin
+    line "GATE FAIL: replay-flood/link-loss did not fire at 10%% loss";
+    gate_failed := true
+  end;
+  add_telemetry "fault_sweep"
+    (J.Obj
+       [
+         ( "rows",
+           J.List
+             (List.filter_map
+                (fun (l, _, _, _, t) ->
+                  Option.map
+                    (fun (fired, _) ->
+                      J.Obj
+                        [
+                          ("loss", J.Float l);
+                          ("rules_fired", fired_json fired);
+                        ])
+                    t)
+                rows) );
+         ( "timeline_10pct_loss",
+           match
+             List.find_opt (fun (l, _, _, _, t) -> l = 0.10 && t <> None) rows
+           with
+           | Some (_, _, _, _, Some (_, export)) -> export
+           | _ -> J.Null );
+       ]);
   add_json "fault_sweep"
-    (J.List (List.map (fun (_, j, _, _) -> j) rows));
+    (J.List (List.map (fun (_, j, _, _, _) -> j) rows));
   add_json "journeys"
-    (J.List (List.map (fun (_, _, jj, _) -> jj) rows))
+    (J.List (List.map (fun (_, _, jj, _, _) -> jj) rows))
 
 (* ------------------------------------------------------------------ *)
 (* E14: session survivability across EphID lifetime boundaries *)
@@ -1405,10 +1495,6 @@ let e14 () =
    against a fixed request count and reports broker throughput, refusal
    breakdown, journal growth + chain verification, and the data-plane
    cost of carrying an attached-but-idle broker (gated at +10%). *)
-
-(* Set when a bench acceptance gate fails; the process then exits 1 so CI
-   turns red. *)
-let gate_failed = ref false
 
 let e15 () =
   banner "E15" "WARRANT-STORM" "brokered linkage under bulk lawful intercept";
@@ -1632,6 +1718,53 @@ let e15 () =
   end
   else line "  gate ok: idle broker within 10%% of broker-free ingress";
 
+  (* Telemetry phase: one more storm, this time paced on the event engine
+     with the sampler + alert engine attached, against a deliberately tiny
+     budget — the broker-budget-drain signature must fire as the budget
+     empties (ROADMAP item 4 live detection). *)
+  let tel = Telemetry.attach net in
+  let drain_broker =
+    B.for_node isp ~budget:(Budget.create ~capacity:8 ~refill:1 ())
+  in
+  B.register_requester drain_broker ~id:"le-drain" ~role:B.Law_enforcement
+    ~key:le_key ~now:(Network.now_unix net);
+  let eng = Network.engine net in
+  let n_issued = Array.length issued in
+  let drain_requests = 40 and drain_span = 4.0 in
+  for i = 0 to drain_requests - 1 do
+    Apna_sim.Engine.schedule_in eng
+      ~delay:(drain_span *. float_of_int i /. float_of_int drain_requests)
+      (fun () ->
+        ignore
+          (B.handle drain_broker ~now:(Network.now_unix net)
+             (B.Request.sign ~key:le_key
+                ~corr:(Int64.of_int (100_000 + i))
+                ~requester:"le-drain"
+                ~query:
+                  (B.Request.Deanonymize (snd issued.(i mod n_issued))))))
+  done;
+  Network.run net;
+  Telemetry.stop tel;
+  let drain_fired = Apna_obs.Alert.fired_rules (Telemetry.alerts tel) in
+  line "";
+  line "telemetry drain storm (%d requests over %.0f s, capacity 8): rules fired: %s"
+    drain_requests drain_span
+    (match List.sort String.compare drain_fired with
+    | [] -> "(none)"
+    | fs -> String.concat ", " fs);
+  if Apna_obs.Alert.has_fired (Telemetry.alerts tel) "broker-budget-drain"
+  then line "  alert gate ok: broker-budget-drain fired during the drain"
+  else begin
+    line "GATE FAIL: broker-budget-drain did not fire during the drain";
+    gate_failed := true
+  end;
+  add_telemetry "warrant_storm"
+    (J.Obj
+       [
+         ("rules_fired", fired_json drain_fired);
+         ("timeline", Telemetry.export tel);
+       ]);
+
   add_json "warrant_storm"
     (J.Obj
        [
@@ -1854,6 +1987,11 @@ let e16 () =
     (fun s -> session := Some s);
   Network.run net;
   let session = Option.get !session in
+  (* Telemetry rides the replay's checkpoints: each one advances simulated
+     time (the sampler ticks through the advance) and re-arms the tick for
+     the next stretch. The exported timeline shows the revocation-list
+     growth and live-session indicators across the compressed day. *)
+  let tel = Telemetry.attach net in
 
   (* Destination side: a small rack of admitted servers at AS 300 the
      bulk flows address; the ingress pipeline resolves and delivers to
@@ -1920,6 +2058,7 @@ let e16 () =
     (match Host.send alice session (Printf.sprintf "live-%d" now) with
     | Ok () -> incr live_frames
     | Error _ -> ());
+    Telemetry.kick tel;
     Network.run net
   in
   let t_replay = Monotonic_clock.now () in
@@ -2135,6 +2274,15 @@ let e16 () =
         ("baseline_gate_checked", J.Bool baseline_checked);
       ]
   in
+  Telemetry.tick_now tel;
+  Telemetry.stop tel;
+  add_telemetry "trace_scale"
+    (J.Obj
+       [
+         ( "rules_fired",
+           fired_json (Apna_obs.Alert.fired_rules (Telemetry.alerts tel)) );
+         ("timeline", Telemetry.export tel);
+       ]);
   add_json "trace_scale" section;
   (* Standalone artifact for CI upload. *)
   let oc = open_out "trace_scale.json" in
@@ -2405,6 +2553,37 @@ let write_json selected =
   line "";
   line "wrote %s (%d bytes, parse-checked)" json_path (String.length read_back)
 
+let telemetry_path = "telemetry.json"
+
+(* Written only when an experiment attached the sampler (E13/E15/E16), so
+   runs without telemetry leave any previous export untouched. *)
+let write_telemetry () =
+  match !telemetry_sections with
+  | [] -> ()
+  | sections ->
+      let doc =
+        J.Obj
+          [
+            ("schema", J.Str "apna-telemetry/1");
+            ("quick", J.Bool !quick);
+            ("experiments", J.Obj (List.rev sections));
+          ]
+      in
+      let text = J.to_string ~pretty:true doc in
+      let oc = open_out telemetry_path in
+      output_string oc text;
+      output_char oc '\n';
+      close_out oc;
+      let ic = open_in_bin telemetry_path in
+      let read_back = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match J.parse read_back with
+      | Ok _ -> ()
+      | Error e ->
+          failwith (Printf.sprintf "%s does not parse: %s" telemetry_path e));
+      line "wrote %s (%d bytes, parse-checked)" telemetry_path
+        (String.length read_back)
+
 let () =
   Logs.set_level (Some Logs.Error);
   let args =
@@ -2457,6 +2636,7 @@ let () =
       | None -> line "unknown experiment %s" id)
     selected;
   write_json selected;
+  write_telemetry ();
   if !gate_failed then begin
     line "one or more bench gates FAILED";
     exit 1

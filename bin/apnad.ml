@@ -593,6 +593,216 @@ let broker_cmd =
     Term.(const run $ verbose $ seed $ requests $ capacity $ dump $ tamper)
 
 (* ------------------------------------------------------------------ *)
+(* health / top: live telemetry over an attack-flavored workload *)
+
+(* A deterministic scenario that exercises the default rulepack: paced
+   two-way traffic over fault-injected links (duplication drives the
+   session replay windows, loss drives the link-loss rule) plus a broker
+   querier that drains its privacy budget mid-run. *)
+let attack_scenario ~seed ~loss ~rate ~duration ~interval ?frame () =
+  let module Link = Apna_net.Link in
+  let module B = Apna_broker.Broker in
+  let module Budget = Apna_broker.Budget in
+  let net = Network.create ~seed () in
+  let isp = Network.add_as net 64500 ~retention:true () in
+  let _ = Network.add_as net 64501 () in
+  let _ = Network.add_as net 64502 () in
+  Network.connect_as net 64500 64501 ();
+  Network.connect_as net 64501 64502 ();
+  let alice =
+    Network.add_host net ~as_number:64500 ~name:"alice" ~credential:"a" ()
+  in
+  let bob =
+    Network.add_host net ~as_number:64502 ~name:"bob" ~credential:"b" ()
+  in
+  List.iter
+    (fun h ->
+      match Host.bootstrap h with
+      | Ok () -> ()
+      | Error e -> failwith (Error.to_string e))
+    [ alice; bob ];
+  let ep = ref None in
+  Host.request_ephid bob ~lifetime:Lifetime.Long ~receive_only:true (fun e ->
+      ep := Some e);
+  Network.run net;
+  let ep = Option.get !ep in
+  Host.on_data bob (fun ~session ~data ->
+      if String.length data < 24 then ignore (Host.send bob session (data ^ "-ack")));
+  let session = ref None in
+  Host.connect alice ~remote:ep.cert ~expect_accept:true (fun s ->
+      session := Some s);
+  Network.run net;
+  (* Handshake done; now degrade the transit path. Re-connecting an
+     existing AS pair swaps in the new link, so the flood below rides
+     lossy, duplicating links (duplication is what drives the session
+     replay windows) while the session itself is already up. *)
+  if loss > 0.0 then begin
+    let faulty () =
+      Link.make
+        ~faults:
+          (Link.make_faults ~loss ~duplicate:(loss *. 3.0)
+             ~reorder:(loss /. 2.0) ~jitter_ms:1.0 ())
+        ()
+    in
+    Network.connect_as net 64500 64501 ~link:(faulty ()) ();
+    Network.connect_as net 64501 64502 ~link:(faulty ()) ()
+  end;
+  let tel = Telemetry.attach ~interval net in
+  let eng = Network.engine net in
+  (* The flood: [rate] messages/s paced over [duration]. *)
+  let n = max 1 (int_of_float (rate *. duration)) in
+  for i = 0 to n - 1 do
+    Apna_sim.Engine.schedule_in eng
+      ~delay:(duration *. float_of_int i /. float_of_int n)
+      (fun () ->
+        match !session with
+        | Some s -> ignore (Host.send alice s (Printf.sprintf "m%05d" i))
+        | None -> ())
+  done;
+  (* The warrant storm: a tight budget drained in the second half. *)
+  let broker =
+    B.for_node isp ~budget:(Budget.create ~capacity:6 ~refill:1 ())
+  in
+  B.register_requester broker ~id:"le" ~role:B.Law_enforcement ~key:"le-key"
+    ~now:(Network.now_unix net);
+  let alice_hid =
+    Option.get
+      (Registry.hid_of_credential (As_node.registry isp) ~credential:"a")
+  in
+  for i = 0 to 14 do
+    Apna_sim.Engine.schedule_in eng
+      ~delay:
+        ((duration /. 2.0)
+        +. (duration /. 2.0 *. float_of_int i /. 15.0))
+      (fun () ->
+        ignore
+          (B.handle broker ~now:(Network.now_unix net)
+             (B.Request.sign ~key:"le-key" ~corr:(Int64.of_int (i + 100))
+                ~requester:"le" ~query:(B.Request.Bindings_of alice_hid))))
+  done;
+  (match frame with
+  | None -> ()
+  | Some (every, f) ->
+      let frames = int_of_float (duration /. every) in
+      for k = 1 to frames do
+        Apna_sim.Engine.schedule_in eng ~delay:(every *. float_of_int k)
+          (fun () -> f tel)
+      done);
+  Network.run net;
+  (net, tel)
+
+let loss_arg =
+  Arg.(
+    value & opt float 0.08
+    & info [ "loss" ] ~docv:"P"
+        ~doc:
+          "Inter-AS link loss probability (duplication is injected at 3x \
+           $(docv) — the replay-flood driver).")
+
+let rate_arg =
+  Arg.(
+    value & opt float 100.0
+    & info [ "rate" ] ~docv:"MSGS" ~doc:"Flood pacing, messages/s.")
+
+let duration_arg =
+  Arg.(
+    value & opt float 10.0
+    & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated scenario length.")
+
+let interval_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "interval" ] ~docv:"SECONDS" ~doc:"Telemetry sampling tick.")
+
+let health_cmd =
+  let export =
+    Arg.(
+      value & opt (some string) None
+      & info [ "export" ] ~docv:"FILE"
+          ~doc:"Write the telemetry timeline (telemetry.json schema) to FILE.")
+  in
+  let run verbose seed loss rate duration interval export =
+    setup_logs verbose;
+    (* The whole point is rejected traffic: without -v the per-frame
+       replay warnings would drown the report. *)
+    if not verbose then Logs.set_level (Some Logs.Error);
+    let _, tel =
+      attack_scenario ~seed ~loss ~rate ~duration ~interval ()
+    in
+    Printf.printf "# health (after %.0f simulated s, %d ticks)\n" duration
+      (Apna_obs.Timeseries.ticks (Telemetry.timeseries tel));
+    print_string (Apna_obs.Health.render (Telemetry.health tel));
+    print_newline ();
+    print_string (Apna_obs.Alert.render (Telemetry.alerts tel));
+    let fired = Apna_obs.Alert.fired_rules (Telemetry.alerts tel) in
+    Printf.printf "# rules that fired during the run: %s\n"
+      (match List.sort String.compare fired with
+      | [] -> "(none)"
+      | fs -> String.concat ", " fs);
+    match export with
+    | None -> ()
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Apna_obs.Json.to_string (Telemetry.export tel));
+        close_out oc;
+        Printf.printf "telemetry timeline written to %s\n" file
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Run the attack-flavored workload with the telemetry sampler on \
+          and print the per-AS health rollup, alert states and the rules \
+          that fired.")
+    Term.(
+      const run $ verbose $ seed $ loss_arg $ rate_arg $ duration_arg
+      $ interval_arg $ export)
+
+let top_cmd =
+  let refresh =
+    Arg.(
+      value & opt float 1.0
+      & info [ "refresh" ] ~docv:"SECONDS"
+          ~doc:"Dashboard refresh period (simulated seconds).")
+  in
+  let plain =
+    Arg.(
+      value & flag
+      & info [ "plain" ]
+          ~doc:"No ANSI clear between frames (for logs and pipes).")
+  in
+  let run verbose seed loss rate duration interval refresh plain =
+    setup_logs verbose;
+    if not verbose then Logs.set_level (Some Logs.Error);
+    let frame tel =
+      if not plain then print_string "\027[2J\027[H";
+      print_string (Telemetry.dashboard tel);
+      if plain then print_endline "----"
+    in
+    let _, tel =
+      attack_scenario ~seed ~loss ~rate ~duration ~interval
+        ~frame:(refresh, frame) ()
+    in
+    if not plain then print_string "\027[2J\027[H";
+    print_string (Telemetry.dashboard tel);
+    Printf.printf "\nrun complete; rules fired: %s\n"
+      (match
+         List.sort String.compare
+           (Apna_obs.Alert.fired_rules (Telemetry.alerts tel))
+       with
+      | [] -> "(none)"
+      | fs -> String.concat ", " fs)
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live text dashboard over the attack-flavored workload: per-AS \
+          health, alert states and derived-indicator sparklines, redrawn \
+          every $(b,--refresh) simulated seconds.")
+    Term.(
+      const run $ verbose $ seed $ loss_arg $ rate_arg $ duration_arg
+      $ interval_arg $ refresh $ plain)
+
+(* ------------------------------------------------------------------ *)
 (* stats *)
 
 let stats_cmd =
@@ -611,6 +821,10 @@ let stats_cmd =
     M.set_enabled M.default true;
     Span.set_enabled Span.default true;
     let net = Network.create ~seed () in
+    (* Telemetry sampler + alert engine riding the same engine; alert-state
+       lines append to the scrape text below. *)
+    let tel = Telemetry.attach net in
+    Apna_obs.Alert.attach_scrape (Telemetry.alerts tel) M.default;
     let isp = Network.add_as net 64500 ~retention:true () in
     let _ = Network.add_as net 64501 () in
     let _ = Network.add_as net 64502 () in
@@ -637,12 +851,14 @@ let stats_cmd =
     let ep = Option.get !ep in
     Host.on_data bob (fun ~session ~data ->
         if String.length data < 24 then ignore (Host.send bob session (data ^ "-ack")));
+    Telemetry.kick tel;
     for flow = 1 to flows do
       Host.connect alice ~remote:ep.cert ~data0:(Printf.sprintf "flow-%d" flow)
         (fun _ -> ())
     done;
     Network.run net;
     Network.advance_time net 40.0;
+    Telemetry.kick tel;
     List.iter
       (fun s -> ignore (Host.send alice s "renewal-probe"))
       (Host.sessions alice);
@@ -676,6 +892,8 @@ let stats_cmd =
         ("peer-64502", "peer-key", B.Request.Attribute_packet "no-such-digest");
         ("le", "le-key", B.Request.Bindings_of alice_hid);
       ];
+    (* Final snapshot so the alerts/health block reflects the whole run. *)
+    Telemetry.tick_now tel;
     if json then
       print_endline
         (Apna_obs.Json.to_string ~pretty:true (M.to_json M.default))
@@ -707,6 +925,18 @@ let stats_cmd =
         (match B.verify_journal broker with
         | Ok () -> "chain verifies"
         | Error e -> "TAMPERED: " ^ e);
+      print_newline ();
+      Printf.printf "# alerts & health (%d telemetry ticks @ %.2fs)\n"
+        (Apna_obs.Timeseries.ticks (Telemetry.timeseries tel))
+        (Telemetry.interval tel);
+      print_string (Apna_obs.Health.render (Telemetry.health tel));
+      Printf.printf "  rules fired: %s\n"
+        (match
+           List.sort String.compare
+             (Apna_obs.Alert.fired_rules (Telemetry.alerts tel))
+         with
+        | [] -> "(none)"
+        | fs -> String.concat ", " fs);
       print_newline ();
       Printf.printf "# trace spans (%d recorded, %d retained)\n"
         (Span.recorded Span.default)
@@ -754,5 +984,5 @@ let () =
        (Cmd.group info
           [
             demo_cmd; ephid_cmd; workload_cmd; trace_cmd; shutoff_cmd;
-            broker_cmd; stats_cmd;
+            broker_cmd; stats_cmd; health_cmd; top_cmd;
           ]))

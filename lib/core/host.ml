@@ -41,6 +41,19 @@ let m_unreachable reason =
     ~labels:[ ("reason", Icmp.reason_label reason) ]
     ~help:"ICMP unreachable notices received, by reason"
 
+let m_replay_rejected =
+  M.Counter.register M.default "apna_host_replay_rejected_total"
+    ~help:"Sealed frames rejected by a session replay window (replayed or stale sequence number)"
+
+(* Every sealed-frame open goes through here so replay-window rejections
+   are counted — the raw signal behind the replay-flood alert rule. *)
+let open_sealed_counted session ~seq ~sealed =
+  match Session.open_sealed session ~seq ~sealed with
+  | Error (Error.Rejected _) as e ->
+      if M.enabled M.default then M.Counter.incr m_replay_rejected;
+      e
+  | r -> r
+
 type attachment = {
   aid : Addr.aid;
   now : unit -> int;
@@ -988,7 +1001,7 @@ let handle_fin t ~conn_id ~seq ~sealed =
   | Some session -> begin
       (* Only an authenticated close tears the session down: a spoofed Fin
          must not be able to kill someone's connection. *)
-      match Session.open_sealed session ~seq ~sealed with
+      match open_sealed_counted session ~seq ~sealed with
       | Ok _ -> forget_session t conn_id
       | Error e -> warn t "fin" (Error e)
     end
@@ -1192,7 +1205,7 @@ let handle_init t (pkt : Packet.t) ~conn_id ~(cert : Cert.t) ~seq ~sealed =
                   (* 0-RTT data, sealed under the key for the EphID the
                      client targeted (the receive-only one for servers). *)
                   let data0 =
-                    match Session.open_sealed session ~seq ~sealed with
+                    match open_sealed_counted session ~seq ~sealed with
                     | Ok data -> Some data
                     | Error e ->
                         warn t "init: 0-rtt" (Error e);
@@ -1296,7 +1309,7 @@ let handle_rekey t ~conn_id ~(cert : Cert.t) ~seq ~sealed =
         | Ok () -> begin
             (* Authenticate under the current (or grace-window) key before
                applying: only the session's owner can migrate it. *)
-            match Session.open_sealed session ~seq ~sealed with
+            match open_sealed_counted session ~seq ~sealed with
             | Error e -> warn t "rekey: auth" (Error e)
             | Ok _ -> begin
                 match Session.rekey session ~remote_cert:cert with
@@ -1340,7 +1353,7 @@ let handle_rekey_ack t ~conn_id ~seq ~sealed =
   | None -> ()
   | Some session -> begin
       (* Sealed under the post-migration key: proof the peer applied it. *)
-      match Session.open_sealed session ~seq ~sealed with
+      match open_sealed_counted session ~seq ~sealed with
       | Error e -> warn t "rekey ack" (Error e)
       | Ok _ ->
           settle_rpc t.rekey_rpcs conn_id;
@@ -1351,7 +1364,7 @@ let handle_data_frame t ~conn_id ~seq ~sealed =
   match I64_tbl.find_opt t.sessions_by_conn conn_id with
   | None -> Logs.warn (fun m -> m "%s: data for unknown conn" t.host_name)
   | Some session -> begin
-      match Session.open_sealed session ~seq ~sealed with
+      match open_sealed_counted session ~seq ~sealed with
       | Error e -> warn t "data" (Error e)
       | Ok data ->
           deliver_data t session data;

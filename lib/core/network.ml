@@ -132,6 +132,13 @@ let now_f t = Apna_sim.Engine.now t.engine
 let now_unix t = t.epoch + int_of_float (now_f t)
 let node t aid = Addr.Aid_tbl.find_opt t.nodes aid
 
+let ases t =
+  Addr.Aid_tbl.fold (fun _ n acc -> n :: acc) t.nodes []
+  |> List.sort (fun a b ->
+         compare
+           (Addr.aid_to_int (As_node.aid a))
+           (Addr.aid_to_int (As_node.aid b)))
+
 let node_exn t as_number =
   match node t (Addr.aid_of_int as_number) with
   | Some n -> n

@@ -42,6 +42,10 @@ val add_as :
 val node : t -> Apna_net.Addr.aid -> As_node.t option
 val node_exn : t -> int -> As_node.t
 
+val ases : t -> As_node.t list
+(** Every registered AS, sorted by AS number — deterministic iteration
+    for the telemetry tick's per-AS gauge refresh. *)
+
 val connect_as : t -> int -> int -> ?link:Apna_net.Link.t -> unit -> unit
 (** Inter-AS link; default 10 Gbps, 5 ms. Pass a link built with
     [Link.make ~faults ...] to inject loss, duplication, reorder jitter or

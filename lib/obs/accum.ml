@@ -35,11 +35,24 @@ module Hist = struct
     buckets : int array;
     mutable n : int;
     mutable sum : float;
+    (* Samples outside [lo, hi] land in the edge buckets; these count how
+       often that happened so a saturated histogram is visible instead of
+       quietly reporting everything at [hi]. *)
+    mutable clamped_lo : int;
+    mutable clamped_hi : int;
   }
 
   let create ?(buckets = 256) ~lo ~hi () =
     if hi <= lo then invalid_arg "Hist.create: empty range";
-    { lo; hi; buckets = Array.make buckets 0; n = 0; sum = 0.0 }
+    {
+      lo;
+      hi;
+      buckets = Array.make buckets 0;
+      n = 0;
+      sum = 0.0;
+      clamped_lo = 0;
+      clamped_hi = 0;
+    }
 
   let bucket_of t x =
     let k = Array.length t.buckets in
@@ -47,6 +60,8 @@ module Hist = struct
     if i < 0 then 0 else if i >= k then k - 1 else i
 
   let add t x =
+    if x < t.lo then t.clamped_lo <- t.clamped_lo + 1
+    else if x > t.hi then t.clamped_hi <- t.clamped_hi + 1;
     let i = bucket_of t x in
     t.buckets.(i) <- t.buckets.(i) + 1;
     t.n <- t.n + 1;
@@ -57,6 +72,9 @@ module Hist = struct
   let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
   let lo t = t.lo
   let hi t = t.hi
+  let clamped_lo t = t.clamped_lo
+  let clamped_hi t = t.clamped_hi
+  let clamped t = t.clamped_lo + t.clamped_hi
 
   let percentile t p =
     if t.n = 0 then nan

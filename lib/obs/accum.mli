@@ -38,6 +38,19 @@ module Hist : sig
   val lo : t -> float
   val hi : t -> float
 
+  val clamped_lo : t -> int
+  (** Samples that fell strictly below [lo] and were clamped into the
+      first bucket. They still count toward [count]/[sum]/[mean], but the
+      percentile estimate can't see below [lo]. *)
+
+  val clamped_hi : t -> int
+  (** Samples strictly above [hi], clamped into the last bucket. A
+      nonzero value means the high percentiles are understated — the
+      histogram is saturated and its range should be widened. *)
+
+  val clamped : t -> int
+  (** [clamped_lo + clamped_hi]. *)
+
   val percentile : t -> float -> float
   (** [percentile t 0.99] estimates the p99 by linear interpolation within
       the bucket. Returns [nan] when empty. *)

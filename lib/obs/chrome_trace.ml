@@ -19,7 +19,7 @@ let pid_of_kind = function
   | Event.Broker_decision { aid; _ } ->
       aid
   | Event.Link_transit { src; _ } -> src
-  | Event.Gw_encap _ | Event.Gw_decap _ -> 0
+  | Event.Gw_encap _ | Event.Gw_decap _ | Event.Alert_state _ -> 0
 
 let span_entry (r : Span.record) =
   ( r.t0,

@@ -1,0 +1,176 @@
+(* Derived indicators: computed each tick from the sampled registry
+   series and recorded back into the Timeseries as [derived:*] series, so
+   alert rules and dashboards read ratios and rates the same way they
+   read raw metrics. *)
+
+module T = Timeseries
+
+(* Series-name catalog (shared with the default rulepack and Health). *)
+let cache_hit_ratio = "derived:ephid_cache_hit_ratio"
+let drop_ratio = "derived:br_drop_ratio"
+let drop_ratio_total = "derived:br_drop_ratio_total"
+let revocation_growth = "derived:revocation_growth"
+let replay_reject_rate = "derived:replay_reject_rate"
+let broker_refusal_rate = "derived:broker_refusal_rate"
+let budget_exhausted_rate = "derived:budget_exhausted_rate"
+let breaker_max = "derived:issuance_breaker_max"
+let allocs_per_pkt_max = "derived:allocs_per_pkt_max"
+let shutoff_backlog = "derived:shutoff_backlog"
+
+let catalog =
+  [
+    cache_hit_ratio;
+    drop_ratio;
+    drop_ratio_total;
+    revocation_growth;
+    replay_reject_rate;
+    broker_refusal_rate;
+    budget_exhausted_rate;
+    breaker_max;
+    allocs_per_pkt_max;
+    shutoff_backlog;
+  ]
+
+let by_name ts name =
+  T.fold ts (fun acc s -> if T.name s = name then s :: acc else acc) []
+
+let aid_of s = List.assoc_opt "aid" (T.labels s)
+
+(* Sum of per-tick deltas of all series with [name], grouped by aid. *)
+let deltas_by_aid ts name =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      match aid_of s with
+      | None -> ()
+      | Some aid ->
+          let prev = try Hashtbl.find tbl aid with Not_found -> 0.0 in
+          Hashtbl.replace tbl aid (prev +. T.last_delta s))
+    (by_name ts name);
+  tbl
+
+let get tbl aid = try Hashtbl.find tbl aid with Not_found -> 0.0
+
+let ratio num den = if den <= 0.0 then nan else num /. den
+
+let compute ?window ts ~now =
+  let window =
+    match window with Some w -> w | None -> 8.0 *. T.interval ts
+  in
+  let aids = Hashtbl.create 8 in
+  let note_aid aid = if not (Hashtbl.mem aids aid) then Hashtbl.add aids aid () in
+  let put ?aid name v =
+    let labels = match aid with None -> [] | Some a -> [ ("aid", a) ] in
+    T.record ts ~kind:T.Kderived ~name ~labels ~now v
+  in
+
+  (* EphID-cache hit ratio, per AS, over the last tick's lookups. *)
+  let hits = deltas_by_aid ts "apna_br_ephid_cache_hits_total" in
+  let misses = deltas_by_aid ts "apna_br_ephid_cache_misses_total" in
+  Hashtbl.iter (fun aid _ -> note_aid aid) hits;
+  Hashtbl.iter (fun aid _ -> note_aid aid) misses;
+  Hashtbl.iter
+    (fun aid () ->
+      let h = get hits aid and m = get misses aid in
+      put ~aid cache_hit_ratio (ratio h (h +. m)))
+    aids;
+
+  (* BR drop ratio: per reason and total, against all pipeline verdicts. *)
+  let ok =
+    let tbl = deltas_by_aid ts "apna_br_egress_ok_total" in
+    List.iter
+      (fun n ->
+        Hashtbl.iter
+          (fun aid d -> Hashtbl.replace tbl aid (get tbl aid +. d))
+          (deltas_by_aid ts n))
+      [ "apna_br_ingress_delivered_total"; "apna_br_ingress_forwarded_total" ];
+    tbl
+  in
+  let drops_total = Hashtbl.create 8 in
+  let drop_series = by_name ts "apna_br_drops_total" in
+  List.iter
+    (fun s ->
+      match aid_of s with
+      | None -> ()
+      | Some aid ->
+          Hashtbl.replace drops_total aid
+            (get drops_total aid +. T.last_delta s))
+    drop_series;
+  List.iter
+    (fun s ->
+      match (aid_of s, List.assoc_opt "reason" (T.labels s)) with
+      | Some aid, Some reason ->
+          let d = T.last_delta s in
+          let all = get ok aid +. get drops_total aid in
+          T.record ts ~kind:T.Kderived ~name:drop_ratio
+            ~labels:[ ("aid", aid); ("reason", reason) ]
+            ~now (ratio d all)
+      | _ -> ())
+    drop_series;
+  Hashtbl.iter
+    (fun aid d ->
+      put ~aid drop_ratio_total (ratio d (get ok aid +. d)))
+    drops_total;
+
+  (* Revocation-list growth (entries/s) from the per-AS size gauge. *)
+  List.iter
+    (fun s ->
+      match aid_of s with
+      | None -> ()
+      | Some aid -> put ~aid revocation_growth (T.rate s ~window))
+    (by_name ts "apna_revocation_list_size");
+
+  (* Replay rejections/s: host replay windows plus BR-level rejections. *)
+  let replay =
+    List.fold_left
+      (fun acc s -> acc +. T.rate s ~window)
+      0.0
+      (by_name ts "apna_host_replay_rejected_total")
+    +. List.fold_left
+         (fun acc s ->
+           if List.assoc_opt "reason" (T.labels s) = Some "rejected" then
+             acc +. T.rate s ~window
+           else acc)
+         0.0 drop_series
+  in
+  put replay_reject_rate replay;
+
+  (* Broker refusals/s, and the budget-exhausted slice specifically. *)
+  let refusal_rates = Hashtbl.create 8 in
+  let exhausted_rates = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      match aid_of s with
+      | None -> ()
+      | Some aid ->
+          let r = T.rate s ~window in
+          Hashtbl.replace refusal_rates aid (get refusal_rates aid +. r);
+          if List.assoc_opt "reason" (T.labels s) = Some "budget-exhausted"
+          then
+            Hashtbl.replace exhausted_rates aid (get exhausted_rates aid +. r))
+    (by_name ts "apna_broker_refusals_total");
+  Hashtbl.iter (fun aid r -> put ~aid broker_refusal_rate r) refusal_rates;
+  Hashtbl.iter (fun aid r -> put ~aid budget_exhausted_rate r) exhausted_rates;
+
+  (* Issuance-breaker state: worst host (0 closed, 1 half-open, 2 open). *)
+  let breakers = by_name ts "apna_host_issuance_breaker_state" in
+  if breakers <> [] then
+    put breaker_max
+      (List.fold_left (fun acc s -> Float.max acc (T.last_value s)) 0.0
+         breakers);
+
+  (* Allocations per packet: worst border router. *)
+  let allocs = by_name ts "apna_br_allocs_per_packet" in
+  if allocs <> [] then
+    put allocs_per_pkt_max
+      (List.fold_left (fun acc s -> Float.max acc (T.last_value s)) 0.0 allocs);
+
+  (* Shutoff propagation proxy: requests built by victims but not yet
+     parsed by an accountability agent. A sustained backlog means
+     shutoffs are stalling in flight — the latency blow-up signature. *)
+  let total name =
+    List.fold_left (fun acc s -> acc +. T.last_value s) 0.0 (by_name ts name)
+  in
+  let built = total "apna_shutoff_requests_built_total" in
+  if built > 0.0 then
+    put shutoff_backlog (built -. total "apna_shutoff_requests_parsed_total")

@@ -22,6 +22,7 @@ type kind =
   | Shutoff of { aid : int }
   | Migrate of { aid : int; host : string; reason : string }
   | Broker_decision of { aid : int; granted : bool; query : string }
+  | Alert_state of { rule : string; series : string; state : string }
 
 type record = { key : int64; time : float; seq : int; kind : kind }
 
@@ -86,6 +87,7 @@ let stage_label = function
   | Shutoff _ -> "shutoff"
   | Migrate _ -> "host.migrate"
   | Broker_decision _ -> "broker.decide"
+  | Alert_state _ -> "alert"
 
 let where = function
   | Host_send { aid; _ }
@@ -98,6 +100,7 @@ let where = function
       Printf.sprintf "AS%d" aid
   | Link_transit { src; dst; _ } -> Printf.sprintf "AS%d->AS%d" src dst
   | Gw_encap { gateway } | Gw_decap { gateway } -> "gw:" ^ gateway
+  | Alert_state { series; _ } -> "alerts:" ^ series
 
 let describe = function
   | Host_send { aid; host } -> Printf.sprintf "host %s @ AS%d" host aid
@@ -122,3 +125,5 @@ let describe = function
       Printf.sprintf "broker %s [%s] @ AS%d"
         (if granted then "grant" else "refusal")
         query aid
+  | Alert_state { rule; series; state } ->
+      Printf.sprintf "alert %s -> %s on %s" rule state series

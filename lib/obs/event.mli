@@ -63,6 +63,10 @@ type kind =
       (** The privacy broker granted or refused a linkage request (keyed
           on the request correlation id); [query] is the query label
           ("deanonymize", "bindings-of", "attribute-packet"). *)
+  | Alert_state of { rule : string; series : string; state : string }
+      (** An {!Alert} rule instance changed state ("pending", "firing",
+          "resolved"); keyed on the rule name so one rule's transitions
+          form a timeline. *)
 
 type record = { key : int64; time : float; seq : int; kind : kind }
 (** [time] is the sink clock (simulated seconds inside a simulation);

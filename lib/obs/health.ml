@@ -1,0 +1,131 @@
+(* Per-AS health rollup from firing alerts and derived-indicator bands. *)
+
+module T = Timeseries
+
+type status = Ok | Degraded | Critical
+
+let status_label = function
+  | Ok -> "ok"
+  | Degraded -> "degraded"
+  | Critical -> "critical"
+
+let status_rank = function Ok -> 0 | Degraded -> 1 | Critical -> 2
+let worse a b = if status_rank a >= status_rank b then a else b
+
+type report = {
+  scope : string;  (* "AS64500" or "global" *)
+  status : status;
+  reasons : string list;  (* contributing alerts / bands, worst first *)
+}
+
+let scope_of_labels labels =
+  match List.assoc_opt "aid" labels with
+  | Some aid -> "AS" ^ aid
+  | None -> "global"
+
+(* Indicator bands: thresholds at which an indicator colors an AS even
+   without (or before) an alert firing. Milder than the rulepack's
+   firing thresholds — bands are the early-warning shading. *)
+let bands =
+  [
+    (Derive.drop_ratio_total, `Above 0.2, Degraded, "drop ratio > 20%");
+    (Derive.drop_ratio_total, `Above 0.5, Critical, "drop ratio > 50%");
+    (Derive.cache_hit_ratio, `Below 0.5, Degraded, "cache hit ratio < 50%");
+    (Derive.budget_exhausted_rate, `Above 0.0, Degraded,
+     "budget-exhausted refusals");
+    (Derive.breaker_max, `Above 1.5, Critical, "issuance breaker open");
+  ]
+
+let band_holds cmp v =
+  (not (Float.is_nan v))
+  && match cmp with `Above thr -> v > thr | `Below thr -> v < thr
+
+let rollup alerts ts =
+  let tbl : (string, (status * string list) ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let cell scope =
+    match Hashtbl.find_opt tbl scope with
+    | Some c -> c
+    | None ->
+        let c = ref (Ok, []) in
+        Hashtbl.replace tbl scope c;
+        c
+  in
+  (* Every AS that shows up in any labeled series gets a row, healthy or
+     not — plus the global row. *)
+  ignore (cell "global");
+  T.fold ts
+    (fun () s ->
+      match List.assoc_opt "aid" (T.labels s) with
+      | Some aid -> ignore (cell ("AS" ^ aid))
+      | None -> ())
+    ();
+  let note scope status reason =
+    let c = cell scope in
+    let cur, reasons = !c in
+    c := (worse status cur, if List.mem reason reasons then reasons else reason :: reasons)
+  in
+  (* Firing alerts: crit -> Critical, warn -> Degraded. Pending crit
+     alerts shade the AS Degraded — trouble building, not confirmed. *)
+  List.iter
+    (fun i ->
+      let r = Alert.rule i in
+      let scope =
+        match T.find ts (Alert.series i) with
+        | Some s -> scope_of_labels (T.labels s)
+        | None -> "global"
+      in
+      match (Alert.state i, r.Alert.severity) with
+      | Alert.Firing _, Alert.Crit ->
+          note scope Critical ("alert " ^ r.Alert.name)
+      | Alert.Firing _, Alert.Warn ->
+          note scope Degraded ("alert " ^ r.Alert.name)
+      | Alert.Pending _, Alert.Crit ->
+          note scope Degraded ("alert " ^ r.Alert.name ^ " pending")
+      | _ -> ())
+    (Alert.instances alerts);
+  (* Indicator bands over the latest derived values. *)
+  T.fold ts
+    (fun () s ->
+      List.iter
+        (fun (name, cmp, status, reason) ->
+          if T.name s = name && band_holds cmp (T.last_value s) then
+            note (scope_of_labels (T.labels s)) status reason)
+        bands)
+    ();
+  Hashtbl.fold
+    (fun scope c acc ->
+      let status, reasons = !c in
+      { scope; status; reasons = List.rev reasons } :: acc)
+    tbl []
+  |> List.sort (fun a b -> String.compare a.scope b.scope)
+
+let render reports =
+  let b = Buffer.create 256 in
+  let width =
+    List.fold_left (fun w r -> max w (String.length r.scope)) 6 reports
+  in
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "%-*s  %-8s  %s\n" width r.scope
+           (status_label r.status)
+           (match r.reasons with [] -> "-" | rs -> String.concat "; " rs)))
+    reports;
+  Buffer.contents b
+
+let worst reports =
+  List.fold_left (fun acc r -> worse acc r.status) Ok reports
+
+let to_json reports =
+  Json.List
+    (List.map
+       (fun r ->
+         Json.Obj
+           [
+             ("scope", Json.Str r.scope);
+             ("status", Json.Str (status_label r.status));
+             ("reasons", Json.List (List.map (fun s -> Json.Str s) r.reasons));
+           ])
+       reports)

@@ -13,10 +13,21 @@ type t = {
   help : (string, string) Hashtbl.t;
   (* Registration order, newest first; reversed for rendering. *)
   mutable order : key list;
+  (* Extra scrape sections (the alert engine's state lines); rendered
+     after the metric series, oldest registration first. *)
+  mutable appendix : (unit -> string) list;
 }
 
 let create ?(enabled = false) () =
-  { on = enabled; tbl = Hashtbl.create 64; help = Hashtbl.create 16; order = [] }
+  {
+    on = enabled;
+    tbl = Hashtbl.create 64;
+    help = Hashtbl.create 16;
+    order = [];
+    appendix = [];
+  }
+
+let add_appendix t f = t.appendix <- f :: t.appendix
 
 let default = create ()
 let set_enabled t on = t.on <- on
@@ -115,6 +126,8 @@ let escape_label_value v =
       | '\\' -> Buffer.add_string b "\\\\"
       | '"' -> Buffer.add_string b "\\\""
       | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
       | c -> Buffer.add_char b c)
     v;
   Buffer.contents b
@@ -135,6 +148,53 @@ let ordered t =
   List.rev_map (fun key -> (key, Hashtbl.find t.tbl key)) t.order
 
 let quantiles = [ 0.5; 0.9; 0.99 ]
+
+(* ------------------------------------------------------------------ *)
+(* Sampling (the Timeseries tick's view of the registry) *)
+
+type hist_sample = {
+  hcount : int;
+  hsum : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  hclamped_lo : int;
+  hclamped_hi : int;
+}
+
+type sample_value =
+  | Sample_counter of int
+  | Sample_gauge of float
+  | Sample_hist of hist_sample
+
+type sample = {
+  sname : string;
+  slabels : labels;
+  sseries : string;
+  svalue : sample_value;
+}
+
+let samples t =
+  List.map
+    (fun (key, v) ->
+      let svalue =
+        match v with
+        | Vcounter c -> Sample_counter (Accum.Counter.value c)
+        | Vgauge g -> Sample_gauge !g
+        | Vhist h ->
+            Sample_hist
+              {
+                hcount = Accum.Hist.count h;
+                hsum = Accum.Hist.sum h;
+                p50 = Accum.Hist.percentile h 0.5;
+                p90 = Accum.Hist.percentile h 0.9;
+                p99 = Accum.Hist.percentile h 0.99;
+                hclamped_lo = Accum.Hist.clamped_lo h;
+                hclamped_hi = Accum.Hist.clamped_hi h;
+              }
+      in
+      { sname = key.name; slabels = key.labels; sseries = series_name key; svalue })
+    (ordered t)
 
 let render_text t =
   let b = Buffer.create 1024 in
@@ -172,8 +232,21 @@ let render_text t =
                (Accum.Hist.sum h));
           Buffer.add_string b
             (Printf.sprintf "%s_count%s %d\n" key.name (label_suffix key.labels)
-               (Accum.Hist.count h)))
+               (Accum.Hist.count h));
+          (* Edge-clamped samples: nonzero means the percentile lines above
+             are lying at the histogram's range boundary. *)
+          if Accum.Hist.clamped h > 0 then begin
+            Buffer.add_string b
+              (Printf.sprintf "%s_clamped%s %d\n" key.name
+                 (label_suffix (key.labels @ [ ("edge", "lo") ]))
+                 (Accum.Hist.clamped_lo h));
+            Buffer.add_string b
+              (Printf.sprintf "%s_clamped%s %d\n" key.name
+                 (label_suffix (key.labels @ [ ("edge", "hi") ]))
+                 (Accum.Hist.clamped_hi h))
+          end)
     (ordered t);
+  List.iter (fun f -> Buffer.add_string b (f ())) (List.rev t.appendix);
   Buffer.contents b
 
 let to_json t =
@@ -195,6 +268,10 @@ let to_json t =
                   ( Printf.sprintf "p%g" (q *. 100.0),
                     Json.Float (Accum.Hist.percentile h q) ))
                 quantiles
+            @ [
+                ("clamped_lo", Json.Int (Accum.Hist.clamped_lo h));
+                ("clamped_hi", Json.Int (Accum.Hist.clamped_hi h));
+              ]
           in
           hists := (name, Json.Obj fields) :: !hists)
     (ordered t);

@@ -76,10 +76,62 @@ module Histogram : sig
   val percentile : m -> float -> float
 end
 
+(** {2 Sampling}
+
+    The {!Timeseries} tick's view of the registry: one flat snapshot of
+    every registered series, in registration order. Rescanned on every
+    tick, so series registered lazily (per-reason drop counters, per-AS
+    gauges) appear as soon as they first record. *)
+
+type hist_sample = {
+  hcount : int;
+  hsum : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  hclamped_lo : int;
+  hclamped_hi : int;
+}
+
+type sample_value =
+  | Sample_counter of int  (** cumulative (monotonic) count *)
+  | Sample_gauge of float
+  | Sample_hist of hist_sample
+
+type sample = {
+  sname : string;  (** metric name, without labels *)
+  slabels : labels;  (** sorted label pairs *)
+  sseries : string;  (** [name{label="v",...}] — the series identity *)
+  svalue : sample_value;
+}
+
+val samples : t -> sample list
+(** Snapshot of every series, registration order. Values are readable
+    whether or not the registry is enabled (a disabled registry just
+    never accumulates anything). *)
+
+val label_suffix : labels -> string
+(** [{a="1",b="2"}] (or [""] for no labels) with escaped values — the
+    suffix that makes a series identity out of a name. *)
+
+val escape_label_value : string -> string
+(** Exposition-format escaping for label values: backslash, double
+    quote, newline, carriage return and tab are escaped so hostile label
+    values (drop reasons echoed off the wire) cannot break out of the
+    [label="value"] quoting in {!render_text} or corrupt {!to_json}. *)
+
+val add_appendix : t -> (unit -> string) -> unit
+(** Registers an extra scrape section rendered (in registration order)
+    after the metric series in {!render_text} — how the alert engine's
+    state lines ride along with every scrape. The callback must return
+    either [""] or newline-terminated text. *)
+
 val render_text : t -> string
 (** Scrape-style exposition: [# HELP]/[# TYPE] comments, one
     [name{label="v",...} value] line per series; histograms render as
-    summaries with p50/p90/p99 quantile lines plus [_sum]/[_count]. *)
+    summaries with p50/p90/p99 quantile lines plus [_sum]/[_count], and
+    [_clamped{edge="lo"|"hi"}] lines whenever out-of-range samples were
+    clamped into an edge bucket. Appendix sections follow the series. *)
 
 val to_json : t -> Json.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {...}}], keyed by

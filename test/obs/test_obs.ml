@@ -519,12 +519,427 @@ let chrome_tests =
         | _ -> Alcotest.fail "expected one entry");
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Label escaping and histogram clamp accounting *)
+
+let contains text needle =
+  let nl = String.length needle and tl = String.length text in
+  let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+  go 0
+
+let hostile_tests =
+  [
+    Alcotest.test_case "escape_label_value covers the exposition set" `Quick
+      (fun () ->
+        Alcotest.(check string)
+          "quote/backslash/newline/cr/tab" "a\\\"b\\\\c\\nd\\re\\tf"
+          (Metrics.escape_label_value "a\"b\\c\nd\re\tf");
+        Alcotest.(check string)
+          "clean values pass through" "plain-value_64500"
+          (Metrics.escape_label_value "plain-value_64500"));
+    Alcotest.test_case "hostile label values cannot break the scrape text"
+      `Quick (fun () ->
+        (* A drop reason echoed off the wire: quote to close the label,
+           newline to inject a fake series line. *)
+        let r = Metrics.create ~enabled:true () in
+        let evil = "x\"} 999\ninjected_total 1\tend\\" in
+        Metrics.Counter.incr
+          (Metrics.Counter.register r ~labels:[ ("reason", evil) ] "t_total");
+        let text = Metrics.render_text r in
+        (* The series renders on ONE line, fully escaped. *)
+        let lines = String.split_on_char '\n' text in
+        let series_lines =
+          List.filter (fun l -> contains l "t_total{") lines
+        in
+        Alcotest.(check int) "one series line" 1 (List.length series_lines);
+        Alcotest.(check bool)
+          "escaped quote" true
+          (contains (List.hd series_lines) "x\\\"} 999\\ninjected_total");
+        (* No line BEGINS with the injected name — the payload never
+           becomes a series of its own. *)
+        let starts_with p l =
+          String.length l >= String.length p
+          && String.sub l 0 (String.length p) = p
+        in
+        Alcotest.(check bool)
+          "no injected series" false
+          (List.exists (starts_with "injected_total") lines));
+    Alcotest.test_case "hostile label values survive the JSON codec" `Quick
+      (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        let evil = "a\"b\\c\nd" in
+        Metrics.Counter.incr
+          (Metrics.Counter.register r ~labels:[ ("k", evil) ] "t_total");
+        match Json.parse (Json.to_string (Metrics.to_json r)) with
+        | Error e -> Alcotest.failf "corrupted JSON: %s" e
+        | Ok doc ->
+            let counters = Option.get (Json.member "counters" doc) in
+            let key =
+              Printf.sprintf "t_total{k=\"%s\"}"
+                (Metrics.escape_label_value evil)
+            in
+            (match Json.member key counters with
+            | Some (Json.Int 1) -> ()
+            | _ -> Alcotest.failf "series %S lost" key));
+    Alcotest.test_case "label_suffix escapes values in place" `Quick
+      (fun () ->
+        Alcotest.(check string) "no labels" "" (Metrics.label_suffix []);
+        Alcotest.(check string)
+          "escaped" "{a=\"x\\\"y\",b=\"2\"}"
+          (Metrics.label_suffix [ ("a", "x\"y"); ("b", "2") ]));
+    Alcotest.test_case "histogram counts clamped samples per edge" `Quick
+      (fun () ->
+        let h = Accum.Hist.create ~lo:0.0 ~hi:10.0 () in
+        List.iter (Accum.Hist.add h) [ -5.0; 15.0; 20.0; 5.0 ];
+        Alcotest.(check int) "count includes clamped" 4 (Accum.Hist.count h);
+        Alcotest.(check int) "below lo" 1 (Accum.Hist.clamped_lo h);
+        Alcotest.(check int) "above hi" 2 (Accum.Hist.clamped_hi h);
+        Alcotest.(check int) "total" 3 (Accum.Hist.clamped h);
+        (* In-range samples clamp nothing. *)
+        let h2 = Accum.Hist.create ~lo:0.0 ~hi:10.0 () in
+        List.iter (Accum.Hist.add h2) [ 0.0; 10.0; 5.0 ];
+        Alcotest.(check int) "edges are in range" 0 (Accum.Hist.clamped h2));
+    Alcotest.test_case "scrape text surfaces clamped counts" `Quick (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        let h = Metrics.Histogram.register r ~lo:0.0 ~hi:10.0 "t_ns" in
+        Metrics.Histogram.observe h 5.0;
+        Alcotest.(check bool)
+          "no clamp lines while clean" false
+          (contains (Metrics.render_text r) "t_ns_clamped");
+        Metrics.Histogram.observe h 99.0;
+        Metrics.Histogram.observe h (-1.0);
+        let text = Metrics.render_text r in
+        Alcotest.(check bool)
+          "hi edge" true
+          (contains text "t_ns_clamped{edge=\"hi\"} 1");
+        Alcotest.(check bool)
+          "lo edge" true
+          (contains text "t_ns_clamped{edge=\"lo\"} 1"));
+    Alcotest.test_case "sampling snapshot carries clamp counts" `Quick
+      (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        let h = Metrics.Histogram.register r ~lo:0.0 ~hi:10.0 "t_ns" in
+        Metrics.Histogram.observe h 99.0;
+        match Metrics.samples r with
+        | [ { svalue = Metrics.Sample_hist hs; _ } ] ->
+            Alcotest.(check int) "hi" 1 hs.Metrics.hclamped_hi;
+            Alcotest.(check int) "lo" 0 hs.Metrics.hclamped_lo
+        | _ -> Alcotest.fail "expected one histogram sample");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Timeseries sampler *)
+
+let timeseries_tests =
+  [
+    Alcotest.test_case "tick snapshots counters, gauges and histograms"
+      `Quick (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        let c = Metrics.Counter.register r ~labels:[ ("aid", "1") ] "t_total" in
+        let g = Metrics.Gauge.register r "t_depth" in
+        let h = Metrics.Histogram.register r ~lo:0.0 ~hi:100.0 "t_ns" in
+        let ts = Timeseries.create ~capacity:8 r in
+        Timeseries.set_enabled ts true;
+        for i = 1 to 4 do
+          Metrics.Counter.incr ~by:2 c;
+          Metrics.Gauge.set g (float_of_int i);
+          Metrics.Histogram.observe h (float_of_int (10 * i));
+          Timeseries.tick ts ~now:(float_of_int i)
+        done;
+        Alcotest.(check int) "ticks" 4 (Timeseries.ticks ts);
+        let s = Option.get (Timeseries.find ts "t_total{aid=\"1\"}") in
+        Alcotest.(check bool) "counter kind" true
+          (Timeseries.kind s = Timeseries.Kcounter);
+        Alcotest.(check (float 1e-9)) "cumulative last" 8.0
+          (Timeseries.last_value s);
+        Alcotest.(check (float 1e-9)) "per-tick delta" 2.0
+          (Timeseries.last_delta s);
+        Alcotest.(check (float 1e-9)) "windowed rate" 2.0
+          (Timeseries.rate s ~window:10.0);
+        let gs = Option.get (Timeseries.find ts "t_depth") in
+        Alcotest.(check (float 1e-9)) "gauge history" 4.0
+          (Timeseries.last_value gs);
+        (* Histograms contribute :p50/:p99 gauges and a :count counter. *)
+        Alcotest.(check bool) "p50 sub-series" true
+          (Timeseries.find ts "t_ns:p50" <> None);
+        let hc = Option.get (Timeseries.find ts "t_ns:count") in
+        Alcotest.(check bool) "count is a counter" true
+          (Timeseries.kind hc = Timeseries.Kcounter);
+        Alcotest.(check (float 1e-9)) "observation throughput" 1.0
+          (Timeseries.rate hc ~window:10.0));
+    Alcotest.test_case "disabled sampler records nothing" `Quick (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        Metrics.Counter.incr (Metrics.Counter.register r "t_total");
+        let ts = Timeseries.create r in
+        Timeseries.tick ts ~now:1.0;
+        Timeseries.record ts ~name:"d" ~now:1.0 2.0;
+        Alcotest.(check int) "no ticks" 0 (Timeseries.ticks ts);
+        Alcotest.(check (list string)) "no series" [] (Timeseries.names ts));
+    Alcotest.test_case "counter reset clamps the rate to zero" `Quick
+      (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        let ts = Timeseries.create ~capacity:8 r in
+        Timeseries.set_enabled ts true;
+        Timeseries.record ts ~kind:Timeseries.Kcounter ~name:"c" ~now:1.0 100.0;
+        Timeseries.record ts ~kind:Timeseries.Kcounter ~name:"c" ~now:2.0 5.0;
+        let s = Option.get (Timeseries.find ts "c") in
+        Alcotest.(check (float 1e-9)) "clamped" 0.0
+          (Timeseries.rate s ~window:10.0));
+    Alcotest.test_case "to_json round-trips through the parser" `Quick
+      (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        Metrics.Counter.incr (Metrics.Counter.register r "t_total");
+        let ts = Timeseries.create ~capacity:4 r in
+        Timeseries.set_enabled ts true;
+        Timeseries.tick ts ~now:0.25;
+        Timeseries.record ts ~name:"derived:x" ~now:0.25 nan;
+        match Json.parse (Json.to_string (Timeseries.to_json ts)) with
+        | Error e -> Alcotest.failf "parse: %s" e
+        | Ok doc ->
+            let series = Option.get (Json.member "series" doc) in
+            (match Json.member "t_total" series with
+            | Some _ -> ()
+            | None -> Alcotest.fail "series lost"));
+    qtest "ring keeps the newest min(ticks, capacity) points" ~count:300
+      QCheck2.Gen.(pair (int_range 2 8) (int_range 0 40))
+      (fun (capacity, n) ->
+        let r = Metrics.create ~enabled:true () in
+        let c = Metrics.Counter.register r "t_total" in
+        let ts = Timeseries.create ~capacity r in
+        Timeseries.set_enabled ts true;
+        for i = 0 to n - 1 do
+          Metrics.Counter.incr c;
+          Timeseries.tick ts ~now:(float_of_int i)
+        done;
+        if n = 0 then Timeseries.names ts = []
+        else
+          let s = Option.get (Timeseries.find ts "t_total") in
+          let expect_n = min n capacity in
+          let pts = Timeseries.points s in
+          (* Exactly the newest window, oldest first, cumulative values
+             intact across the wrap. *)
+          Timeseries.written s = n
+          && Timeseries.length s = expect_n
+          && pts
+             = List.init expect_n (fun i ->
+                   let tick = n - expect_n + i in
+                   (float_of_int tick, float_of_int (tick + 1)))
+          && (expect_n < 2
+             || Timeseries.rate s ~window:(float_of_int (n + 1)) = 1.0));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Alert engine: hysteresis state machine *)
+
+let mk_rule ?(name = "r") ?(for_ = 1.0) ?(pred = Alert.Above 10.0) () =
+  {
+    Alert.name;
+    metric = "sig";
+    where = [];
+    pred;
+    for_;
+    severity = Alert.Crit;
+    summary = "test rule";
+  }
+
+let feed ts now v = Timeseries.record ts ~name:"sig" ~now v
+
+let state_at a =
+  match Alert.instances a with
+  | [ i ] -> Alert.state_label (Alert.state i)
+  | [] -> "no-instance"
+  | _ -> "many-instances"
+
+let alert_tests =
+  [
+    Alcotest.test_case "pending holds for_, then fires, then resolves" `Quick
+      (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        let ts = Timeseries.create r in
+        Timeseries.set_enabled ts true;
+        let a = Alert.create ~rules:[ mk_rule () ] ts in
+        let step now v =
+          feed ts now v;
+          Alert.eval a ~now;
+          state_at a
+        in
+        Alcotest.(check string) "below: inactive" "inactive" (step 0.0 5.0);
+        Alcotest.(check string) "above: pending" "pending" (step 0.5 20.0);
+        Alcotest.(check string) "held 0.5 < 1.0: pending" "pending"
+          (step 1.0 20.0);
+        Alcotest.(check string) "held 1.0: firing" "firing" (step 1.5 20.0);
+        Alcotest.(check bool) "has_fired" true (Alert.has_fired a "r");
+        Alcotest.(check string) "clear: resolved" "resolved" (step 2.0 5.0);
+        Alcotest.(check string) "stays resolved" "resolved" (step 2.5 5.0);
+        Alcotest.(check string) "re-trip: pending again" "pending"
+          (step 3.0 20.0));
+    Alcotest.test_case "boundary oscillation never fires (no flapping)"
+      `Quick (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        let ts = Timeseries.create r in
+        Timeseries.set_enabled ts true;
+        let a = Alert.create ~rules:[ mk_rule ~for_:1.0 () ] ts in
+        (* The signal crosses the threshold every 0.5 s — each excursion is
+           shorter than for_, so the instance bounces inactive <-> pending
+           and must never reach firing. *)
+        for i = 0 to 40 do
+          let now = 0.5 *. float_of_int i in
+          feed ts now (if i mod 2 = 0 then 10.5 else 9.5);
+          Alert.eval a ~now;
+          match state_at a with
+          | "inactive" | "pending" -> ()
+          | s -> Alcotest.failf "flapped to %s at t=%.1f" s now
+        done;
+        Alcotest.(check bool) "never fired" false (Alert.has_fired a "r");
+        Alcotest.(check (list string)) "no fired rules" []
+          (Alert.fired_rules a));
+    Alcotest.test_case "pending that clears goes straight back to inactive"
+      `Quick (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        let ts = Timeseries.create r in
+        Timeseries.set_enabled ts true;
+        let a = Alert.create ~rules:[ mk_rule () ] ts in
+        feed ts 0.0 20.0;
+        Alert.eval a ~now:0.0;
+        Alcotest.(check string) "pending" "pending" (state_at a);
+        feed ts 0.5 5.0;
+        Alert.eval a ~now:0.5;
+        (* Never fired, so nothing to resolve. *)
+        Alcotest.(check string) "inactive" "inactive" (state_at a));
+    Alcotest.test_case "for_ = 0 fires on the first true evaluation" `Quick
+      (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        let ts = Timeseries.create r in
+        Timeseries.set_enabled ts true;
+        let a = Alert.create ~rules:[ mk_rule ~for_:0.0 () ] ts in
+        feed ts 0.0 20.0;
+        Alert.eval a ~now:0.0;
+        Alcotest.(check string) "firing immediately" "firing" (state_at a));
+    Alcotest.test_case "nan never satisfies a predicate" `Quick (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        let ts = Timeseries.create r in
+        Timeseries.set_enabled ts true;
+        let a =
+          Alert.create
+            ~rules:[ mk_rule ~for_:0.0 ~pred:(Alert.Below 10.0) () ]
+            ts
+        in
+        feed ts 0.0 nan;
+        Alert.eval a ~now:0.0;
+        Alcotest.(check string) "inactive on nan" "inactive" (state_at a));
+    Alcotest.test_case "rate predicate needs two points, then fires" `Quick
+      (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        let ts = Timeseries.create r in
+        Timeseries.set_enabled ts true;
+        let pred = Alert.Rate_above { window = 4.0; per_s = 5.0 } in
+        let a = Alert.create ~rules:[ mk_rule ~for_:0.0 ~pred () ] ts in
+        Timeseries.record ts ~kind:Timeseries.Kcounter ~name:"sig" ~now:0.0
+          0.0;
+        Alert.eval a ~now:0.0;
+        Alcotest.(check string) "one point: inactive" "inactive" (state_at a);
+        Timeseries.record ts ~kind:Timeseries.Kcounter ~name:"sig" ~now:1.0
+          10.0;
+        Alert.eval a ~now:1.0;
+        Alcotest.(check string) "10/s > 5/s: firing" "firing" (state_at a));
+    Alcotest.test_case "where narrows instances to matching series" `Quick
+      (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        let ts = Timeseries.create r in
+        Timeseries.set_enabled ts true;
+        let rule =
+          { (mk_rule ~for_:0.0 ()) with Alert.where = [ ("aid", "1") ] }
+        in
+        let a = Alert.create ~rules:[ rule ] ts in
+        Timeseries.record ts ~name:"sig" ~labels:[ ("aid", "1") ] ~now:0.0
+          20.0;
+        Timeseries.record ts ~name:"sig" ~labels:[ ("aid", "2") ] ~now:0.0
+          20.0;
+        Alert.eval a ~now:0.0;
+        Alcotest.(check int) "one instance" 1
+          (List.length (Alert.instances a)));
+    Alcotest.test_case "transitions emit metrics and scrape lines" `Quick
+      (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        let ts = Timeseries.create r in
+        Timeseries.set_enabled ts true;
+        let a = Alert.create ~rules:[ mk_rule ~for_:0.0 () ] ts in
+        Alert.attach_scrape a r;
+        feed ts 0.0 20.0;
+        Alert.eval a ~now:0.0;
+        let text = Metrics.render_text r in
+        Alcotest.(check bool) "firing gauge" true
+          (contains text "apna_alert_firing 1");
+        Alcotest.(check bool) "alert state line rides the scrape" true
+          (contains text "apna_alert{rule=\"r\",series=\"sig\"");
+        match Json.parse (Json.to_string (Alert.to_json a)) with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "alert JSON: %s" e);
+    Alcotest.test_case "default rulepack covers the attack signatures"
+      `Quick (fun () ->
+        let names =
+          List.map (fun r -> r.Alert.name) (Alert.default_rules ())
+        in
+        List.iter
+          (fun n ->
+            Alcotest.(check bool) n true (List.mem n names))
+          [
+            "replay-flood"; "link-loss"; "revocation-storm"; "shutoff-stall";
+            "broker-budget-drain"; "breaker-open"; "cache-collapse";
+          ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Health rollup *)
+
+let health_tests =
+  [
+    Alcotest.test_case "firing crit alert marks its scope critical" `Quick
+      (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        let ts = Timeseries.create r in
+        Timeseries.set_enabled ts true;
+        let rule =
+          { (mk_rule ~for_:0.0 ()) with Alert.where = [ ("aid", "7") ] }
+        in
+        let a = Alert.create ~rules:[ rule ] ts in
+        Timeseries.record ts ~name:"sig" ~labels:[ ("aid", "7") ] ~now:0.0
+          20.0;
+        Alert.eval a ~now:0.0;
+        let reports = Health.rollup a ts in
+        let as7 =
+          List.find (fun r -> r.Health.scope = "AS7") reports
+        in
+        Alcotest.(check bool) "critical" true
+          (as7.Health.status = Health.Critical);
+        Alcotest.(check bool) "global row present" true
+          (List.exists (fun r -> r.Health.scope = "global") reports);
+        Alcotest.(check bool) "worst is critical" true
+          (Health.worst reports = Health.Critical);
+        Alcotest.(check bool) "render mentions the scope" true
+          (contains (Health.render reports) "AS7"));
+    Alcotest.test_case "quiet series roll up ok" `Quick (fun () ->
+        let r = Metrics.create ~enabled:true () in
+        let ts = Timeseries.create r in
+        Timeseries.set_enabled ts true;
+        let a = Alert.create ~rules:[ mk_rule () ] ts in
+        Timeseries.record ts ~name:"sig" ~now:0.0 1.0;
+        Alert.eval a ~now:0.0;
+        let reports = Health.rollup a ts in
+        Alcotest.(check bool) "all ok" true
+          (List.for_all (fun r -> r.Health.status = Health.Ok) reports));
+  ]
+
 let () =
   Alcotest.run "apna_obs"
     [
       ("metrics", metrics_tests);
+      ("hostile labels & clamps", hostile_tests);
       ("json", json_tests);
       ("spans", span_tests);
       ("events", event_tests);
+      ("timeseries", timeseries_tests);
+      ("alerts", alert_tests);
+      ("health", health_tests);
       ("chrome", chrome_tests);
     ]
