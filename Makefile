@@ -45,9 +45,12 @@ bench:
 # budget pressure against live traffic, with the data-plane regression
 # gate), the trace-scale smoke (E16: reduced-population million-host
 # replay with its peak-rate and baseline gates, writing
-# trace_scale.json) and the linkage grep gate. The chaos, lifetime,
-# storm and scale smokes run first so the final BENCH_results.json is
-# the regular one.
+# trace_scale.json), the attack-campaign smoke (E18: the 1% misbehavior
+# tier against the hardened accountability agent, writing
+# attack_campaign.json; its output must show the shutoff-stall and
+# revocation-storm alerts firing AND resolving) and the linkage grep
+# gate. The chaos, lifetime, storm, scale, burst and campaign smokes run
+# first so the final BENCH_results.json is the regular one.
 check: linkage-gate
 	dune build @all
 	dune runtest
@@ -72,12 +75,19 @@ check: linkage-gate
 	dune exec bench/main.exe -- --burst --quick
 	test -s BENCH_results.json
 	test -s burst.json
+	rm -f BENCH_results.json attack_campaign.json
+	dune exec bench/main.exe -- --campaign --quick > /tmp/apna_campaign_smoke.txt
+	cat /tmp/apna_campaign_smoke.txt
+	test -s BENCH_results.json
+	test -s attack_campaign.json
+	grep -q 'alert gate ok: shutoff-stall fired and resolved' /tmp/apna_campaign_smoke.txt
+	grep -q 'alert gate ok: revocation-storm fired and resolved' /tmp/apna_campaign_smoke.txt
 	rm -f BENCH_results.json
 	dune exec bench/main.exe -- --quick
 	test -s BENCH_results.json
 	dune exec bin/apnad.exe -- broker --dump /tmp/apna_broker_journal.txt > /dev/null
 	test -s /tmp/apna_broker_journal.txt
-	@echo "check: OK (trace + chaos + lifetime + warrant-storm smokes passed, linkage gate clean, BENCH_results.json written and validated)"
+	@echo "check: OK (trace + chaos + lifetime + warrant-storm + attack-campaign smokes passed, linkage gate clean, BENCH_results.json written and validated)"
 
 clean:
 	dune clean

@@ -53,6 +53,10 @@ let trace_scale_only = ref false
 (* --burst: run only the E17 batched fast-path comparison; combine with
    --quick for the CI smoke tier. *)
 let burst_only = ref false
+
+(* --campaign: run only the E18 adversarial-campaign sweep; combine with
+   --quick for the single-tier CI smoke. *)
+let campaign_only = ref false
 let iters n = if !quick then max 20 (n / 20) else n
 
 (* Sections accumulated by experiments as they run; flushed to
@@ -2503,6 +2507,720 @@ let e17 () =
   line "wrote burst.json"
 
 (* ------------------------------------------------------------------ *)
+(* E18: adversarial-scale accountability (§IV-E, §VIII-G2 under attack) *)
+
+(* One tier of the misbehavior-campaign sweep: a {!Apna_workload.Campaign}
+   schedule turns [fraction] of the population malicious, and the four
+   behaviors hit the live network simultaneously —
+
+     unwanted-traffic   real bot hosts flood victim endpoints, whose
+                        on_data auto-shutoff drives the revocation storm
+                        (per-packet bot EphIDs make every grant a fresh
+                        revocation-list entry);
+     replay-flood       frames the victims already accepted, re-submitted
+                        at the attacker border router;
+     ephid-bruteforce   random 16-byte EphID guesses at the same router;
+     shutoff-spam       forged / duplicate-evidence / expired-evidence
+                        requests injected straight into the AA's bounded
+                        admission queue.
+
+   The accountability agent runs with deliberately tight limits so the
+   storm exercises every hardening layer: the token buckets refuse, the
+   bounded queue sheds spam before evidence, drains are budgeted, and
+   revocations propagate as batches. Telemetry rides the run; the 1%%
+   tier is the acceptance tier (ISSUE: ≥99%% legit delivery, bounded
+   backlog with shed > 0, propagation p99 reported, every AA request and
+   every border-router drop accounted by reason, shutoff-stall +
+   revocation-storm alerts fired and resolved). *)
+
+let e18_tier ~fraction ~acceptance =
+  let module W = Apna_workload in
+  let aid_of = Apna_net.Addr.aid_of_int in
+  let population = 9_000 in
+  let trace_cfg =
+    {
+      W.Trace.paper_config with
+      W.Trace.hosts = population;
+      peak_rate = 100.0;
+      duration_s = 10.0;
+      peak_at_s = 5.0;
+    }
+  in
+  let cfg =
+    {
+      (W.Campaign.default ~trace:trace_cfg ~fraction) with
+      W.Campaign.events_per_host = 2.0;
+      volume_mean = 10.0;
+    }
+  in
+  let events =
+    W.Campaign.generate ~seed:(Printf.sprintf "e18-%.4f" fraction) cfg
+  in
+  let n_bots = W.Campaign.malicious_count cfg in
+  line "";
+  line "tier %.1f%%: %d/%d hosts malicious, %d campaign events" (fraction *. 100.0)
+    n_bots population (List.length events);
+  List.iter
+    (fun (label, n) -> line "    %-24s %d events" label n)
+    (W.Campaign.count_by_behavior events);
+  (* AA policy tuned so the storm lands on the bounded queue rather than
+     the token buckets: requester buckets are generous enough that victim
+     evidence floods the admission queue, and the budgeted drain (budget /
+     interval = 40/s) becomes the bottleneck — grants then run at drain
+     speed, which sits above the 25/s revocation-storm threshold, while
+     the queue pegs past the 8-deep shutoff-stall threshold. *)
+  let aa_limits =
+    {
+      Accountability.default_limits with
+      rate_burst = 128;
+      rate_per_s = 32.0;
+      queue_cap = 16;
+      drain_budget = 12;
+      drain_interval_s = 0.25;
+    }
+  in
+  let net =
+    Network.create ~seed:(Printf.sprintf "e18-%.4f" fraction) ()
+  in
+  let n500 = Network.add_as net 64500 ~aa_limits () in
+  let n501 = Network.add_as net 64501 ~aa_limits () in
+  Network.connect_as net 64500 64501 ();
+  let boot h =
+    match Host.bootstrap h with
+    | Ok () -> h
+    | Error e -> failwith ("e18 bootstrap: " ^ Error.to_string e)
+  in
+  (* Legitimate population: clients in the attacker AS (their traffic
+     shares the stormed egress pipeline) talking to servers across the
+     inter-AS link — the ≥99% delivery gate. *)
+  let n_clients = 10 and n_servers = 3 and n_victims = 4 in
+  let clients =
+    List.init n_clients (fun i ->
+        boot
+          (Network.add_host net ~as_number:64500
+             ~name:(Printf.sprintf "c%d" i)
+             ~credential:(Printf.sprintf "c%d" i) ()))
+  in
+  let servers =
+    List.init n_servers (fun i ->
+        boot
+          (Network.add_host net ~as_number:64501
+             ~name:(Printf.sprintf "s%d" i)
+             ~credential:(Printf.sprintf "s%d" i) ()))
+  in
+  let victims =
+    List.init n_victims (fun i ->
+        boot
+          (Network.add_host net ~as_number:64501
+             ~name:(Printf.sprintf "v%d" i)
+             ~credential:(Printf.sprintf "v%d" i) ()))
+  in
+  Network.run net;
+  let endpoint_of h =
+    let ep = ref None in
+    Host.request_ephid h ~lifetime:Lifetime.Long (fun e -> ep := Some e);
+    Network.run net;
+    match !ep with
+    | Some e -> e
+    | None -> failwith "e18: endpoint issuance failed"
+  in
+  let server_eps = List.map endpoint_of servers in
+  let victim_eps = List.map endpoint_of victims in
+  (* Victim defence + replay capture: every decrypted frame becomes
+     shutoff evidence, and a copy feeds the attacker's replay pool (the
+     replayed frames are ones the victims really accepted, so their
+     session replay windows are the last line of defence). *)
+  let shutoff_built = ref 0 in
+  let replay_pool : Apna_net.Packet.t list ref = ref [] in
+  List.iter
+    (fun v ->
+      Host.on_data v (fun ~session ~data:_ ->
+          match Host.last_packet v session with
+          | Some evidence -> (
+              replay_pool := evidence :: !replay_pool;
+              match Host.request_shutoff v ~session ~evidence with
+              | Ok () -> incr shutoff_built
+              | Error _ -> ())
+          | None -> ()))
+    victims;
+  (* Real bot hosts only for the unwanted-traffic behavior; replay,
+     bruteforce and AA spam are injected at the infrastructure seams the
+     way a real attacker would (no cooperating host required). *)
+  let bot_tbl : (int, Host.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (e : W.Campaign.event) ->
+      if e.behavior = W.Campaign.Unwanted_traffic
+         && not (Hashtbl.mem bot_tbl e.host)
+      then
+        let b =
+          boot
+            (Network.add_host net ~as_number:64500
+               ~name:(Printf.sprintf "bot%d" e.host)
+               ~credential:(Printf.sprintf "bot%d" e.host)
+               ~granularity:Granularity.Per_packet ())
+        in
+        Hashtbl.add bot_tbl e.host b)
+    events;
+  Network.run net;
+  (* Synthetic spam material, prepared up front so injection is cheap.
+     Forged requests reuse one spammer cert (burning its token bucket is
+     what demotes the tail to the shed-first low-priority queue);
+     duplicate spam replays one once-valid request; expired spam quotes
+     a source EphID whose validity window has passed. *)
+  let rng = Network.rng net in
+  let now_setup = Network.now_unix net in
+  let keys500 = As_node.keys n500 and keys501 = As_node.keys n501 in
+  let spam_victim i =
+    let keys = Keys.make_ephid_keys rng in
+    let ephid =
+      Ephid.issue_random keys501 rng
+        ~hid:(Apna_net.Addr.hid_of_int (0x0bf0_0000 + i))
+        ~expiry:(now_setup + 3_600)
+    in
+    let cert =
+      Cert.issue keys501 ~ephid ~expiry:(now_setup + 3_600)
+        ~kx_pub:keys.kx_public
+        ~sig_pub:(Ed25519.public_key keys.sig_keypair)
+        ~aa_ephid:ephid
+    in
+    (cert, keys)
+  in
+  let spam_evidence ~spam_hid ~spam_kha ~(dst_cert : Cert.t) ~expiry ~payload =
+    let src = Ephid.issue_random keys500 rng ~hid:spam_hid ~expiry in
+    let header =
+      Apna_net.Apna_header.make ~src_aid:(aid_of 64500)
+        ~src_ephid:(Ephid.to_bytes src)
+        ~dst_aid:(aid_of 64501)
+        ~dst_ephid:(Ephid.to_bytes dst_cert.ephid)
+        ()
+    in
+    Pkt_auth.seal
+      ~auth_key:(spam_kha : Keys.host_as).auth
+      (Apna_net.Packet.make ~header ~proto:Apna_net.Packet.Data ~payload)
+  in
+  let spam_requests =
+    (* host index -> per-event request batches, built in schedule order. *)
+    let tbl : (int * int, Msgs.t list) Hashtbl.t = Hashtbl.create 32 in
+    let seq = ref 0 in
+    List.iter
+      (fun (e : W.Campaign.event) ->
+        match e.behavior with
+        | W.Campaign.Shutoff_spam kind ->
+            incr seq;
+            let i = !seq in
+            let spam_hid = Apna_net.Addr.hid_of_int (0x0af0_0000 + i) in
+            let spam_kha =
+              Keys.derive_host_as ~shared_secret:(Drbg.generate rng 32)
+            in
+            Host_info.register (As_node.host_info n500) spam_hid spam_kha;
+            let dst_cert, dst_keys = spam_victim i in
+            let batch =
+              match kind with
+              | W.Campaign.Forged ->
+                  let rogue = Keys.make_ephid_keys rng in
+                  List.init e.volume (fun k ->
+                      let pkt =
+                        spam_evidence ~spam_hid ~spam_kha ~dst_cert
+                          ~expiry:(now_setup + 3_600)
+                          ~payload:(Printf.sprintf "forged-%d-%d" i k)
+                      in
+                      let bytes = Apna_net.Packet.to_bytes pkt in
+                      Msgs.Shutoff_request
+                        {
+                          packet = bytes;
+                          signature = Ed25519.sign rogue.sig_keypair bytes;
+                          cert = Cert.to_bytes dst_cert;
+                        })
+              | W.Campaign.Duplicate_evidence ->
+                  let pkt =
+                    spam_evidence ~spam_hid ~spam_kha ~dst_cert
+                      ~expiry:(now_setup + 3_600)
+                      ~payload:(Printf.sprintf "dup-%d" i)
+                  in
+                  let req =
+                    Shutoff.make_request ~packet:pkt ~dst_cert ~dst_keys
+                  in
+                  List.init e.volume (fun _ -> req)
+              | W.Campaign.Expired_evidence ->
+                  List.init e.volume (fun k ->
+                      let pkt =
+                        spam_evidence ~spam_hid ~spam_kha ~dst_cert
+                          ~expiry:(now_setup - 10)
+                          ~payload:(Printf.sprintf "stale-%d-%d" i k)
+                      in
+                      Shutoff.make_request ~packet:pkt ~dst_cert ~dst_keys)
+            in
+            Hashtbl.replace tbl (e.host, int_of_float (e.at *. 1_000.0)) batch
+        | _ -> ())
+      events;
+    tbl
+  in
+  (* Baselines before the storm so every reported number is a delta. *)
+  let drop_base =
+    List.map
+      (fun n -> (n, Border_router.drop_reasons (As_node.border_router n)))
+      [ n500; n501 ]
+  in
+  let dropped_base =
+    List.map
+      (fun n -> (n, (Border_router.counters (As_node.border_router n)).dropped))
+      [ n500; n501 ]
+  in
+  let m_replay_rejected =
+    M.Counter.register M.default "apna_host_replay_rejected_total"
+  in
+  let replay_rejected_base = M.Counter.value m_replay_rejected in
+  let cache0 = Border_router.ephid_cache_stats (As_node.border_router n500) in
+  let cache_base = (cache0.hits, cache0.misses, cache0.invalidations) in
+  (* Flight recorder on for the campaign: drop forensics by reason. *)
+  let ev = Apna_obs.Event.default in
+  Apna_obs.Event.clear ev;
+  Apna_obs.Event.set_enabled ev true;
+  let tel = Telemetry.attach net in
+  let eng = Network.engine net in
+  (* Legit workload paced across the campaign window. *)
+  let legit_sent = ref 0 and msgs_per_client = 25 in
+  let window = trace_cfg.W.Trace.duration_s in
+  List.iteri
+    (fun i c ->
+      let ep = List.nth server_eps (i mod n_servers) in
+      let session = ref None in
+      Host.connect c ~remote:(ep : Host.endpoint).cert
+        ~data0:(Printf.sprintf "L-%d-0" i) (fun s -> session := Some s);
+      incr legit_sent;
+      for k = 1 to msgs_per_client - 1 do
+        Apna_sim.Engine.schedule_in eng
+          ~delay:(window *. float_of_int k /. float_of_int msgs_per_client)
+          (fun () ->
+            match !session with
+            | Some s -> (
+                match Host.send c s (Printf.sprintf "L-%d-%d" i k) with
+                | Ok () -> incr legit_sent
+                | Error _ -> ())
+            | None -> ())
+      done)
+    clients;
+  (* The campaign itself. *)
+  let unwanted_sent = ref 0
+  and replayed = ref 0
+  and bruteforce_sent = ref 0
+  and spam_injected = ref 0 in
+  let replay_cursor = ref 0 in
+  let aa500 = As_node.accountability n500 in
+  List.iter
+    (fun (e : W.Campaign.event) ->
+      match e.behavior with
+      | W.Campaign.Unwanted_traffic ->
+          let bot = Hashtbl.find bot_tbl e.host in
+          let vep = List.nth victim_eps (e.host mod n_victims) in
+          Apna_sim.Engine.schedule_in eng ~delay:e.at (fun () ->
+              let session = ref None in
+              Host.connect bot ~remote:(vep : Host.endpoint).cert
+                ~data0:(Printf.sprintf "FLOOD-%d-0" e.host) (fun s ->
+                  session := Some s);
+              incr unwanted_sent;
+              for k = 1 to e.volume - 1 do
+                Apna_sim.Engine.schedule_in eng
+                  ~delay:(0.03 *. float_of_int k)
+                  (fun () ->
+                    match !session with
+                    | Some s -> (
+                        match
+                          Host.send bot s (Printf.sprintf "FLOOD-%d-%d" e.host k)
+                        with
+                        | Ok () -> incr unwanted_sent
+                        | Error _ -> ())
+                    | None -> ())
+              done)
+      | W.Campaign.Replay_flood ->
+          Apna_sim.Engine.schedule_in eng ~delay:e.at (fun () ->
+              let pool = Array.of_list !replay_pool in
+              if Array.length pool > 0 then
+                for _ = 1 to e.volume do
+                  let pkt = pool.(!replay_cursor mod Array.length pool) in
+                  incr replay_cursor;
+                  As_node.submit n500 pkt;
+                  incr replayed
+                done)
+      | W.Campaign.Ephid_bruteforce ->
+          Apna_sim.Engine.schedule_in eng ~delay:e.at (fun () ->
+              for _ = 1 to e.volume do
+                let header =
+                  Apna_net.Apna_header.make ~src_aid:(aid_of 64500)
+                    ~src_ephid:(Drbg.generate rng 16)
+                    ~dst_aid:(aid_of 64501)
+                    ~dst_ephid:(Drbg.generate rng 16)
+                    ()
+                in
+                As_node.submit n500
+                  (Apna_net.Packet.make ~header ~proto:Apna_net.Packet.Data
+                     ~payload:"guess");
+                incr bruteforce_sent
+              done)
+      | W.Campaign.Shutoff_spam _ ->
+          let batch =
+            try
+              Hashtbl.find spam_requests
+                (e.host, int_of_float (e.at *. 1_000.0))
+            with Not_found -> []
+          in
+          List.iteri
+            (fun k req ->
+              Apna_sim.Engine.schedule_in eng
+                ~delay:(e.at +. (0.01 *. float_of_int k))
+                (fun () ->
+                  incr spam_injected;
+                  ignore
+                    (Accountability.enqueue aa500 ~now:(Network.now_unix net)
+                       ~at:(Network.now_f net) req)))
+            batch)
+    events;
+  Network.run net;
+  (* Quiet tail: drain the AA queue to empty and keep the sampler
+     ticking so the fired alerts can resolve. *)
+  for _ = 1 to 6 do
+    let grants =
+      Accountability.drain aa500 ~now:(Network.now_unix net)
+        ~at:(Network.now_f net)
+    in
+    ignore grants;
+    Telemetry.kick tel;
+    Network.advance_time net 1.0
+  done;
+  Telemetry.tick_now tel;
+  Telemetry.stop tel;
+  Apna_obs.Event.set_enabled ev false;
+  (* ---- Measurements ---------------------------------------------- *)
+  let legit_delivered =
+    List.concat_map (fun s -> List.map snd (Host.received s)) servers
+    |> List.filter (fun d -> String.length d > 0 && d.[0] = 'L')
+    |> List.length
+  in
+  let delivery_ratio =
+    if !legit_sent = 0 then 1.0
+    else float_of_int legit_delivered /. float_of_int !legit_sent
+  in
+  let unwanted_delivered =
+    List.fold_left (fun acc v -> acc + List.length (Host.received v)) 0 victims
+  in
+  let drop_delta =
+    List.map
+      (fun (n, base) ->
+        let current = Border_router.drop_reasons (As_node.border_router n) in
+        List.filter_map
+          (fun (reason, count) ->
+            let before =
+              Option.value ~default:0 (List.assoc_opt reason base)
+            in
+            if count - before > 0 then Some (reason, count - before) else None)
+          current)
+      drop_base
+  in
+  let drops_by_reason =
+    (* Merge the two routers' per-reason deltas. *)
+    let tbl = Hashtbl.create 8 in
+    List.iter
+      (List.iter (fun (reason, n) ->
+           Hashtbl.replace tbl reason
+             (n + Option.value ~default:0 (Hashtbl.find_opt tbl reason))))
+      drop_delta;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+  in
+  let drops_total =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 drops_by_reason
+  in
+  let dropped_counter_delta =
+    List.fold_left
+      (fun acc (n, base) ->
+        acc
+        + (Border_router.counters (As_node.border_router n)).dropped
+        - base)
+      0
+      (List.map
+         (fun (n, d) -> (n, d))
+         dropped_base)
+  in
+  let replay_rejected =
+    M.Counter.value m_replay_rejected - replay_rejected_base
+  in
+  let granted = Accountability.granted_count aa500
+  and refused = Accountability.refused_count aa500
+  and shed = Accountability.shed_count aa500
+  and queue_end = Accountability.queue_depth aa500
+  and queue_peak = Accountability.queue_peak aa500 in
+  let aa_requests = !shutoff_built + !spam_injected in
+  let aa_accounted = granted + refused + shed + queue_end in
+  let samples = List.sort compare (Accountability.propagation_samples aa500) in
+  let pctl p =
+    match samples with
+    | [] -> nan
+    | _ ->
+        let n = List.length samples in
+        List.nth samples
+          (min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+  in
+  let cache = Border_router.ephid_cache_stats (As_node.border_router n500) in
+  let b_hits, b_misses, b_inval = cache_base in
+  let hits = cache.hits - b_hits
+  and misses = cache.misses - b_misses
+  and invalidations = cache.invalidations - b_inval in
+  let hit_ratio =
+    if hits + misses = 0 then nan
+    else float_of_int hits /. float_of_int (hits + misses)
+  in
+  let revoked_size = Revocation.size (As_node.revoked n500) in
+  let journeys = Apna_obs.Journey.assemble ev in
+  let drop_report = Apna_obs.Journey.drop_report journeys in
+  let alerts = Telemetry.alerts tel in
+  let fired = Apna_obs.Alert.fired_rules alerts in
+  let fired_and_resolved name =
+    Apna_obs.Alert.has_fired alerts name
+    && List.for_all
+         (fun i ->
+           (Apna_obs.Alert.rule i).Apna_obs.Alert.name <> name
+           ||
+           match Apna_obs.Alert.state i with
+           | Apna_obs.Alert.Firing _ -> false
+           | _ -> true)
+         (Apna_obs.Alert.instances alerts)
+  in
+  (* ---- Report ----------------------------------------------------- *)
+  line "  legit delivery        %d/%d (%.2f%%)" legit_delivered !legit_sent
+    (delivery_ratio *. 100.0);
+  line "  malicious injected    %d unwanted, %d replayed, %d bruteforce, %d AA spam"
+    !unwanted_sent !replayed !bruteforce_sent !spam_injected;
+  line "  evidence delivered    %d frames to victims -> %d shutoff requests built"
+    unwanted_delivered !shutoff_built;
+  line "  AA ledger             %d requests = %d granted + %d refused + %d shed (queue end %d, peak %d/%d)"
+    aa_requests granted refused shed queue_end queue_peak
+    aa_limits.Accountability.queue_cap;
+  List.iter
+    (fun (reason, n) -> line "    refused %-18s %d" reason n)
+    (Accountability.refusal_reasons aa500);
+  line "  BR drops              %d total" drops_total;
+  List.iter
+    (fun (reason, n) -> line "    dropped %-18s %d" reason n)
+    drops_by_reason;
+  line "  replay-window rejects %d" replay_rejected;
+  line "  shutoff propagation   p50 %.3f s, p99 %.3f s (%d samples)"
+    (pctl 0.50) (pctl 0.99) (List.length samples);
+  line "  revocation list       %d entries; EphID cache %.1f%% hit (%d/%d, %d invalidations)"
+    revoked_size
+    (hit_ratio *. 100.0)
+    hits (hits + misses) invalidations;
+  line "  alerts fired          %s"
+    (match List.sort String.compare fired with
+    | [] -> "(none)"
+    | fs -> String.concat ", " fs);
+  if Apna_obs.Event.evicted ev > 0 then
+    line "  (flight recorder evicted %d events; journey forensics cover the newest window)"
+      (Apna_obs.Event.evicted ev);
+  (match drop_report with
+  | [] -> ()
+  | report ->
+      line "  journey drop forensics (last good hop / reason / journeys):";
+      List.iteri
+        (fun i ((hop, reason), n) ->
+          if i < 6 then line "    %-28s %-16s %d" hop reason n)
+        report);
+  (* ---- Acceptance gates (1% tier) --------------------------------- *)
+  if acceptance then begin
+    if delivery_ratio >= 0.99 then
+      line "  gate ok: legit cross-AS delivery %.2f%% >= 99%%"
+        (delivery_ratio *. 100.0)
+    else begin
+      line "GATE FAIL: legit delivery %.2f%% under attack (need >= 99%%)"
+        (delivery_ratio *. 100.0);
+      gate_failed := true
+    end;
+    if shed > 0 && queue_peak <= aa_limits.Accountability.queue_cap then
+      line "  gate ok: bounded AA backlog (peak %d <= cap %d, %d shed)"
+        queue_peak aa_limits.Accountability.queue_cap shed
+    else begin
+      line "GATE FAIL: AA backlog unbounded or never shed (peak %d, cap %d, shed %d)"
+        queue_peak aa_limits.Accountability.queue_cap shed;
+      gate_failed := true
+    end;
+    if aa_requests = aa_accounted then
+      line "  gate ok: AA ledger balances (%d = granted+refused+shed+queued)"
+        aa_requests
+    else begin
+      line "GATE FAIL: AA ledger leak: %d requests vs %d accounted"
+        aa_requests aa_accounted;
+      gate_failed := true
+    end;
+    if drops_total = dropped_counter_delta then
+      line "  gate ok: all %d BR drops carry a typed reason" drops_total
+    else begin
+      line "GATE FAIL: %d BR drops but only %d reason-labeled"
+        dropped_counter_delta drops_total;
+      gate_failed := true
+    end;
+    if drops_total + replay_rejected >= !bruteforce_sent + !replayed then
+      line "  gate ok: bruteforce+replay contained (%d injected <= %d dropped/rejected)"
+        (!bruteforce_sent + !replayed)
+        (drops_total + replay_rejected)
+    else begin
+      line "GATE FAIL: %d bruteforce+replay packets but only %d dropped/rejected"
+        (!bruteforce_sent + !replayed)
+        (drops_total + replay_rejected);
+      gate_failed := true
+    end;
+    if samples <> [] then
+      line "  gate ok: shutoff propagation p99 reported (%.3f s)" (pctl 0.99)
+    else begin
+      line "GATE FAIL: no shutoff propagation samples";
+      gate_failed := true
+    end;
+    List.iter
+      (fun rule ->
+        if fired_and_resolved rule then
+          line "  alert gate ok: %s fired and resolved" rule
+        else begin
+          line "GATE FAIL: alert %s did not fire and resolve (fired=%b)" rule
+            (Apna_obs.Alert.has_fired alerts rule);
+          gate_failed := true
+        end)
+      [ "shutoff-stall"; "revocation-storm" ]
+  end;
+  let row =
+    J.Obj
+      [
+        ("fraction", J.Float fraction);
+        ("population", J.Int population);
+        ("bots", J.Int n_bots);
+        ( "events_by_behavior",
+          J.Obj
+            (List.map
+               (fun (l, n) -> (l, J.Int n))
+               (W.Campaign.count_by_behavior events)) );
+        ( "injected",
+          J.Obj
+            [
+              ("unwanted", J.Int !unwanted_sent);
+              ("replayed", J.Int !replayed);
+              ("bruteforce", J.Int !bruteforce_sent);
+              ("aa_spam", J.Int !spam_injected);
+            ] );
+        ( "legit",
+          J.Obj
+            [
+              ("sent", J.Int !legit_sent);
+              ("delivered", J.Int legit_delivered);
+              ("delivery_ratio", J.Float delivery_ratio);
+            ] );
+        ( "aa",
+          J.Obj
+            [
+              ("requests", J.Int aa_requests);
+              ("granted", J.Int granted);
+              ("refused", J.Int refused);
+              ("shed", J.Int shed);
+              ("queue_peak", J.Int queue_peak);
+              ("queue_cap", J.Int aa_limits.Accountability.queue_cap);
+              ( "refusals_by_reason",
+                J.Obj
+                  (List.map
+                     (fun (r, n) -> (r, J.Int n))
+                     (Accountability.refusal_reasons aa500)) );
+            ] );
+        ( "propagation_s",
+          J.Obj
+            [
+              ("p50", J.Float (pctl 0.50));
+              ("p99", J.Float (pctl 0.99));
+              ("samples", J.Int (List.length samples));
+            ] );
+        ( "forensics",
+          J.Obj
+            [
+              ("evidence_delivered", J.Int unwanted_delivered);
+              ( "br_drops_by_reason",
+                J.Obj
+                  (List.map (fun (r, n) -> (r, J.Int n)) drops_by_reason) );
+              ("br_drops_total", J.Int drops_total);
+              ("replay_window_rejects", J.Int replay_rejected);
+              ( "journey_drop_report",
+                J.List
+                  (List.map
+                     (fun ((hop, reason), n) ->
+                       J.Obj
+                         [
+                           ("last_good_hop", J.Str hop);
+                           ("reason", J.Str reason);
+                           ("journeys", J.Int n);
+                         ])
+                     drop_report) );
+            ] );
+        ( "revocation",
+          J.Obj
+            [
+              ("list_size", J.Int revoked_size);
+              ("cache_hit_ratio", J.Float hit_ratio);
+              ("cache_hits", J.Int hits);
+              ("cache_misses", J.Int misses);
+              ("cache_invalidations", J.Int invalidations);
+            ] );
+        ("rules_fired", fired_json fired);
+        ( "rules_resolved",
+          J.List
+            (List.filter_map
+               (fun r -> if fired_and_resolved r then Some (J.Str r) else None)
+               fired) );
+      ]
+  in
+  Apna_obs.Event.clear ev;
+  (row, fired, Telemetry.export tel)
+
+let e18 () =
+  banner "E18" "ATTACK-CAMPAIGN"
+    "§IV-E shutoff and §VIII-G2 escalation under misbehavior storms";
+  let tiers = if !quick then [ 0.01 ] else [ 0.001; 0.01; 0.05 ] in
+  let rows =
+    List.map
+      (fun fraction ->
+        let row, fired, export = e18_tier ~fraction ~acceptance:(fraction = 0.01) in
+        (fraction, row, fired, export))
+      tiers
+  in
+  let section = J.List (List.map (fun (_, row, _, _) -> row) rows) in
+  add_json "attack_campaign" section;
+  add_telemetry "attack_campaign"
+    (J.Obj
+       [
+         ( "rows",
+           J.List
+             (List.map
+                (fun (fraction, _, fired, _) ->
+                  J.Obj
+                    [
+                      ("fraction", J.Float fraction);
+                      ("rules_fired", fired_json fired);
+                    ])
+                rows) );
+         ( "timeline_1pct",
+           match List.find_opt (fun (f, _, _, _) -> f = 0.01) rows with
+           | Some (_, _, _, export) -> export
+           | None -> J.Null );
+       ]);
+  (* Standalone artifact for CI upload (schema in docs/OBSERVABILITY.md). *)
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str "apna-attack-campaign/1");
+        ("quick", J.Bool !quick);
+        ("tiers", section);
+      ]
+  in
+  let oc = open_out "attack_campaign.json" in
+  output_string oc (J.to_string ~pretty:true doc);
+  output_char oc '\n';
+  close_out oc;
+  line "";
+  line "wrote attack_campaign.json";
+  M.set_enabled M.default false
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -2523,6 +3241,7 @@ let experiments =
     ("E15", e15);
     ("E16", e16);
     ("E17", e17);
+    ("E18", e18);
   ]
 
 let json_path = "BENCH_results.json"
@@ -2613,6 +3332,10 @@ let () =
           burst_only := true;
           false
         end
+        else if a = "--campaign" then begin
+          campaign_only := true;
+          false
+        end
         else true)
       (List.tl (Array.to_list Sys.argv))
   in
@@ -2625,6 +3348,7 @@ let () =
         else if !storm_only then [ "E15" ]
         else if !trace_scale_only then [ "E16" ]
         else if !burst_only then [ "E17" ]
+        else if !campaign_only then [ "E18" ]
         else if !quick then [ "E2" ]
         else List.map fst experiments
   in

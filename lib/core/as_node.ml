@@ -52,6 +52,8 @@ type t = {
   hid_of_device : (string, Addr.hid) Hashtbl.t;
   mutable attached_hosts : Host.t list;
   mutable emit : next:Addr.aid -> Packet.t -> unit;
+  (* One pending drain timer for the AA's bounded shutoff queue. *)
+  mutable aa_drain_armed : bool;
   (* Verdict store backing submit_burst/receive_burst — per-AS, so bursts
      on different ASes never share state. *)
   burst : Border_router.Burst.t;
@@ -62,7 +64,7 @@ let service_kha rng = Keys.derive_host_as ~shared_secret:(Drbg.generate rng 32)
 
 let create ~rng ~aid ~trust ~topology ~now ~now_f ?schedule ?dns_zone
     ?(lifetime_policy = Lifetime.default_policy) ?(retention = false)
-    ?(icmp_encryption = false) ?expected_hosts () =
+    ?(icmp_encryption = false) ?expected_hosts ?aa_limits () =
   let keys = Keys.make_as rng ~aid in
   Trust.register_as trust aid ~pub:(Ed25519.public_key keys.signing);
   let host_info = Host_info.create ?expected_hosts () in
@@ -118,7 +120,9 @@ let create ~rng ~aid ~trust ~topology ~now ~now_f ?schedule ?dns_zone
   let border_router =
     Border_router.create ~keys ~host_info ~revoked ~topology ?audit ()
   in
-  let accountability = Accountability.create ~keys ~host_info ~revoked ~trust () in
+  let accountability =
+    Accountability.create ~keys ~host_info ~revoked ~trust ?limits:aa_limits ()
+  in
   {
     aid;
     keys;
@@ -145,6 +149,7 @@ let create ~rng ~aid ~trust ~topology ~now ~now_f ?schedule ?dns_zone
     deliver_by_hid = Addr.Hid_tbl.create 32;
     hid_of_device = Hashtbl.create 32;
     attached_hosts = [];
+    aa_drain_armed = false;
     burst = Border_router.Burst.create ();
     emit =
       (fun ~next:_ _ ->
@@ -350,24 +355,74 @@ and dispatch_dns t (pkt : Packet.t) =
         end
     end
 
+(* §VIII-A: tell the host which EphID was shut off so it can identify
+   (and act on) the application behind it. Delivered directly: the
+   revoked EphID would no longer pass ingress. *)
+and revocation_notice t (hid, ephid) =
+  let notice =
+    service_packet t ~src_ephid:t.aa_ephid ~dst_aid:t.aid
+      ~dst_ephid:(Ephid.to_bytes ephid) ~proto:Packet.Control
+      ~payload:(Msgs.to_bytes (Msgs.Revocation_notice { ephid = Ephid.to_bytes ephid }))
+  in
+  deliver_local t hid notice
+
+(* The drain loop for the AA's bounded shutoff queue: one timer pending at
+   a time, re-armed while work remains. Each pass verifies a budgeted slice
+   and flushes granted revocations to the routers as one batch. *)
+and arm_aa_drain t =
+  match t.schedule with
+  | None -> ()
+  | Some schedule ->
+      if not t.aa_drain_armed then begin
+        t.aa_drain_armed <- true;
+        let delay = (Accountability.limits t.accountability).drain_interval_s in
+        schedule ~delay (fun () ->
+            t.aa_drain_armed <- false;
+            let grants =
+              Accountability.drain t.accountability ~now:(t.now ())
+                ~at:(t.now_f ())
+            in
+            List.iter (fun g -> revocation_notice t g) grants;
+            if grants <> [] then
+              Logs.info (fun m ->
+                  m "AS %a: %d shutoff(s) executed" Addr.pp_aid t.aid
+                    (List.length grants));
+            if Accountability.queue_depth t.accountability > 0 then
+              arm_aa_drain t)
+      end
+
 and dispatch_aa t (pkt : Packet.t) =
   M.Counter.incr t.obs.m_shutoff;
   match Msgs.of_bytes pkt.payload with
   | Error e -> Logs.debug (fun m -> m "AA: %a" Error.pp e)
   | Ok msg -> begin
-      match Accountability.handle_shutoff t.accountability ~now:(t.now ()) msg with
-      | Ok (hid, ephid) ->
-          Logs.info (fun m -> m "AS %a: shutoff executed" Addr.pp_aid t.aid);
-          (* §VIII-A: tell the host which EphID was shut off so it can
-             identify (and act on) the application behind it. Delivered
-             directly: the revoked EphID would no longer pass ingress. *)
-          let notice =
-            service_packet t ~src_ephid:t.aa_ephid ~dst_aid:t.aid
-              ~dst_ephid:(Ephid.to_bytes ephid) ~proto:Packet.Control
-              ~payload:(Msgs.to_bytes (Msgs.Revocation_notice { ephid = Ephid.to_bytes ephid }))
-          in
-          deliver_local t hid notice
-      | Error e -> Logs.info (fun m -> m "AS %a: shutoff refused: %a" Addr.pp_aid t.aid Error.pp e)
+      match t.schedule with
+      | Some _ -> begin
+          (* Scheduled deployment: admission control at arrival, expensive
+             verification deferred to the budgeted drain loop. *)
+          match
+            Accountability.enqueue t.accountability ~now:(t.now ())
+              ~at:(t.now_f ()) msg
+          with
+          | Accountability.Queued -> arm_aa_drain t
+          | Accountability.Refused e ->
+              Logs.info (fun m ->
+                  m "AS %a: shutoff refused: %a" Addr.pp_aid t.aid Error.pp e)
+          | Accountability.Shed ->
+              Logs.info (fun m ->
+                  m "AS %a: shutoff shed under load" Addr.pp_aid t.aid)
+        end
+      | None -> begin
+          match
+            Accountability.handle_shutoff t.accountability ~now:(t.now ()) msg
+          with
+          | Ok grant ->
+              Logs.info (fun m -> m "AS %a: shutoff executed" Addr.pp_aid t.aid);
+              revocation_notice t grant
+          | Error e ->
+              Logs.info (fun m ->
+                  m "AS %a: shutoff refused: %a" Addr.pp_aid t.aid Error.pp e)
+        end
     end
 
 and dispatch_broker t (pkt : Packet.t) =

@@ -21,6 +21,7 @@ val create :
   ?retention:bool ->
   ?icmp_encryption:bool ->
   ?expected_hosts:int ->
+  ?aa_limits:Accountability.limits ->
   unit ->
   t
 (** Creates the AS, generates its keys, registers its signing key in
@@ -28,7 +29,13 @@ val create :
     EphIDs/certificates. [dns_zone] additionally runs a DNS service whose
     zone key is registered in [trust]. [expected_hosts] pre-sizes the
     sharded host_info database for a known population (the scale
-    harness). *)
+    harness). [aa_limits] overrides the accountability agent's
+    admission-control policy ({!Accountability.default_limits}).
+
+    When a [schedule] hook is wired, shutoff requests delivered to the AA
+    go through the bounded admission queue and a budgeted drain loop
+    ({!Accountability.enqueue}/{!Accountability.drain}); without one they
+    are handled synchronously. *)
 
 val aid : t -> Apna_net.Addr.aid
 val keys : t -> Keys.as_keys

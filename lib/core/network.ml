@@ -145,7 +145,7 @@ let node_exn t as_number =
   | None -> invalid_arg (Printf.sprintf "Network.node_exn: AS%d unknown" as_number)
 
 let add_as t as_number ?dns_zone ?retention ?icmp_encryption ?lifetime_policy
-    ?expected_hosts () =
+    ?expected_hosts ?aa_limits () =
   let aid = Addr.aid_of_int as_number in
   if Addr.Aid_tbl.mem t.nodes aid then
     invalid_arg (Printf.sprintf "Network.add_as: AS%d already exists" as_number);
@@ -157,7 +157,8 @@ let add_as t as_number ?dns_zone ?retention ?icmp_encryption ?lifetime_policy
       ~now:(fun () -> now_unix t)
       ~now_f:(fun () -> now_f t)
       ~schedule:(fun ~delay f -> Apna_sim.Engine.schedule_in t.engine ~delay f)
-      ?dns_zone ?retention ?icmp_encryption ?lifetime_policy ?expected_hosts ()
+      ?dns_zone ?retention ?icmp_encryption ?lifetime_policy ?expected_hosts
+      ?aa_limits ()
   in
   As_node.set_emit node (fun ~next pkt ->
       match (Addr.Aid_tbl.find_opt t.nodes next, Topology.link t.topology aid next) with

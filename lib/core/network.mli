@@ -31,13 +31,16 @@ val rng : t -> Apna_crypto.Drbg.t
 
 val add_as :
   t -> int -> ?dns_zone:string -> ?retention:bool -> ?icmp_encryption:bool ->
-  ?lifetime_policy:Lifetime.policy -> ?expected_hosts:int -> unit -> As_node.t
+  ?lifetime_policy:Lifetime.policy -> ?expected_hosts:int ->
+  ?aa_limits:Accountability.limits -> unit -> As_node.t
 (** [add_as t 64500 ()] creates and registers an AS with that number.
     [retention] turns on the §VIII-H audit log; [icmp_encryption] turns on
     §VIII-B sealed ICMP feedback (with its certificate cache);
     [lifetime_policy] overrides the §VIII-G1 short/medium/long EphID
     lifetimes this AS's management service issues; [expected_hosts]
-    pre-sizes the sharded host_info database for a known population. *)
+    pre-sizes the sharded host_info database for a known population;
+    [aa_limits] overrides the accountability agent's admission-control
+    policy (rate limits, queue bound, revocation batching). *)
 
 val node : t -> Apna_net.Addr.aid -> As_node.t option
 val node_exn : t -> int -> As_node.t

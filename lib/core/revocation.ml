@@ -5,7 +5,8 @@ let dummy_ephid =
 
 type t = {
   table : int Ephid.Tbl.t;
-  (* Expiry index: every revoke pushes an (expiry, ephid) candidate so gc
+  (* Expiry index: every table-changing revoke pushes an (expiry, ephid)
+     candidate so gc
      pops exactly the entries that can be stale instead of folding the
      whole table — the million-host revocation path must stay O(changes).
      Re-revoking with a different expiry leaves the older candidate in the
@@ -24,11 +25,35 @@ let create () =
     last_gc_cost = 0;
   }
 
+(* Returns true when the table actually changed. A re-revocation with the
+   same expiry is a pure no-op: no heap push (the candidate is already
+   queued), no generation bump (no cached verdict became wrong), so a storm
+   of duplicate revocations cannot bloat the expiry heap or flush the
+   border routers' validated-EphID caches. *)
+let revoke_entry t ephid ~expiry =
+  match Ephid.Tbl.find_opt t.table ephid with
+  | Some current when current = expiry -> false
+  | _ ->
+      Ephid.Tbl.replace t.table ephid expiry;
+      Apna_util.Heap.push t.expiries ~prio:expiry ephid;
+      true
+
 let revoke t ephid ~expiry =
-  Ephid.Tbl.replace t.table ephid expiry;
-  Apna_util.Heap.push t.expiries ~prio:expiry ephid;
-  (* Any cached "this EphID is valid" conclusion may now be wrong. *)
-  t.generation <- t.generation + 1
+  if revoke_entry t ephid ~expiry then
+    (* Any cached "this EphID is valid" conclusion may now be wrong. *)
+    t.generation <- t.generation + 1
+
+let revoke_many t entries =
+  let changed =
+    List.fold_left
+      (fun acc (ephid, expiry) ->
+        if revoke_entry t ephid ~expiry then acc + 1 else acc)
+      0 entries
+  in
+  (* One bump per batch: downstream caches revalidate once per announcement
+     instead of once per revoked EphID. *)
+  if changed > 0 then t.generation <- t.generation + 1;
+  changed
 
 let is_revoked t ephid = Ephid.Tbl.mem t.table ephid
 let size t = Ephid.Tbl.length t.table

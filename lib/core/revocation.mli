@@ -11,7 +11,16 @@ val create : unit -> t
 
 val revoke : t -> Ephid.t -> expiry:int -> unit
 (** [expiry] is the EphID's expiration time, after which the entry is
-    garbage-collectable (packets are dropped by the expiry check anyway). *)
+    garbage-collectable (packets are dropped by the expiry check anyway).
+    Re-revoking an EphID whose recorded expiry is unchanged is a no-op: no
+    heap insert and no generation bump, so duplicate revocations cannot
+    inflate gc cost or invalidate downstream caches. *)
+
+val revoke_many : t -> (Ephid.t * int) list -> int
+(** Batched {!revoke}: applies every [(ephid, expiry)] entry but bumps the
+    generation counter at most once, so a revocation storm propagates to
+    cache consumers as O(batches) invalidations instead of
+    O(revocations). Returns how many entries actually changed the table. *)
 
 val is_revoked : t -> Ephid.t -> bool
 val size : t -> int
@@ -27,7 +36,7 @@ val last_gc_cost : t -> int
     stale entries, not the table size. *)
 
 val generation : t -> int
-(** Monotone counter bumped by every {!revoke} and by any {!gc} that
-    removed an entry. Consumers caching "not revoked" verdicts (the border
+(** Monotone counter bumped by every table-changing {!revoke} (or once per
+    changing {!revoke_many} batch) and by any {!gc} that removed an entry. Consumers caching "not revoked" verdicts (the border
     router's validated-EphID cache) record the generation at insert time
     and fall back to the full check when it has moved. *)

@@ -166,11 +166,18 @@ let compute ?window ts ~now =
       (List.fold_left (fun acc s -> Float.max acc (T.last_value s)) 0.0 allocs);
 
   (* Shutoff propagation proxy: requests built by victims but not yet
-     parsed by an accountability agent. A sustained backlog means
-     shutoffs are stalling in flight — the latency blow-up signature. *)
+     parsed by an accountability agent (in-flight), plus requests sitting
+     in the AAs' bounded admission queues awaiting verification. A
+     sustained backlog means shutoffs are stalling — the latency blow-up
+     signature. The in-flight term is clamped at zero: spam arriving at
+     the AA is parsed without ever being "built" by a victim, which would
+     otherwise drive the difference negative and mask a real queue. *)
   let total name =
     List.fold_left (fun acc s -> acc +. T.last_value s) 0.0 (by_name ts name)
   in
   let built = total "apna_shutoff_requests_built_total" in
-  if built > 0.0 then
-    put shutoff_backlog (built -. total "apna_shutoff_requests_parsed_total")
+  let queued = total "apna_aa_queue_depth" in
+  if built > 0.0 || queued > 0.0 then
+    put shutoff_backlog
+      (Float.max 0.0 (built -. total "apna_shutoff_requests_parsed_total")
+      +. queued)

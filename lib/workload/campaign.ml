@@ -1,0 +1,167 @@
+type spam_kind = Forged | Duplicate_evidence | Expired_evidence
+
+type behavior =
+  | Unwanted_traffic
+  | Replay_flood
+  | Ephid_bruteforce
+  | Shutoff_spam of spam_kind
+
+type event = { at : float; host : int; behavior : behavior; volume : int }
+
+type mix = {
+  unwanted : float;
+  replay : float;
+  bruteforce : float;
+  spam : float;
+}
+
+let default_mix = { unwanted = 0.4; replay = 0.2; bruteforce = 0.2; spam = 0.2 }
+
+type config = {
+  trace : Trace.config;
+  fraction : float;
+  events_per_host : float;
+  volume_mean : float;
+  mix : mix;
+}
+
+let default ~trace ~fraction =
+  { trace; fraction; events_per_host = 2.0; volume_mean = 6.0; mix = default_mix }
+
+let malicious_count cfg =
+  if cfg.fraction <= 0.0 then 0
+  else
+    min cfg.trace.Trace.hosts
+      (max 1 (int_of_float (Float.round (cfg.fraction *. float_of_int cfg.trace.Trace.hosts))))
+
+(* The campaign is replayable from a short human seed: FNV-1a folds it into
+   the SplitMix64 state. Not cryptographic — it only needs to be stable. *)
+let rng_of_seed seed =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    seed;
+  Apna_sim.Rng.create !h
+
+let behavior_label = function
+  | Unwanted_traffic -> "unwanted-traffic"
+  | Replay_flood -> "replay-flood"
+  | Ephid_bruteforce -> "ephid-bruteforce"
+  | Shutoff_spam Forged -> "shutoff-spam-forged"
+  | Shutoff_spam Duplicate_evidence -> "shutoff-spam-duplicate"
+  | Shutoff_spam Expired_evidence -> "shutoff-spam-expired"
+
+(* Stable total order on behaviors for the canonical sort. *)
+let behavior_rank = function
+  | Unwanted_traffic -> 0
+  | Replay_flood -> 1
+  | Ephid_bruteforce -> 2
+  | Shutoff_spam Forged -> 3
+  | Shutoff_spam Duplicate_evidence -> 4
+  | Shutoff_spam Expired_evidence -> 5
+
+(* Draw [n] distinct host indices. The malicious fraction is small against
+   the population, so rejection sampling terminates fast; if someone asks
+   for most of the population, fall back to taking a prefix of a shuffle. *)
+let draw_hosts rng ~hosts ~n =
+  if n * 2 >= hosts then begin
+    let all = Array.init hosts Fun.id in
+    Apna_sim.Rng.shuffle rng all;
+    Array.to_list (Array.sub all 0 n)
+  end
+  else begin
+    let seen = Hashtbl.create (2 * n) in
+    let picked = ref [] in
+    while Hashtbl.length seen < n do
+      let h = Apna_sim.Rng.int rng hosts in
+      if not (Hashtbl.mem seen h) then begin
+        Hashtbl.add seen h ();
+        picked := h :: !picked
+      end
+    done;
+    List.rev !picked
+  end
+
+let pick_behavior rng mix =
+  let total = mix.unwanted +. mix.replay +. mix.bruteforce +. mix.spam in
+  let total = if total <= 0.0 then 1.0 else total in
+  let u = Apna_sim.Rng.float rng *. total in
+  if u < mix.unwanted then Unwanted_traffic
+  else if u < mix.unwanted +. mix.replay then Replay_flood
+  else if u < mix.unwanted +. mix.replay +. mix.bruteforce then Ephid_bruteforce
+  else
+    Shutoff_spam
+      (match Apna_sim.Rng.int rng 3 with
+      | 0 -> Forged
+      | 1 -> Duplicate_evidence
+      | _ -> Expired_evidence)
+
+(* Activation times follow the trace's diurnal curve by thinning: a botnet
+   ramps with its victims' day, hiding the campaign inside the busy hour
+   instead of lighting up a quiet trough. *)
+let activation_time rng (trace : Trace.config) =
+  let duration = trace.Trace.duration_s in
+  let rec draw attempts =
+    let t = Apna_sim.Rng.float rng *. duration in
+    if attempts > 64 then t
+    else
+      let accept = Trace.rate_at trace t /. trace.Trace.peak_rate in
+      if Apna_sim.Rng.float rng < accept then t else draw (attempts + 1)
+  in
+  draw 0
+
+let generate ~seed cfg =
+  let rng = rng_of_seed seed in
+  let n = malicious_count cfg in
+  let hosts = draw_hosts rng ~hosts:cfg.trace.Trace.hosts ~n in
+  let events = ref [] in
+  List.iter
+    (fun host ->
+      let behavior = pick_behavior rng cfg.mix in
+      let burst_span = max 1 (int_of_float (2.0 *. cfg.events_per_host)) in
+      let bursts = 1 + Apna_sim.Rng.int rng burst_span in
+      for _ = 1 to bursts do
+        let at = activation_time rng cfg.trace in
+        let volume =
+          max 1
+            (int_of_float
+               (Float.round
+                  (Apna_sim.Rng.exponential rng ~mean:cfg.volume_mean)))
+        in
+        events := { at; host; behavior; volume } :: !events
+      done)
+    hosts;
+  List.sort
+    (fun a b ->
+      match Float.compare a.at b.at with
+      | 0 -> (
+          match compare a.host b.host with
+          | 0 -> (
+              match compare (behavior_rank a.behavior) (behavior_rank b.behavior) with
+              | 0 -> compare a.volume b.volume
+              | c -> c)
+          | c -> c)
+      | c -> c)
+    !events
+
+let schedule_to_string events =
+  let buf = Buffer.create (64 * List.length events) in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "at=%.9f host=%d behavior=%s volume=%d\n" e.at e.host
+           (behavior_label e.behavior) e.volume))
+    events;
+  Buffer.contents buf
+
+let count_by_behavior events =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      let l = behavior_label e.behavior in
+      Hashtbl.replace tbl l
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl l)))
+    events;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare

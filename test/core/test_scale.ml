@@ -141,6 +141,42 @@ let revocation_gc_cost () =
   Alcotest.(check int) "idle sweep examines nothing" 0
     (Revocation.last_gc_cost r)
 
+(* Re-revoking an already-revoked EphID must not grow the expiry heap: a
+   revocation storm that keeps accusing the same EphIDs would otherwise
+   pile duplicate candidates the next gc has to pop one by one. *)
+let revocation_rerevoke_cost () =
+  let r = Revocation.create () in
+  let victims =
+    Array.init 50 (fun i ->
+        Ephid.issue_random keys rng ~hid:(hid (i + 1)) ~expiry:(now0 + 10))
+  in
+  Array.iter (fun e -> Revocation.revoke r e ~expiry:(now0 + 10)) victims;
+  let gen_after_first = Revocation.generation r in
+  (* The storm: every victim re-accused 40 times over. *)
+  for _ = 1 to 40 do
+    Array.iter (fun e -> Revocation.revoke r e ~expiry:(now0 + 10)) victims
+  done;
+  Alcotest.(check int) "still 50 entries" 50 (Revocation.size r);
+  Alcotest.(check int) "duplicate revokes bump no generation" gen_after_first
+    (Revocation.generation r);
+  ignore (Revocation.gc r ~now:(now0 + 60));
+  Alcotest.(check bool)
+    (Printf.sprintf "gc examined %d candidates for 50 entries, not 2050"
+       (Revocation.last_gc_cost r))
+    true
+    (Revocation.last_gc_cost r <= 50);
+  (* Batch form: the whole storm costs one generation bump. *)
+  let gen0 = Revocation.generation r in
+  let entries =
+    Array.to_list (Array.map (fun e -> (e, now0 + 120)) victims)
+  in
+  let changed = Revocation.revoke_many r entries in
+  Alcotest.(check int) "all entries changed" 50 changed;
+  Alcotest.(check int) "one bump for the batch" (gen0 + 1)
+    (Revocation.generation r);
+  Alcotest.(check int) "batch replay is a no-op" 0
+    (Revocation.revoke_many r entries)
+
 (* The broker-facing reverse lookup answers from an index: one probe,
    regardless of how many customers the registry holds. *)
 let registry_lookup_cost () =
@@ -168,6 +204,8 @@ let sentinel_tests =
       audit_gc_cost;
     Alcotest.test_case "revocation gc cost scales with stale entries" `Quick
       revocation_gc_cost;
+    Alcotest.test_case "re-revocation storms stay flat in heap and caches"
+      `Quick revocation_rerevoke_cost;
     Alcotest.test_case "registry reverse lookup is one probe" `Quick
       registry_lookup_cost;
   ]

@@ -105,10 +105,98 @@ let packet_mix_tests =
         done);
   ]
 
+let campaign_trace =
+  {
+    Trace.paper_config with
+    Trace.hosts = 5_000;
+    peak_rate = 50.0;
+    duration_s = 600.0;
+    peak_at_s = 300.0;
+  }
+
+let campaign_tests =
+  [
+    qtest "same seed yields a byte-identical schedule" ~count:30
+      QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 50))
+      (fun (seed_n, per_mille) ->
+        let seed = Printf.sprintf "campaign-%d" seed_n in
+        let cfg =
+          Campaign.default ~trace:campaign_trace
+            ~fraction:(float_of_int per_mille /. 1000.0)
+        in
+        let a = Campaign.schedule_to_string (Campaign.generate ~seed cfg) in
+        let b = Campaign.schedule_to_string (Campaign.generate ~seed cfg) in
+        String.equal a b);
+    Alcotest.test_case "different seeds diverge" `Quick (fun () ->
+        let cfg = Campaign.default ~trace:campaign_trace ~fraction:0.01 in
+        let a =
+          Campaign.schedule_to_string (Campaign.generate ~seed:"alpha" cfg)
+        in
+        let b =
+          Campaign.schedule_to_string (Campaign.generate ~seed:"beta" cfg)
+        in
+        Alcotest.(check bool) "schedules differ" false (String.equal a b));
+    Alcotest.test_case "schedule shape: sorted, in-window, bot count" `Quick
+      (fun () ->
+        let cfg = Campaign.default ~trace:campaign_trace ~fraction:0.02 in
+        let events = Campaign.generate ~seed:"shape" cfg in
+        let bots = Hashtbl.create 64 in
+        let last = ref neg_infinity in
+        List.iter
+          (fun (e : Campaign.event) ->
+            Alcotest.(check bool) "sorted" true (e.at >= !last);
+            last := e.at;
+            Alcotest.(check bool) "in window" true
+              (e.at >= 0.0 && e.at < campaign_trace.Trace.duration_s);
+            Alcotest.(check bool) "host in population" true
+              (e.host >= 0 && e.host < campaign_trace.Trace.hosts);
+            Alcotest.(check bool) "positive volume" true (e.volume >= 1);
+            Hashtbl.replace bots e.host ())
+          events;
+        Alcotest.(check int) "exactly the malicious population"
+          (Campaign.malicious_count cfg)
+          (Hashtbl.length bots));
+    Alcotest.test_case "activations ramp with the diurnal curve" `Quick
+      (fun () ->
+        (* Thinning against rate_at: the busy half of the window must hold
+           clearly more activations than the trough half. *)
+        let cfg =
+          { (Campaign.default ~trace:campaign_trace ~fraction:0.2) with
+            Campaign.events_per_host = 4.0 }
+        in
+        let events = Campaign.generate ~seed:"diurnal" cfg in
+        let peak = campaign_trace.Trace.peak_at_s in
+        let half = campaign_trace.Trace.duration_s /. 4.0 in
+        let near, far =
+          List.fold_left
+            (fun (n, f) (e : Campaign.event) ->
+              if Float.abs (e.at -. peak) <= half then (n + 1, f) else (n, f + 1))
+            (0, 0) events
+        in
+        Alcotest.(check bool) "busy half dominates" true (near > far));
+    Alcotest.test_case "every behavior appears in a large campaign" `Quick
+      (fun () ->
+        let cfg = Campaign.default ~trace:campaign_trace ~fraction:0.1 in
+        let events = Campaign.generate ~seed:"coverage" cfg in
+        let labels = List.map fst (Campaign.count_by_behavior events) in
+        List.iter
+          (fun l ->
+            Alcotest.(check bool) (l ^ " present") true (List.mem l labels))
+          [
+            "unwanted-traffic";
+            "replay-flood";
+            "ephid-bruteforce";
+            "shutoff-spam-forged";
+            "shutoff-spam-duplicate";
+            "shutoff-spam-expired";
+          ]);
+  ]
+
 let () =
   Alcotest.run "apna_workload"
     [
       ("flow_model", flow_model_tests);
       ("trace", trace_tests);
       ("packet_mix", packet_mix_tests);
+      ("campaign", campaign_tests);
     ]
